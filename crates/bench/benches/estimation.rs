@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: pairwise intersection / containment
+//! estimation cost for the different sketches.
+//!
+//! These are the inner-loop operations of Algorithm 2: given the query's and
+//! a record's sketches, estimate `|Q ∩ X|`. GB-KMV's estimate is a popcount
+//! plus a merge over the G-KMV signatures; MinHash needs a full signature
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gbkmv_core::dataset::Record;
+use gbkmv_core::gbkmv::GbKmvSketcher;
+use gbkmv_core::gkmv::{GKmvSketch, GlobalThreshold};
+use gbkmv_core::hash::Hasher64;
+use gbkmv_core::kmv::KmvSketch;
+use gbkmv_core::stats::DatasetStats;
+use gbkmv_datagen::profiles::DatasetProfile;
+use gbkmv_lsh::minhash::MinHashSigner;
+
+fn pairwise_estimation(c: &mut Criterion) {
+    let a = Record::new((0..2_000u32).collect());
+    let b_rec = Record::new((1_000..3_000u32).collect());
+    let hasher = Hasher64::new(7);
+    let mut group = c.benchmark_group("pairwise_estimation");
+
+    let ka = KmvSketch::from_record(&a, &hasher, 256);
+    let kb = KmvSketch::from_record(&b_rec, &hasher, 256);
+    group.bench_function("kmv_k256", |bch| {
+        bch.iter(|| black_box(&ka).intersection_estimate(black_box(&kb)))
+    });
+
+    let threshold = GlobalThreshold { raw: u64::MAX / 8 };
+    let ga = GKmvSketch::from_record(&a, &hasher, threshold);
+    let gb = GKmvSketch::from_record(&b_rec, &hasher, threshold);
+    group.bench_function("gkmv_tau_eighth", |bch| {
+        bch.iter(|| black_box(&ga).intersection_estimate(black_box(&gb)))
+    });
+
+    let dataset = DatasetProfile::Netflix.generate_scaled(8);
+    let stats = DatasetStats::compute(&dataset);
+    let sketcher = GbKmvSketcher::build(&dataset, &stats, hasher, 128, dataset.total_elements() / 10);
+    let sa = sketcher.sketch_record(&a);
+    let sb = sketcher.sketch_record(&b_rec);
+    group.bench_function("gbkmv_pair", |bch| {
+        bch.iter(|| sketcher.estimate_pair(black_box(&sa), black_box(&sb)))
+    });
+
+    let signer = MinHashSigner::new(9, 256);
+    let ma = signer.sign(&a);
+    let mb = signer.sign(&b_rec);
+    group.bench_function("minhash_jaccard_256", |bch| {
+        bch.iter(|| black_box(&ma).jaccard_estimate(black_box(&mb)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pairwise_estimation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks: sketch and index construction cost.
+//!
+//! Complements Figure 18 (construction time) at a finer granularity: the
+//! per-record cost of building KMV / G-KMV / GB-KMV / MinHash sketches and
+//! the end-to-end cost of building each index on a small profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gbkmv_core::dataset::Record;
+use gbkmv_core::gbkmv::GbKmvSketcher;
+use gbkmv_core::hash::Hasher64;
+use gbkmv_core::index::{GbKmvConfig, GbKmvIndex};
+use gbkmv_core::kmv::KmvSketch;
+use gbkmv_core::stats::DatasetStats;
+use gbkmv_core::variants::{KmvConfig, KmvIndex};
+use gbkmv_datagen::profiles::DatasetProfile;
+use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
+use gbkmv_lsh::minhash::MinHashSigner;
+
+fn per_record_sketches(c: &mut Criterion) {
+    let record = Record::new((0..500u32).map(|i| i * 7).collect());
+    let hasher = Hasher64::new(1);
+    let mut group = c.benchmark_group("per_record_sketch");
+
+    group.bench_function("kmv_k256", |b| {
+        b.iter(|| KmvSketch::from_record(black_box(&record), &hasher, 256))
+    });
+
+    let dataset = DatasetProfile::Netflix.generate_scaled(8);
+    let stats = DatasetStats::compute(&dataset);
+    let sketcher = GbKmvSketcher::build(&dataset, &stats, hasher, 64, dataset.total_elements() / 10);
+    group.bench_function("gbkmv_record", |b| {
+        b.iter(|| sketcher.sketch_record(black_box(&record)))
+    });
+
+    let signer = MinHashSigner::new(2, 256);
+    group.bench_function("minhash_256", |b| {
+        b.iter(|| signer.sign(black_box(&record)))
+    });
+    group.finish();
+}
+
+fn index_construction(c: &mut Criterion) {
+    let dataset = DatasetProfile::Enron.generate_scaled(8);
+    let mut group = c.benchmark_group("index_construction");
+    group.sample_size(10);
+
+    group.bench_function("gbkmv_10pct", |b| {
+        b.iter(|| GbKmvIndex::build(black_box(&dataset), GbKmvConfig::with_space_fraction(0.10)))
+    });
+    group.bench_function("kmv_10pct", |b| {
+        b.iter(|| KmvIndex::build(black_box(&dataset), KmvConfig::with_space_fraction(0.10)))
+    });
+    for &hashes in &[64usize, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("lshe", hashes),
+            &hashes,
+            |b, &hashes| {
+                b.iter(|| {
+                    LshEnsembleIndex::build(
+                        black_box(&dataset),
+                        LshEnsembleConfig::with_num_hashes(hashes).partitions(8),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_record_sketches, index_construction);
+criterion_main!(benches);

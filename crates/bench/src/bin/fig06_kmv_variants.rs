@@ -1,0 +1,41 @@
+//! Figure 6 reproduction: KMV vs G-KMV vs GB-KMV (F1 vs space budget).
+//!
+//! For every dataset profile and space budget the binary reports the F1
+//! score of the three KMV-family methods. The paper's finding — the global
+//! threshold (G-KMV) clearly improves over plain KMV, and the buffer
+//! (GB-KMV) adds a further gain — should be visible in the relative ordering
+//! of the columns.
+//!
+//! Run with `cargo run --release -p gbkmv-bench --bin fig06_kmv_variants [scale]`.
+
+use gbkmv_bench::harness::{
+    cli_scale, default_profiles, evaluate_on_profile, ExperimentEnv, MethodUnderTest,
+    DEFAULT_NUM_QUERIES, DEFAULT_THRESHOLD,
+};
+use gbkmv_eval::report::{fmt3, format_table};
+
+fn main() {
+    let scale = cli_scale();
+    let space_fractions = [0.05f64, 0.10, 0.20];
+
+    let header = ["Dataset", "Space", "KMV F1", "GKMV F1", "GB-KMV F1"];
+    let mut rows = Vec::new();
+    for profile in default_profiles() {
+        let env = ExperimentEnv::new(profile, scale, DEFAULT_THRESHOLD, DEFAULT_NUM_QUERIES);
+        for &fraction in &space_fractions {
+            let kmv = evaluate_on_profile(&env, MethodUnderTest::Kmv, fraction, 0);
+            let gkmv = evaluate_on_profile(&env, MethodUnderTest::GKmv, fraction, 0);
+            let gbkmv = evaluate_on_profile(&env, MethodUnderTest::GbKmv, fraction, 0);
+            rows.push(vec![
+                profile.name().to_string(),
+                format!("{:.0}%", fraction * 100.0),
+                fmt3(kmv.accuracy.f1),
+                fmt3(gkmv.accuracy.f1),
+                fmt3(gbkmv.accuracy.f1),
+            ]);
+        }
+    }
+    println!("Figure 6 — KMV vs G-KMV vs GB-KMV (F1 score vs space used)\n");
+    println!("{}", format_table(&header, &rows));
+    println!("Expected shape (paper): GB-KMV ≥ GKMV ≥ KMV on every dataset and budget.");
+}

@@ -1,0 +1,61 @@
+//! Figures 7–13 reproduction: accuracy vs space, GB-KMV vs LSH-E.
+//!
+//! One figure per dataset in the paper; one block per dataset here. For two
+//! space budgets the binary reports precision, recall, F1 and F0.5 of GB-KMV
+//! (budgeted at the given fraction) and LSH-E (signature size chosen so its
+//! space is comparable). The paper's claim: GB-KMV dominates LSH-E on the
+//! space-accuracy trade-off, with LSH-E's recall high but precision poor.
+//!
+//! Run with `cargo run --release -p gbkmv-bench --bin fig07_13_space_accuracy [scale]`.
+
+use gbkmv_bench::harness::{
+    build_gbkmv, build_lshe, cli_scale, default_profiles, ExperimentEnv, DEFAULT_NUM_QUERIES,
+    DEFAULT_THRESHOLD,
+};
+use gbkmv_eval::report::{fmt3, format_table};
+
+fn main() {
+    let scale = cli_scale();
+    let space_fractions = [0.05f64, 0.10];
+
+    println!("Figures 7–13 — accuracy vs space (GB-KMV vs LSH-E), t* = {DEFAULT_THRESHOLD}\n");
+    for profile in default_profiles() {
+        let env = ExperimentEnv::new(profile, scale, DEFAULT_THRESHOLD, DEFAULT_NUM_QUERIES);
+        let avg_len = env.stats.avg_record_len;
+
+        let header = [
+            "Method", "Space", "Precision", "Recall", "F1", "F0.5",
+        ];
+        let mut rows = Vec::new();
+        for &fraction in &space_fractions {
+            let gbkmv = build_gbkmv(&env.dataset, fraction);
+            let report = env.evaluate(&gbkmv);
+            rows.push(vec![
+                "GB-KMV".to_string(),
+                format!("{:.0}%", 100.0 * report.space_fraction),
+                fmt3(report.accuracy.precision),
+                fmt3(report.accuracy.recall),
+                fmt3(report.accuracy.f1),
+                fmt3(report.accuracy.f05),
+            ]);
+
+            // LSH-E's space knob is its signature size: pick the hash count
+            // whose per-record cost (one element per stored hash value)
+            // approximates the same fraction of the average record length.
+            let hashes = ((avg_len * fraction).round() as usize).clamp(8, 256);
+            let lshe = build_lshe(&env.dataset, hashes);
+            let report = env.evaluate(&lshe);
+            rows.push(vec![
+                format!("LSH-E ({hashes}h)"),
+                format!("{:.0}%", 100.0 * report.space_fraction),
+                fmt3(report.accuracy.precision),
+                fmt3(report.accuracy.recall),
+                fmt3(report.accuracy.f1),
+                fmt3(report.accuracy.f05),
+            ]);
+        }
+        println!("{} ({} records, avg length {:.0})", profile.name(), env.dataset.len(), avg_len);
+        println!("{}", format_table(&header, &rows));
+    }
+    println!("Expected shape (paper): GB-KMV beats LSH-E on F1/F0.5 at comparable space; LSH-E recall is high, precision low.");
+}

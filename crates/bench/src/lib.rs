@@ -1,0 +1,35 @@
+//! # gbkmv-bench
+//!
+//! Benchmark harness reproducing every table and figure of the GB-KMV
+//! paper's evaluation (Section V). Each experiment is a standalone binary:
+//!
+//! | Binary | Paper artefact |
+//! |--------|----------------|
+//! | `table02_datasets` | Table II — dataset characteristics |
+//! | `table03_space_usage` | Table III — space usage (%) |
+//! | `fig05_buffer_size` | Figure 5 — effect of buffer size |
+//! | `fig06_kmv_variants` | Figure 6 — KMV vs G-KMV vs GB-KMV |
+//! | `fig07_13_space_accuracy` | Figures 7–13 — accuracy vs space |
+//! | `fig14_accuracy_distribution` | Figure 14 — accuracy distribution |
+//! | `fig15_threshold` | Figure 15 — accuracy vs similarity threshold |
+//! | `fig16_synthetic_skew` | Figure 16 — accuracy vs skew (synthetic) |
+//! | `fig17_time_accuracy` | Figure 17 — time vs accuracy |
+//! | `fig18_construction_time` | Figure 18 — sketch construction time |
+//! | `fig19_uniform_exact` | Figure 19 — uniform data + exact baselines |
+//!
+//! The Criterion micro-benchmarks (`cargo bench -p gbkmv-bench`) cover the
+//! low-level operations: sketch construction, pairwise estimation, query
+//! latency and the design ablations listed in `DESIGN.md`.
+//!
+//! This library crate hosts the shared experiment plumbing used by the
+//! binaries (dataset selection, method construction, common sweeps).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod harness;
+
+pub use harness::{
+    build_gbkmv, build_lshe, default_profiles, evaluate_on_profile, quick_profiles, ExperimentEnv,
+    MethodUnderTest,
+};

@@ -1,0 +1,420 @@
+//! Set-valued records and datasets.
+//!
+//! The GB-KMV paper models every object (document, user, web table column, …)
+//! as a *record*: a finite set of elements drawn from a universe
+//! `E = {e_1, …, e_n}`. This module provides:
+//!
+//! * [`Record`] — a sorted, deduplicated set of [`ElementId`]s,
+//! * [`Dataset`] — an ordered collection of records, the unit over which
+//!   sketches and indexes are built,
+//! * [`DatasetBuilder`] — an interning builder that converts arbitrary string
+//!   (or otherwise hashable) tokens into dense element identifiers, mirroring
+//!   the preprocessing the paper applies to its text corpora (tokenisation,
+//!   stop-word removal, dropping records shorter than a minimum size).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an element of the universe `E`.
+///
+/// Elements are dense `u32` identifiers; the [`DatasetBuilder`] maps raw
+/// tokens onto this space. Using a fixed-width integer keeps records compact
+/// (4 bytes per element, the same accounting unit the paper uses for its
+/// space budget).
+pub type ElementId = u32;
+
+/// Identifier of a record within a [`Dataset`] (its position).
+pub type RecordId = usize;
+
+/// A record: a sorted, deduplicated set of elements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Record {
+    elements: Vec<ElementId>,
+}
+
+impl Record {
+    /// Creates a record from an arbitrary list of elements, sorting and
+    /// deduplicating it.
+    pub fn new(mut elements: Vec<ElementId>) -> Self {
+        elements.sort_unstable();
+        elements.dedup();
+        Record { elements }
+    }
+
+    /// Creates a record from elements that are already sorted and unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the input is not strictly increasing.
+    pub fn from_sorted(elements: Vec<ElementId>) -> Self {
+        debug_assert!(
+            elements.windows(2).all(|w| w[0] < w[1]),
+            "elements must be strictly increasing"
+        );
+        Record { elements }
+    }
+
+    /// Number of (distinct) elements in the record.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the record is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The elements of the record in increasing order.
+    #[inline]
+    pub fn elements(&self) -> &[ElementId] {
+        &self.elements
+    }
+
+    /// Whether the record contains `element`.
+    #[inline]
+    pub fn contains(&self, element: ElementId) -> bool {
+        self.elements.binary_search(&element).is_ok()
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = ElementId> + '_ {
+        self.elements.iter().copied()
+    }
+
+    /// Size of the intersection with another record (both are sorted, so this
+    /// is a linear merge).
+    pub fn intersection_size(&self, other: &Record) -> usize {
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.elements, &other.elements);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Size of the union with another record.
+    pub fn union_size(&self, other: &Record) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+}
+
+impl From<Vec<ElementId>> for Record {
+    fn from(elements: Vec<ElementId>) -> Self {
+        Record::new(elements)
+    }
+}
+
+impl<'a> IntoIterator for &'a Record {
+    type Item = ElementId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ElementId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.iter().copied()
+    }
+}
+
+/// An ordered collection of records, the substrate every sketch and index in
+/// this library is built over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Dataset {
+    records: Vec<Record>,
+    /// Number of distinct elements observed across all records
+    /// (`max element id + 1` when built through [`DatasetBuilder`]).
+    universe_size: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw element lists. Records are sorted and
+    /// deduplicated; empty records are kept (the evaluation profiles never
+    /// generate them, but the type does not forbid them).
+    pub fn from_records<I, R>(records: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: Into<Record>,
+    {
+        let records: Vec<Record> = records.into_iter().map(Into::into).collect();
+        let universe_size = records
+            .iter()
+            .flat_map(|r| r.elements().last().copied())
+            .max()
+            .map(|max| max as usize + 1)
+            .unwrap_or(0);
+        Dataset {
+            records,
+            universe_size,
+        }
+    }
+
+    /// Number of records `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in insertion order.
+    #[inline]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// A single record by id.
+    #[inline]
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id]
+    }
+
+    /// Upper bound on element identifiers plus one (the universe size `n` when
+    /// identifiers are dense).
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.universe_size
+    }
+
+    /// Total number of element occurrences `N = Σ_X |X|`.
+    pub fn total_elements(&self) -> usize {
+        self.records.iter().map(Record::len).sum()
+    }
+
+    /// Average record length.
+    pub fn avg_record_len(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.total_elements() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Iterates over `(RecordId, &Record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.records.iter().enumerate()
+    }
+
+    /// Removes records shorter than `min_len`, mirroring the paper's
+    /// preprocessing ("records with size less than 10 are discarded").
+    /// Returns the number of records removed.
+    pub fn retain_min_len(&mut self, min_len: usize) -> usize {
+        let before = self.records.len();
+        self.records.retain(|r| r.len() >= min_len);
+        before - self.records.len()
+    }
+
+    /// Appends a record, used by the dynamic-data maintenance path
+    /// (Remark "Processing Dynamic Data" in the paper). Returns its id.
+    pub fn push(&mut self, record: Record) -> RecordId {
+        if let Some(&max) = record.elements().last() {
+            self.universe_size = self.universe_size.max(max as usize + 1);
+        }
+        self.records.push(record);
+        self.records.len() - 1
+    }
+}
+
+impl std::ops::Index<RecordId> for Dataset {
+    type Output = Record;
+
+    fn index(&self, id: RecordId) -> &Record {
+        &self.records[id]
+    }
+}
+
+/// Builds a [`Dataset`] from raw string tokens, interning each distinct token
+/// as a dense [`ElementId`].
+///
+/// This mirrors the preprocessing used for the paper's text datasets: each
+/// record is a bag of tokens (words, q-grams, tags, movie ids, …); stop words
+/// may be removed and short records dropped before indexing.
+#[derive(Debug, Default)]
+pub struct DatasetBuilder {
+    interner: HashMap<String, ElementId>,
+    records: Vec<Record>,
+    stop_words: Vec<String>,
+    min_record_len: usize,
+}
+
+impl DatasetBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers stop words that are dropped from every record (the paper
+    /// removes English stop words such as "the" from its text corpora).
+    pub fn with_stop_words<I, S>(mut self, words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.stop_words = words.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets a minimum record length; shorter records are silently skipped
+    /// when [`DatasetBuilder::finish`] is called (the paper uses 10).
+    pub fn with_min_record_len(mut self, min_len: usize) -> Self {
+        self.min_record_len = min_len;
+        self
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Adds a record made of string-like tokens. Returns the number of
+    /// distinct, non-stop-word elements it contained.
+    pub fn add_record<I, S>(&mut self, tokens: I) -> usize
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut elements = Vec::new();
+        for token in tokens {
+            let token = token.as_ref();
+            if self.stop_words.iter().any(|w| w == token) {
+                continue;
+            }
+            let next_id = self.interner.len() as ElementId;
+            let id = *self
+                .interner
+                .entry(token.to_owned())
+                .or_insert(next_id);
+            elements.push(id);
+        }
+        let record = Record::new(elements);
+        let len = record.len();
+        self.records.push(record);
+        len
+    }
+
+    /// Adds a record that is already a set of element ids (no interning).
+    pub fn add_element_record(&mut self, elements: Vec<ElementId>) {
+        self.records.push(Record::new(elements));
+    }
+
+    /// Finalises the dataset, applying the minimum-record-length filter.
+    pub fn finish(self) -> Dataset {
+        let min_len = self.min_record_len;
+        let records: Vec<Record> = self
+            .records
+            .into_iter()
+            .filter(|r| r.len() >= min_len)
+            .collect();
+        Dataset::from_records(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_sorts_and_dedups() {
+        let r = Record::new(vec![5, 1, 3, 1, 5, 2]);
+        assert_eq!(r.elements(), &[1, 2, 3, 5]);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn record_contains_uses_binary_search() {
+        let r = Record::new(vec![10, 20, 30]);
+        assert!(r.contains(20));
+        assert!(!r.contains(25));
+    }
+
+    #[test]
+    fn intersection_and_union_sizes_match_paper_example() {
+        // Example 1 from the paper: Q = {e1,e2,e3,e5,e7,e9}, X1 = {e1,e2,e3,e4,e7}.
+        let q = Record::new(vec![1, 2, 3, 5, 7, 9]);
+        let x1 = Record::new(vec![1, 2, 3, 4, 7]);
+        assert_eq!(q.intersection_size(&x1), 4);
+        assert_eq!(q.union_size(&x1), 7);
+    }
+
+    #[test]
+    fn empty_record_behaviour() {
+        let e = Record::default();
+        let r = Record::new(vec![1, 2]);
+        assert!(e.is_empty());
+        assert_eq!(e.intersection_size(&r), 0);
+        assert_eq!(e.union_size(&r), 2);
+    }
+
+    #[test]
+    fn dataset_universe_size_is_max_plus_one() {
+        let d = Dataset::from_records(vec![vec![1, 2], vec![9, 3]]);
+        assert_eq!(d.universe_size(), 10);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.total_elements(), 4);
+    }
+
+    #[test]
+    fn dataset_avg_record_len() {
+        let d = Dataset::from_records(vec![vec![1, 2, 3], vec![4]]);
+        assert!((d.avg_record_len() - 2.0).abs() < 1e-12);
+        let empty = Dataset::default();
+        assert_eq!(empty.avg_record_len(), 0.0);
+    }
+
+    #[test]
+    fn dataset_retain_min_len_drops_short_records() {
+        let mut d = Dataset::from_records(vec![vec![1], vec![1, 2, 3], vec![4, 5]]);
+        let removed = d.retain_min_len(2);
+        assert_eq!(removed, 1);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn dataset_push_updates_universe() {
+        let mut d = Dataset::from_records(vec![vec![1, 2]]);
+        let id = d.push(Record::new(vec![100]));
+        assert_eq!(id, 1);
+        assert_eq!(d.universe_size(), 101);
+    }
+
+    #[test]
+    fn builder_interns_tokens_and_filters() {
+        let mut b = DatasetBuilder::new()
+            .with_stop_words(["the", "and"])
+            .with_min_record_len(2);
+        b.add_record(["five", "guys", "burgers", "and", "fries"]);
+        b.add_record(["the"]); // only stop words -> dropped by min length
+        b.add_record(["five", "kitchen", "berkeley"]);
+        let d = b.finish();
+        assert_eq!(d.len(), 2);
+        // "five" appears in both records and must map to the same id.
+        let first = d.record(0);
+        let second = d.record(1);
+        assert_eq!(first.intersection_size(second), 1);
+    }
+
+    #[test]
+    fn builder_vocabulary_size_counts_distinct_tokens() {
+        let mut b = DatasetBuilder::new();
+        b.add_record(["a", "b", "a"]);
+        b.add_record(["b", "c"]);
+        assert_eq!(b.vocabulary_size(), 3);
+    }
+
+    #[test]
+    fn index_operator_returns_record() {
+        let d = Dataset::from_records(vec![vec![1, 2], vec![3]]);
+        assert_eq!(d[1].elements(), &[3]);
+    }
+}

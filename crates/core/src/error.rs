@@ -1,0 +1,119 @@
+//! Error types shared across the GB-KMV library.
+
+use std::fmt;
+
+/// A convenient `Result` alias for fallible GB-KMV operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building sketches, indexes or cost models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The dataset contains no records, so an index or statistic cannot be
+    /// derived from it.
+    EmptyDataset,
+    /// A record contained no elements after deduplication.
+    EmptyRecord {
+        /// Position of the offending record inside the dataset.
+        record_id: usize,
+    },
+    /// The requested space budget is too small to hold even the mandatory
+    /// parts of the sketch (for example, a buffer larger than the budget).
+    BudgetTooSmall {
+        /// The budget requested, measured in elements (32-bit words).
+        requested: usize,
+        /// The minimum budget required for the chosen configuration.
+        minimum: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. a threshold not in
+    /// `[0, 1]`, or a zero sketch size).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// A power-law fit was requested on data that cannot support it (fewer
+    /// than two observations, or all observations below `x_min`).
+    DegeneratePowerLawFit {
+        /// Description of why the fit is degenerate.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Helper for constructing [`Error::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyDataset => write!(f, "the dataset contains no records"),
+            Error::EmptyRecord { record_id } => {
+                write!(f, "record {record_id} contains no elements")
+            }
+            Error::BudgetTooSmall { requested, minimum } => write!(
+                f,
+                "space budget of {requested} elements is below the minimum of {minimum}"
+            ),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::DegeneratePowerLawFit { message } => {
+                write!(f, "degenerate power-law fit: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_dataset() {
+        let msg = Error::EmptyDataset.to_string();
+        assert!(msg.contains("no records"));
+    }
+
+    #[test]
+    fn display_empty_record_mentions_id() {
+        let msg = Error::EmptyRecord { record_id: 7 }.to_string();
+        assert!(msg.contains('7'));
+    }
+
+    #[test]
+    fn display_budget_too_small_mentions_both_numbers() {
+        let msg = Error::BudgetTooSmall {
+            requested: 10,
+            minimum: 42,
+        }
+        .to_string();
+        assert!(msg.contains("10") && msg.contains("42"));
+    }
+
+    #[test]
+    fn invalid_parameter_helper_builds_expected_variant() {
+        let err = Error::invalid_parameter("threshold", "must lie in [0, 1]");
+        match err {
+            Error::InvalidParameter { name, message } => {
+                assert_eq!(name, "threshold");
+                assert!(message.contains("[0, 1]"));
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&Error::EmptyDataset);
+    }
+}

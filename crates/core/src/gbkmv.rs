@@ -1,0 +1,325 @@
+//! The GB-KMV sketch: a high-frequency buffer plus a G-KMV sketch.
+//!
+//! Algorithm 1 of the paper builds, for each record `X`:
+//!
+//! 1. a bitmap buffer `H_X` over the top-`r` most frequent elements `E_H`
+//!    (kept exactly — see [`crate::buffer`]),
+//! 2. a G-KMV sketch `L_X` over the remaining elements, using a global
+//!    threshold `τ` sized so the whole index fits the space budget
+//!    (see [`crate::gkmv`]).
+//!
+//! The intersection of a query and a record is then estimated as the exact
+//! buffered part plus the estimated G-KMV part (Equation 27):
+//!
+//! ```text
+//! |Q ∩ X|^ = |H_Q ∩ H_X| + D̂∩^{GKMV}
+//! ```
+//!
+//! and the containment similarity follows by dividing by the (known) query
+//! size. [`GbKmvSketcher`] bundles the shared state (hash function, buffer
+//! layout, global threshold) so the index and the evaluation harness build
+//! sketches consistently; [`GbKmvRecordSketch`] is the per-record state.
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::{BufferLayout, ElementBuffer};
+use crate::dataset::{Dataset, Record};
+use crate::gkmv::{GKmvPairEstimate, GKmvSketch, GlobalThreshold};
+use crate::hash::Hasher64;
+use crate::stats::DatasetStats;
+
+/// The per-record GB-KMV sketch: exact buffer + G-KMV signature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbKmvRecordSketch {
+    /// Bitmap over the buffered high-frequency elements present in the record.
+    pub buffer: ElementBuffer,
+    /// G-KMV sketch over the record's non-buffered elements.
+    pub gkmv: GKmvSketch,
+    /// The record's true size `|X|` (kept because the search needs it for the
+    /// size filter and the exact-containment comparison in diagnostics).
+    pub record_size: usize,
+}
+
+/// Full breakdown of a pairwise GB-KMV intersection estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbKmvPairEstimate {
+    /// Exact overlap of the buffered parts, `|H_Q ∩ H_X|`.
+    pub buffer_overlap: usize,
+    /// The G-KMV part of the estimate.
+    pub gkmv: GKmvPairEstimate,
+    /// Total estimated intersection size (Equation 27).
+    pub intersection_estimate: f64,
+}
+
+/// Shared sketching state: hash function, buffer layout and global threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbKmvSketcher {
+    hasher: Hasher64,
+    layout: BufferLayout,
+    threshold: GlobalThreshold,
+}
+
+impl GbKmvSketcher {
+    /// Creates a sketcher from already-chosen components.
+    pub fn new(hasher: Hasher64, layout: BufferLayout, threshold: GlobalThreshold) -> Self {
+        GbKmvSketcher {
+            hasher,
+            layout,
+            threshold,
+        }
+    }
+
+    /// Builds the sketcher for a dataset following Algorithm 1:
+    ///
+    /// * `buffer_size` — the number of most-frequent elements `r` kept in the
+    ///   buffer (callers obtain it from the cost model or pass 0 to disable),
+    /// * `budget_elements` — the total space budget `b`, measured in
+    ///   elements; the buffer consumes `m · r/32` of it and the remainder
+    ///   determines the global threshold `τ`.
+    pub fn build(
+        dataset: &Dataset,
+        stats: &DatasetStats,
+        hasher: Hasher64,
+        buffer_size: usize,
+        budget_elements: usize,
+    ) -> Self {
+        let buffered = stats.top_frequent_elements(buffer_size);
+        let layout = BufferLayout::new(buffered);
+        let buffer_cost = (layout.cost_per_record() * dataset.len() as f64).ceil() as usize;
+        let gkmv_budget = budget_elements.saturating_sub(buffer_cost);
+        let threshold =
+            GlobalThreshold::from_budget_excluding(dataset, &hasher, gkmv_budget, |e| {
+                layout.contains(e)
+            });
+        GbKmvSketcher {
+            hasher,
+            layout,
+            threshold,
+        }
+    }
+
+    /// The hash function shared by every sketch.
+    pub fn hasher(&self) -> &Hasher64 {
+        &self.hasher
+    }
+
+    /// The buffer layout (element → bit position).
+    pub fn layout(&self) -> &BufferLayout {
+        &self.layout
+    }
+
+    /// The global threshold `τ`.
+    pub fn threshold(&self) -> GlobalThreshold {
+        self.threshold
+    }
+
+    /// Sketches a single record.
+    pub fn sketch_record(&self, record: &Record) -> GbKmvRecordSketch {
+        let buffer = self.layout.build_buffer(record);
+        let gkmv = GKmvSketch::from_record_excluding(record, &self.hasher, self.threshold, |e| {
+            self.layout.contains(e)
+        });
+        GbKmvRecordSketch {
+            buffer,
+            gkmv,
+            record_size: record.len(),
+        }
+    }
+
+    /// Sketches every record of a dataset.
+    pub fn sketch_dataset(&self, dataset: &Dataset) -> Vec<GbKmvRecordSketch> {
+        dataset
+            .records()
+            .iter()
+            .map(|r| self.sketch_record(r))
+            .collect()
+    }
+
+    /// Pairwise intersection estimate (Equation 27).
+    pub fn estimate_pair(
+        &self,
+        query: &GbKmvRecordSketch,
+        record: &GbKmvRecordSketch,
+    ) -> GbKmvPairEstimate {
+        let buffer_overlap = query.buffer.intersection_count(&record.buffer);
+        let gkmv = query.gkmv.pair_estimate(&record.gkmv);
+        GbKmvPairEstimate {
+            buffer_overlap,
+            gkmv,
+            intersection_estimate: buffer_overlap as f64 + gkmv.intersection_estimate,
+        }
+    }
+
+    /// Estimated containment similarity `C(Q, X)` for a query of
+    /// `query_size` elements.
+    pub fn estimate_containment(
+        &self,
+        query: &GbKmvRecordSketch,
+        record: &GbKmvRecordSketch,
+        query_size: usize,
+    ) -> f64 {
+        if query_size == 0 {
+            return 0.0;
+        }
+        self.estimate_pair(query, record).intersection_estimate / query_size as f64
+    }
+
+    /// Space used by a single record sketch, measured in elements (32-bit
+    /// words): `r/32` for the buffer plus one element per stored hash value.
+    ///
+    /// This matches the paper's accounting, where the budget `b` counts
+    /// "signatures (i.e. hash values or elements)".
+    pub fn sketch_cost_elements(&self, sketch: &GbKmvRecordSketch) -> f64 {
+        self.layout.cost_per_record() + sketch.gkmv.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::sim::containment;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::from_records(vec![
+            vec![1, 2, 3, 4, 7],
+            vec![2, 3, 5],
+            vec![2, 4, 5],
+            vec![1, 2, 6, 10],
+        ])
+    }
+
+    fn skewed_dataset(num_records: usize, universe: u32) -> Dataset {
+        // Record i contains a frequent core {0..9} plus a window of rarer
+        // elements, giving a skewed element-frequency distribution.
+        let records: Vec<Vec<u32>> = (0..num_records)
+            .map(|i| {
+                let mut v: Vec<u32> = (0..10).collect();
+                let start = (i as u32 * 7) % universe;
+                v.extend((0..40).map(|j| 10 + (start + j * 3) % (universe - 10)));
+                v
+            })
+            .collect();
+        Dataset::from_records(records)
+    }
+
+    #[test]
+    fn build_with_full_budget_is_exact() {
+        let dataset = paper_dataset();
+        let stats = DatasetStats::compute(&dataset);
+        let sketcher = GbKmvSketcher::build(
+            &dataset,
+            &stats,
+            Hasher64::new(1),
+            2,
+            dataset.total_elements() + 10,
+        );
+        let sketches = sketcher.sketch_dataset(&dataset);
+        let q = sketcher.sketch_record(&Record::new(vec![1, 2, 3, 5, 7, 9]));
+        let query_record = Record::new(vec![1, 2, 3, 5, 7, 9]);
+        for (i, x) in dataset.records().iter().enumerate() {
+            let est = sketcher.estimate_containment(&q, &sketches[i], 6);
+            let exact = containment(&query_record, x);
+            assert!(
+                (est - exact).abs() < 1e-9,
+                "record {i}: estimate {est} != exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_elements_are_excluded_from_gkmv() {
+        let dataset = paper_dataset();
+        let stats = DatasetStats::compute(&dataset);
+        let sketcher = GbKmvSketcher::build(
+            &dataset,
+            &stats,
+            Hasher64::new(1),
+            2,
+            dataset.total_elements(),
+        );
+        // Element 2 is the most frequent and must be buffered.
+        assert!(sketcher.layout().contains(2));
+        let sketch = sketcher.sketch_record(dataset.record(1)); // {2,3,5}
+        // The G-KMV part must not contain the hash of element 2.
+        let h2 = sketcher.hasher().hash(2);
+        assert!(!sketch.gkmv.hashes().contains(&h2));
+        // But the buffer records its presence.
+        let pos = sketcher.layout().position(2).unwrap();
+        assert!(sketch.buffer.is_set(pos));
+    }
+
+    #[test]
+    fn estimate_decomposes_into_buffer_plus_gkmv() {
+        let dataset = skewed_dataset(60, 2000);
+        let stats = DatasetStats::compute(&dataset);
+        let budget = dataset.total_elements() / 5;
+        let sketcher = GbKmvSketcher::build(&dataset, &stats, Hasher64::new(2), 10, budget);
+        let sketches = sketcher.sketch_dataset(&dataset);
+        let q = &sketches[0];
+        let x = &sketches[1];
+        let pair = sketcher.estimate_pair(q, x);
+        assert!(
+            (pair.intersection_estimate
+                - (pair.buffer_overlap as f64 + pair.gkmv.intersection_estimate))
+                .abs()
+                < 1e-12
+        );
+        // All ten core elements are buffered and shared.
+        assert_eq!(pair.buffer_overlap, 10);
+    }
+
+    #[test]
+    fn estimates_are_reasonably_accurate_under_budget() {
+        let dataset = skewed_dataset(80, 3000);
+        let stats = DatasetStats::compute(&dataset);
+        let budget = dataset.total_elements() / 4;
+        let sketcher = GbKmvSketcher::build(&dataset, &stats, Hasher64::new(3), 10, budget);
+        let sketches = sketcher.sketch_dataset(&dataset);
+
+        let mut abs_err = 0.0;
+        let mut pairs = 0usize;
+        for i in (0..dataset.len()).step_by(7) {
+            for j in (0..dataset.len()).step_by(11) {
+                let est = sketcher.estimate_containment(&sketches[i], &sketches[j], dataset.record(i).len());
+                let exact = containment(dataset.record(i), dataset.record(j));
+                abs_err += (est - exact).abs();
+                pairs += 1;
+            }
+        }
+        let mae = abs_err / pairs as f64;
+        assert!(mae < 0.15, "mean absolute containment error too large: {mae}");
+    }
+
+    #[test]
+    fn sketch_cost_accounts_buffer_and_hashes() {
+        let dataset = paper_dataset();
+        let stats = DatasetStats::compute(&dataset);
+        let sketcher = GbKmvSketcher::build(
+            &dataset,
+            &stats,
+            Hasher64::new(1),
+            2,
+            dataset.total_elements(),
+        );
+        let sketch = sketcher.sketch_record(dataset.record(0));
+        let cost = sketcher.sketch_cost_elements(&sketch);
+        assert!((cost - (2.0 / 32.0 + sketch.gkmv.len() as f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_buffer_matches_plain_gkmv() {
+        let dataset = skewed_dataset(40, 1000);
+        let stats = DatasetStats::compute(&dataset);
+        let budget = dataset.total_elements() / 3;
+        let with_buffer = GbKmvSketcher::build(&dataset, &stats, Hasher64::new(4), 0, budget);
+        assert!(with_buffer.layout().is_empty());
+        let sketches = with_buffer.sketch_dataset(&dataset);
+        // With r = 0 the estimate must equal the raw G-KMV estimate.
+        let pair = with_buffer.estimate_pair(&sketches[0], &sketches[1]);
+        assert_eq!(pair.buffer_overlap, 0);
+        assert!(
+            (pair.intersection_estimate - pair.gkmv.intersection_estimate).abs() < 1e-12
+        );
+    }
+}

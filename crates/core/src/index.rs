@@ -1,0 +1,664 @@
+//! The GB-KMV containment similarity search index (Algorithms 1 and 2).
+//!
+//! [`GbKmvIndex::build`] runs Algorithm 1: it computes the dataset statistics,
+//! chooses the buffer size `r` with the cost model (unless fixed by the
+//! caller), selects the global threshold `τ` from the remaining budget and
+//! sketches every record. [`GbKmvIndex::search`] runs Algorithm 2: the
+//! containment threshold is converted to an overlap threshold
+//! `θ = t*·|Q|`, the intersection of the query with each candidate record is
+//! estimated with Equation 27, and records whose estimate reaches `θ` are
+//! returned.
+//!
+//! Candidate generation follows the paper's PPjoin*-inspired acceleration:
+//! instead of scanning every record, an inverted index over (a) the buffered
+//! element bits and (b) the G-KMV signature hash values yields exactly the
+//! records whose estimated overlap can be non-zero; a record-size filter
+//! (`|X| ≥ θ`) prunes records that could never reach the overlap threshold.
+//! The unaccelerated [`GbKmvIndex::search_scan`] is kept both as a reference
+//! implementation and for the ablation benchmark.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{BufferCostModel, CostModelConfig};
+use crate::dataset::{Dataset, ElementId, Record, RecordId};
+use crate::gbkmv::{GbKmvRecordSketch, GbKmvSketcher};
+use crate::hash::Hasher64;
+use crate::sim::OverlapThreshold;
+use crate::stats::DatasetStats;
+
+/// A single search result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Identifier of the matching record.
+    pub record_id: RecordId,
+    /// Estimated intersection size `|Q ∩ X|^`.
+    pub estimated_overlap: f64,
+    /// Estimated containment similarity `Ĉ(Q, X)`.
+    pub estimated_containment: f64,
+}
+
+/// Common interface implemented by every (approximate or exact) containment
+/// similarity search structure in this repository, so the evaluation harness
+/// can treat GB-KMV, its ablations, LSH-E and the exact baselines uniformly.
+pub trait ContainmentIndex {
+    /// Returns the records whose (estimated) containment similarity with
+    /// respect to `query` is at least `t_star`.
+    fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit>;
+
+    /// Space consumed by the index, measured in elements (32-bit words), the
+    /// unit the paper's space budget uses.
+    fn space_elements(&self) -> f64;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// How the buffer size is chosen at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum BufferSizing {
+    /// Choose `r` with the cost model of Section IV-C6 (the default).
+    #[default]
+    Auto,
+    /// Use a fixed buffer size (0 disables the buffer, i.e. G-KMV).
+    Fixed(usize),
+}
+
+/// Configuration of a [`GbKmvIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbKmvConfig {
+    /// Space budget as a fraction of the dataset size `N` (the paper's
+    /// "SpaceUsed"; its default is 10%). Ignored if `budget_elements` is set.
+    pub space_fraction: f64,
+    /// Absolute space budget in elements; overrides `space_fraction`.
+    pub budget_elements: Option<usize>,
+    /// Buffer sizing strategy.
+    pub buffer: BufferSizing,
+    /// Seed of the sketch hash function.
+    pub hash_seed: u64,
+    /// Whether the inverted-signature candidate filter is used by
+    /// [`GbKmvIndex::search`] (disable for the ablation).
+    pub use_candidate_filter: bool,
+    /// Cost model configuration used when `buffer` is [`BufferSizing::Auto`].
+    pub cost_model: CostModelConfig,
+}
+
+impl Default for GbKmvConfig {
+    fn default() -> Self {
+        GbKmvConfig {
+            space_fraction: 0.10,
+            budget_elements: None,
+            buffer: BufferSizing::Auto,
+            hash_seed: 0x6bb7_9e4b_1f2d_3c58,
+            use_candidate_filter: true,
+            cost_model: CostModelConfig::default(),
+        }
+    }
+}
+
+impl GbKmvConfig {
+    /// A configuration with the given space fraction and defaults elsewhere.
+    pub fn with_space_fraction(fraction: f64) -> Self {
+        GbKmvConfig {
+            space_fraction: fraction,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration with an absolute element budget.
+    pub fn with_budget_elements(budget: usize) -> Self {
+        GbKmvConfig {
+            budget_elements: Some(budget),
+            ..Default::default()
+        }
+    }
+
+    /// Fixes the buffer size (0 turns GB-KMV into plain G-KMV).
+    pub fn buffer_size(mut self, r: usize) -> Self {
+        self.buffer = BufferSizing::Fixed(r);
+        self
+    }
+
+    /// Overrides the sketch hash seed.
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.hash_seed = seed;
+        self
+    }
+
+    /// Enables or disables the inverted-signature candidate filter.
+    pub fn candidate_filter(mut self, enabled: bool) -> Self {
+        self.use_candidate_filter = enabled;
+        self
+    }
+
+    /// Resolves the element budget for a dataset with `total_elements`
+    /// occurrences.
+    pub fn resolve_budget(&self, total_elements: usize) -> usize {
+        self.budget_elements
+            .unwrap_or_else(|| (self.space_fraction * total_elements as f64).round() as usize)
+            .max(1)
+    }
+}
+
+/// Build-time summary of a [`GbKmvIndex`], reported by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexSummary {
+    /// The element budget the index was built with.
+    pub budget_elements: usize,
+    /// The buffer size `r` actually used.
+    pub buffer_size: usize,
+    /// The global threshold `τ` on the unit interval.
+    pub tau: f64,
+    /// Space actually consumed, in elements.
+    pub space_used_elements: f64,
+    /// Space consumed as a fraction of the dataset size `N`.
+    pub space_used_fraction: f64,
+    /// Number of indexed records.
+    pub num_records: usize,
+}
+
+/// The GB-KMV containment similarity search index.
+#[derive(Debug, Clone)]
+pub struct GbKmvIndex {
+    sketcher: GbKmvSketcher,
+    sketches: Vec<GbKmvRecordSketch>,
+    record_sizes: Vec<usize>,
+    /// Inverted postings from G-KMV signature hash value to record ids.
+    signature_postings: HashMap<u64, Vec<u32>>,
+    /// Inverted postings from buffer bit position to record ids.
+    buffer_postings: Vec<Vec<u32>>,
+    summary: IndexSummary,
+    config: GbKmvConfig,
+    total_elements: usize,
+}
+
+impl GbKmvIndex {
+    /// Builds the index over a dataset (Algorithm 1).
+    pub fn build(dataset: &Dataset, config: GbKmvConfig) -> Self {
+        let stats = DatasetStats::compute(dataset);
+        Self::build_with_stats(dataset, &stats, config)
+    }
+
+    /// Builds the index when the dataset statistics are already available
+    /// (avoids a second pass when the caller needs the stats anyway).
+    pub fn build_with_stats(dataset: &Dataset, stats: &DatasetStats, config: GbKmvConfig) -> Self {
+        let total_elements = stats.total_elements;
+        let budget = config.resolve_budget(total_elements);
+        let buffer_size = match config.buffer {
+            BufferSizing::Fixed(r) => r.min(stats.num_distinct_elements),
+            BufferSizing::Auto => {
+                BufferCostModel::evaluate(stats, budget, config.cost_model).optimal_buffer_size
+            }
+        };
+
+        let hasher = Hasher64::new(config.hash_seed);
+        let sketcher = GbKmvSketcher::build(dataset, stats, hasher, buffer_size, budget);
+        let sketches = sketcher.sketch_dataset(dataset);
+        let record_sizes: Vec<usize> = dataset.records().iter().map(Record::len).collect();
+
+        let mut signature_postings: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut buffer_postings: Vec<Vec<u32>> = vec![Vec::new(); sketcher.layout().size()];
+        if config.use_candidate_filter {
+            for (id, sketch) in sketches.iter().enumerate() {
+                for &h in sketch.gkmv.hashes() {
+                    signature_postings.entry(h).or_default().push(id as u32);
+                }
+                for pos in sketch.buffer.set_positions() {
+                    buffer_postings[pos as usize].push(id as u32);
+                }
+            }
+        }
+
+        let space_used_elements: f64 = sketches
+            .iter()
+            .map(|s| sketcher.sketch_cost_elements(s))
+            .sum();
+
+        let summary = IndexSummary {
+            budget_elements: budget,
+            buffer_size,
+            tau: sketcher.threshold().unit(),
+            space_used_elements,
+            space_used_fraction: if total_elements == 0 {
+                0.0
+            } else {
+                space_used_elements / total_elements as f64
+            },
+            num_records: dataset.len(),
+        };
+
+        GbKmvIndex {
+            sketcher,
+            sketches,
+            record_sizes,
+            signature_postings,
+            buffer_postings,
+            summary,
+            config,
+            total_elements,
+        }
+    }
+
+    /// The shared sketching state (hash function, layout, threshold).
+    pub fn sketcher(&self) -> &GbKmvSketcher {
+        &self.sketcher
+    }
+
+    /// Build-time summary (budget, buffer size, τ, space used).
+    pub fn summary(&self) -> IndexSummary {
+        self.summary
+    }
+
+    /// Number of indexed records.
+    pub fn num_records(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// The per-record sketches (exposed for diagnostics and the benchmarks).
+    pub fn sketches(&self) -> &[GbKmvRecordSketch] {
+        &self.sketches
+    }
+
+    /// Sketches an ad-hoc query with the index's hash function, layout and
+    /// threshold.
+    pub fn sketch_query(&self, query: &Record) -> GbKmvRecordSketch {
+        self.sketcher.sketch_record(query)
+    }
+
+    /// Estimated containment of `query` in the record `record_id`.
+    pub fn estimate_containment(&self, query: &Record, record_id: RecordId) -> f64 {
+        let q_sketch = self.sketch_query(query);
+        self.sketcher
+            .estimate_containment(&q_sketch, &self.sketches[record_id], query.len())
+    }
+
+    /// Containment similarity search (Algorithm 2) using the inverted
+    /// signature postings for candidate generation when enabled.
+    pub fn search_record(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        if self.config.use_candidate_filter {
+            self.search_filtered(query, t_star)
+        } else {
+            self.search_scan(query, t_star)
+        }
+    }
+
+    /// Reference implementation: estimates the intersection with every
+    /// record (subject to the size filter) without candidate pruning.
+    pub fn search_scan(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        let q = query.len();
+        let threshold = OverlapThreshold::new(q, t_star);
+        let q_sketch = self.sketch_query(query);
+        let mut hits = Vec::new();
+        for (id, sketch) in self.sketches.iter().enumerate() {
+            if self.record_sizes[id] < threshold.exact {
+                continue;
+            }
+            let pair = self.sketcher.estimate_pair(&q_sketch, sketch);
+            if pair.intersection_estimate + 1e-9 >= threshold.raw {
+                hits.push(SearchHit {
+                    record_id: id,
+                    estimated_overlap: pair.intersection_estimate,
+                    estimated_containment: if q == 0 {
+                        0.0
+                    } else {
+                        pair.intersection_estimate / q as f64
+                    },
+                });
+            }
+        }
+        hits
+    }
+
+    /// Candidate-filtered search: only records sharing at least one buffered
+    /// element or one G-KMV signature hash with the query are evaluated.
+    fn search_filtered(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        let q = query.len();
+        let threshold = OverlapThreshold::new(q, t_star);
+        if threshold.raw <= 0.0 {
+            // Every record trivially satisfies a zero threshold.
+            return self.search_scan(query, t_star);
+        }
+        let q_sketch = self.sketch_query(query);
+
+        // Gather candidates from signature postings and buffer postings.
+        let mut candidates: HashMap<u32, ()> = HashMap::new();
+        for &h in q_sketch.gkmv.hashes() {
+            if let Some(postings) = self.signature_postings.get(&h) {
+                for &rid in postings {
+                    candidates.insert(rid, ());
+                }
+            }
+        }
+        for pos in q_sketch.buffer.set_positions() {
+            for &rid in &self.buffer_postings[pos as usize] {
+                candidates.insert(rid, ());
+            }
+        }
+
+        let mut hits = Vec::new();
+        for (&rid, _) in candidates.iter() {
+            let id = rid as usize;
+            if self.record_sizes[id] < threshold.exact {
+                continue;
+            }
+            let pair = self.sketcher.estimate_pair(&q_sketch, &self.sketches[id]);
+            if pair.intersection_estimate + 1e-9 >= threshold.raw {
+                hits.push(SearchHit {
+                    record_id: id,
+                    estimated_overlap: pair.intersection_estimate,
+                    estimated_containment: if q == 0 {
+                        0.0
+                    } else {
+                        pair.intersection_estimate / q as f64
+                    },
+                });
+            }
+        }
+        hits.sort_by_key(|h| h.record_id);
+        hits
+    }
+
+    /// Top-k containment search: the `k` records with the highest estimated
+    /// containment similarity with respect to the query.
+    ///
+    /// This is the ranking variant of Algorithm 2 used by applications such
+    /// as domain search, where the analyst wants the best-covering datasets
+    /// rather than everything above a threshold. Candidates are generated
+    /// exactly as in the thresholded search (every record sharing a buffered
+    /// element or a signature hash with the query); ties are broken by record
+    /// id for determinism.
+    pub fn search_topk(&self, query: &Record, k: usize) -> Vec<SearchHit> {
+        if k == 0 || query.is_empty() {
+            return Vec::new();
+        }
+        let q = query.len();
+        let q_sketch = self.sketch_query(query);
+
+        let mut hits: Vec<SearchHit> = Vec::with_capacity(self.sketches.len().min(1024));
+        if self.config.use_candidate_filter {
+            let mut candidates: HashMap<u32, ()> = HashMap::new();
+            for &h in q_sketch.gkmv.hashes() {
+                if let Some(postings) = self.signature_postings.get(&h) {
+                    for &rid in postings {
+                        candidates.insert(rid, ());
+                    }
+                }
+            }
+            for pos in q_sketch.buffer.set_positions() {
+                for &rid in &self.buffer_postings[pos as usize] {
+                    candidates.insert(rid, ());
+                }
+            }
+            for (&rid, _) in candidates.iter() {
+                let id = rid as usize;
+                let pair = self.sketcher.estimate_pair(&q_sketch, &self.sketches[id]);
+                hits.push(SearchHit {
+                    record_id: id,
+                    estimated_overlap: pair.intersection_estimate,
+                    estimated_containment: pair.intersection_estimate / q as f64,
+                });
+            }
+        } else {
+            for (id, sketch) in self.sketches.iter().enumerate() {
+                let pair = self.sketcher.estimate_pair(&q_sketch, sketch);
+                hits.push(SearchHit {
+                    record_id: id,
+                    estimated_overlap: pair.intersection_estimate,
+                    estimated_containment: pair.intersection_estimate / q as f64,
+                });
+            }
+        }
+        hits.sort_by(|a, b| {
+            b.estimated_containment
+                .total_cmp(&a.estimated_containment)
+                .then_with(|| a.record_id.cmp(&b.record_id))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Appends a new record to the index, reusing the existing layout and
+    /// global threshold (the dynamic-data maintenance path described in the
+    /// paper; a full rebuild re-optimises `τ` and `r`).
+    pub fn insert(&mut self, record: &Record) -> RecordId {
+        let id = self.sketches.len();
+        let sketch = self.sketcher.sketch_record(record);
+        if self.config.use_candidate_filter {
+            for &h in sketch.gkmv.hashes() {
+                self.signature_postings.entry(h).or_default().push(id as u32);
+            }
+            for pos in sketch.buffer.set_positions() {
+                self.buffer_postings[pos as usize].push(id as u32);
+            }
+        }
+        self.summary.space_used_elements += self.sketcher.sketch_cost_elements(&sketch);
+        self.total_elements += record.len();
+        self.summary.space_used_fraction =
+            self.summary.space_used_elements / self.total_elements.max(1) as f64;
+        self.summary.num_records += 1;
+        self.record_sizes.push(record.len());
+        self.sketches.push(sketch);
+        id
+    }
+}
+
+impl ContainmentIndex for GbKmvIndex {
+    fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        self.search_record(&Record::new(query.to_vec()), t_star)
+    }
+
+    fn space_elements(&self) -> f64 {
+        self.summary.space_used_elements
+    }
+
+    fn name(&self) -> &'static str {
+        "GB-KMV"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::sim::containment;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::from_records(vec![
+            vec![1, 2, 3, 4, 7],
+            vec![2, 3, 5],
+            vec![2, 4, 5],
+            vec![1, 2, 6, 10],
+        ])
+    }
+
+    /// Synthetic skewed dataset large enough for approximate behaviour.
+    fn skewed_dataset(records: usize) -> Dataset {
+        let recs: Vec<Vec<u32>> = (0..records)
+            .map(|i| {
+                let mut v: Vec<u32> = (0..8).collect();
+                let start = (i as u32 * 37) % 4000;
+                v.extend((0..80u32).map(|j| 8 + (start + j * 5) % 4000));
+                v
+            })
+            .collect();
+        Dataset::from_records(recs)
+    }
+
+    #[test]
+    fn full_budget_reproduces_exact_answers_on_paper_example() {
+        let dataset = paper_dataset();
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(2.0));
+        let query = vec![1u32, 2, 3, 5, 7, 9];
+        let hits = index.search(&query, 0.5);
+        let ids: Vec<usize> = hits.iter().map(|h| h.record_id).collect();
+        // Example 1: X1 (0.67) and X2 (0.5) qualify at t* = 0.5.
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&1));
+        assert!(!ids.contains(&2));
+        assert!(!ids.contains(&3));
+    }
+
+    #[test]
+    fn summary_reports_space_within_budget() {
+        let dataset = skewed_dataset(150);
+        let config = GbKmvConfig::with_space_fraction(0.10);
+        let index = GbKmvIndex::build(&dataset, config);
+        let summary = index.summary();
+        assert!(summary.space_used_elements > 0.0);
+        // The G-KMV threshold is chosen so the hash-value part respects the
+        // budget; the bitmap part is included in the budget split, so total
+        // space stays within a small tolerance of the budget.
+        assert!(
+            summary.space_used_elements <= summary.budget_elements as f64 * 1.05 + 8.0,
+            "space {} exceeds budget {}",
+            summary.space_used_elements,
+            summary.budget_elements
+        );
+        assert_eq!(summary.num_records, 150);
+        assert!(summary.tau > 0.0 && summary.tau <= 1.0);
+    }
+
+    #[test]
+    fn filtered_and_scan_search_agree() {
+        let dataset = skewed_dataset(120);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+        for qid in [0usize, 17, 63, 99] {
+            let query = dataset.record(qid).clone();
+            let mut scan: Vec<usize> = index
+                .search_scan(&query, 0.4)
+                .iter()
+                .map(|h| h.record_id)
+                .collect();
+            let mut filt: Vec<usize> = index
+                .search_record(&query, 0.4)
+                .iter()
+                .map(|h| h.record_id)
+                .collect();
+            scan.sort_unstable();
+            filt.sort_unstable();
+            assert_eq!(scan, filt, "query {qid}: filtered search diverged from scan");
+        }
+    }
+
+    #[test]
+    fn self_query_is_always_found() {
+        let dataset = skewed_dataset(100);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+        for qid in (0..100).step_by(13) {
+            let hits = index.search_record(dataset.record(qid), 0.5);
+            assert!(
+                hits.iter().any(|h| h.record_id == qid),
+                "record {qid} should match itself at t*=0.5 (true containment is 1.0)"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threshold_returns_everything() {
+        let dataset = skewed_dataset(40);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.2));
+        let hits = index.search_record(dataset.record(0), 0.0);
+        assert_eq!(hits.len(), 40);
+    }
+
+    #[test]
+    fn estimates_track_exact_containment() {
+        let dataset = skewed_dataset(100);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+        let mut total_err = 0.0;
+        let mut count = 0;
+        for qid in (0..100).step_by(9) {
+            let query = dataset.record(qid);
+            for rid in (0..100).step_by(11) {
+                let est = index.estimate_containment(query, rid);
+                let exact = containment(query, dataset.record(rid));
+                total_err += (est - exact).abs();
+                count += 1;
+            }
+        }
+        let mae = total_err / count as f64;
+        assert!(mae < 0.12, "mean absolute error {mae} too large");
+    }
+
+    #[test]
+    fn fixed_buffer_config_is_respected() {
+        let dataset = skewed_dataset(80);
+        let index = GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.2).buffer_size(16),
+        );
+        assert_eq!(index.summary().buffer_size, 16);
+        assert_eq!(index.sketcher().layout().size(), 16);
+        let gkmv_only = GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.2).buffer_size(0),
+        );
+        assert_eq!(gkmv_only.summary().buffer_size, 0);
+    }
+
+    #[test]
+    fn insert_extends_index_and_is_searchable() {
+        let dataset = skewed_dataset(60);
+        let mut index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+        let new_record = Record::new((0..50u32).map(|i| i * 3).collect());
+        let id = index.insert(&new_record);
+        assert_eq!(id, 60);
+        assert_eq!(index.num_records(), 61);
+        let hits = index.search_record(&new_record, 0.8);
+        assert!(hits.iter().any(|h| h.record_id == id));
+    }
+
+    #[test]
+    fn topk_returns_best_records_in_order() {
+        let dataset = skewed_dataset(100);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+        let query = dataset.record(10);
+        let top = index.search_topk(query, 5);
+        assert_eq!(top.len(), 5);
+        // The query's own record has true containment 1.0 and must rank first.
+        assert_eq!(top[0].record_id, 10);
+        // Scores are non-increasing.
+        assert!(top
+            .windows(2)
+            .all(|w| w[0].estimated_containment >= w[1].estimated_containment));
+        // k larger than the candidate set is clamped, k = 0 is empty.
+        assert!(index.search_topk(query, 10_000).len() <= 100);
+        assert!(index.search_topk(query, 0).is_empty());
+    }
+
+    #[test]
+    fn topk_matches_between_filtered_and_scan_modes() {
+        let dataset = skewed_dataset(80);
+        let filtered = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.4));
+        let scan = GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.4).candidate_filter(false),
+        );
+        let query = dataset.record(7);
+        let a: Vec<usize> = filtered.search_topk(query, 10).iter().map(|h| h.record_id).collect();
+        let b: Vec<usize> = scan.search_topk(query, 10).iter().map(|h| h.record_id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let dataset = paper_dataset();
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(1.0));
+        let boxed: Box<dyn ContainmentIndex> = Box::new(index);
+        assert_eq!(boxed.name(), "GB-KMV");
+        assert!(boxed.space_elements() > 0.0);
+        assert!(!boxed.search(&[1, 2, 3, 5, 7, 9], 0.5).is_empty());
+    }
+
+    #[test]
+    fn config_budget_resolution() {
+        let c = GbKmvConfig::with_space_fraction(0.05);
+        assert_eq!(c.resolve_budget(1000), 50);
+        let c2 = GbKmvConfig::with_budget_elements(123);
+        assert_eq!(c2.resolve_budget(1000), 123);
+        // Budgets never resolve to zero.
+        let c3 = GbKmvConfig::with_space_fraction(0.0);
+        assert_eq!(c3.resolve_budget(1000), 1);
+    }
+}

@@ -1,0 +1,378 @@
+//! The classic KMV (k minimum values) sketch of Beyer et al. (SIGMOD 2007).
+//!
+//! A KMV synopsis of a record `X` keeps the `k` smallest hash values of its
+//! elements under a single hash function `h : E → (0, 1]`. From the k-th
+//! smallest value `U(k)` the number of distinct elements is estimated as
+//! `(k − 1)/U(k)` (Equation 9 of the GB-KMV paper); for two records the union
+//! sketch `L_X ⊕ L_Y` keeps the `k = min(k_X, k_Y)` smallest values of
+//! `L_X ∪ L_Y` (Equation 8) and the intersection size is estimated as
+//! `D̂∩ = (K∩ / k) · (k − 1)/U(k)` (Equation 10), where `K∩` counts the
+//! values of the union sketch present in both input sketches.
+//!
+//! The GB-KMV paper uses plain KMV both as a baseline (Figure 6) and as the
+//! foundation for its G-KMV and GB-KMV refinements; Theorem 1 shows that the
+//! optimal allocation of a total budget `b` over `m` records is the uniform
+//! `k_i = ⌊b/m⌋`, which is what [`crate::variants::KmvIndex`] implements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Record;
+use crate::hash::{unit_hash, Hasher64};
+
+/// A KMV sketch: the `k` smallest hash values of a record, sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KmvSketch {
+    /// Configured capacity `k`.
+    k: usize,
+    /// Sorted (ascending) hash values; at most `k` of them. If the record had
+    /// fewer than `k` distinct elements the sketch is *exhaustive*: it
+    /// contains every element's hash and all estimates degenerate to exact
+    /// counts.
+    hashes: Vec<u64>,
+    /// True when every element of the source record is present in `hashes`.
+    exhaustive: bool,
+}
+
+/// Intermediate quantities of a pairwise KMV estimation, exposed so callers
+/// (tests, the cost model, diagnostics) can inspect `k`, `K∩` and `U(k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairEstimate {
+    /// The `k` value used by the estimator.
+    pub k: usize,
+    /// Number of union-sketch values present in both sketches (`K∩`).
+    pub k_intersection: usize,
+    /// The k-th smallest hash value of the union sketch, on the unit interval.
+    pub u_k: f64,
+    /// Estimated distinct count of the union `|X ∪ Y|`.
+    pub union_estimate: f64,
+    /// Estimated distinct count of the intersection `|X ∩ Y|`.
+    pub intersection_estimate: f64,
+    /// Whether both sketches were exhaustive, making the estimate exact.
+    pub exact: bool,
+}
+
+impl KmvSketch {
+    /// Builds the KMV sketch of a record under `hasher`, keeping the `k`
+    /// smallest hash values.
+    ///
+    /// `k = 0` produces an empty sketch whose estimates are all zero.
+    pub fn from_record(record: &Record, hasher: &Hasher64, k: usize) -> Self {
+        let mut hashes: Vec<u64> = record.iter().map(|e| hasher.hash(e)).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let exhaustive = hashes.len() <= k;
+        hashes.truncate(k);
+        KmvSketch {
+            k,
+            hashes,
+            exhaustive,
+        }
+    }
+
+    /// Builds a sketch directly from pre-computed hash values (used by the
+    /// union operator and by tests). Values are sorted, deduplicated and
+    /// truncated to `k`.
+    pub fn from_hashes(mut hashes: Vec<u64>, k: usize, exhaustive: bool) -> Self {
+        hashes.sort_unstable();
+        hashes.dedup();
+        let exhaustive = exhaustive && hashes.len() <= k;
+        hashes.truncate(k);
+        KmvSketch {
+            k,
+            hashes,
+            exhaustive,
+        }
+    }
+
+    /// Configured capacity `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of hash values actually stored (`min(k, |X|)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the sketch stores no hash values.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Whether the sketch contains the hash of every element of its record.
+    #[inline]
+    pub fn is_exhaustive(&self) -> bool {
+        self.exhaustive
+    }
+
+    /// The stored hash values in ascending order.
+    #[inline]
+    pub fn hashes(&self) -> &[u64] {
+        &self.hashes
+    }
+
+    /// The k-th smallest stored hash value mapped to `(0, 1]`, i.e. `U(k)`.
+    pub fn kth_unit(&self) -> Option<f64> {
+        self.hashes.last().map(|&h| unit_hash(h))
+    }
+
+    /// Estimates the number of distinct elements of the underlying record:
+    /// `(k − 1)/U(k)` when the sketch is full, the exact stored count when it
+    /// is exhaustive.
+    pub fn distinct_estimate(&self) -> f64 {
+        if self.exhaustive || self.hashes.len() < self.k {
+            return self.hashes.len() as f64;
+        }
+        match self.kth_unit() {
+            Some(u_k) if self.hashes.len() >= 2 => (self.hashes.len() as f64 - 1.0) / u_k,
+            _ => self.hashes.len() as f64,
+        }
+    }
+
+    /// The union sketch `L_X ⊕ L_Y`: the `k = min(k_X, k_Y)` smallest values
+    /// of `L_X ∪ L_Y` (Equation 8).
+    pub fn union_with(&self, other: &KmvSketch) -> KmvSketch {
+        let k = self.k.min(other.k);
+        let mut merged = Vec::with_capacity(self.hashes.len() + other.hashes.len());
+        merged.extend_from_slice(&self.hashes);
+        merged.extend_from_slice(&other.hashes);
+        KmvSketch::from_hashes(merged, k, self.exhaustive && other.exhaustive)
+    }
+
+    /// Pairwise estimation of union and intersection sizes (Equations 8–10).
+    pub fn pair_estimate(&self, other: &KmvSketch) -> PairEstimate {
+        let exact = self.exhaustive && other.exhaustive;
+        if exact {
+            // Both sketches saw every element: compute exact counts directly.
+            let k_intersection = sorted_intersection_count(&self.hashes, &other.hashes);
+            let union = self.hashes.len() + other.hashes.len() - k_intersection;
+            return PairEstimate {
+                k: union,
+                k_intersection,
+                u_k: 1.0,
+                union_estimate: union as f64,
+                intersection_estimate: k_intersection as f64,
+                exact: true,
+            };
+        }
+
+        let union_sketch = self.union_with(other);
+        let k = union_sketch.len();
+        if k == 0 {
+            return PairEstimate {
+                k: 0,
+                k_intersection: 0,
+                u_k: 1.0,
+                union_estimate: 0.0,
+                intersection_estimate: 0.0,
+                exact: false,
+            };
+        }
+        let u_k = union_sketch.kth_unit().unwrap_or(1.0);
+        let union_estimate = if k >= 2 { (k as f64 - 1.0) / u_k } else { k as f64 };
+        let k_intersection = union_sketch
+            .hashes
+            .iter()
+            .filter(|&&h| {
+                self.hashes.binary_search(&h).is_ok() && other.hashes.binary_search(&h).is_ok()
+            })
+            .count();
+        let intersection_estimate = if k >= 2 {
+            (k_intersection as f64 / k as f64) * ((k as f64 - 1.0) / u_k)
+        } else {
+            k_intersection as f64
+        };
+        PairEstimate {
+            k,
+            k_intersection,
+            u_k,
+            union_estimate,
+            intersection_estimate,
+            exact: false,
+        }
+    }
+
+    /// Estimated intersection size `|X ∩ Y|` (Equation 10).
+    pub fn intersection_estimate(&self, other: &KmvSketch) -> f64 {
+        self.pair_estimate(other).intersection_estimate
+    }
+}
+
+/// Count of values present in both sorted, deduplicated slices.
+pub(crate) fn sorted_intersection_count(a: &[u64], b: &[u64]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Variance of the KMV intersection estimator (Equation 11):
+///
+/// ```text
+/// Var[D̂∩] = D∩ (k·D∪ − k² − D∪ + k + D∩) / (k (k − 2))
+/// ```
+///
+/// Defined for `k > 2`; smaller `k` returns `f64::INFINITY`, which is how the
+/// cost model treats configurations whose sketches are too small to estimate
+/// with.
+pub fn intersection_variance(d_intersection: f64, d_union: f64, k: f64) -> f64 {
+    if k <= 2.0 {
+        return f64::INFINITY;
+    }
+    let numerator =
+        d_intersection * (k * d_union - k * k - d_union + k + d_intersection);
+    (numerator / (k * (k - 2.0))).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Record;
+    use crate::hash::Hasher64;
+
+    fn rec(v: &[u32]) -> Record {
+        Record::new(v.to_vec())
+    }
+
+    #[test]
+    fn sketch_keeps_k_smallest() {
+        let hasher = Hasher64::new(1);
+        let record = rec(&(0..100).collect::<Vec<_>>());
+        let sketch = KmvSketch::from_record(&record, &hasher, 10);
+        assert_eq!(sketch.len(), 10);
+        assert!(!sketch.is_exhaustive());
+        // The stored values must be exactly the 10 smallest hashes.
+        let mut all: Vec<u64> = record.iter().map(|e| hasher.hash(e)).collect();
+        all.sort_unstable();
+        assert_eq!(sketch.hashes(), &all[..10]);
+    }
+
+    #[test]
+    fn small_record_is_exhaustive_and_exact() {
+        let hasher = Hasher64::new(2);
+        let record = rec(&[1, 2, 3]);
+        let sketch = KmvSketch::from_record(&record, &hasher, 16);
+        assert!(sketch.is_exhaustive());
+        assert_eq!(sketch.distinct_estimate(), 3.0);
+    }
+
+    #[test]
+    fn distinct_estimate_is_close_for_large_sets() {
+        let hasher = Hasher64::new(3);
+        let n = 20_000u32;
+        let record = rec(&(0..n).collect::<Vec<_>>());
+        let sketch = KmvSketch::from_record(&record, &hasher, 512);
+        let est = sketch.distinct_estimate();
+        let rel_err = (est - f64::from(n)).abs() / f64::from(n);
+        assert!(rel_err < 0.15, "estimate {est} too far from {n}");
+    }
+
+    #[test]
+    fn union_uses_min_k() {
+        let hasher = Hasher64::new(4);
+        let a = KmvSketch::from_record(&rec(&(0..1000).collect::<Vec<_>>()), &hasher, 32);
+        let b = KmvSketch::from_record(&rec(&(500..1500).collect::<Vec<_>>()), &hasher, 64);
+        let u = a.union_with(&b);
+        assert_eq!(u.k(), 32);
+        assert!(u.len() <= 32);
+    }
+
+    #[test]
+    fn intersection_estimate_close_for_overlapping_sets() {
+        let hasher = Hasher64::new(5);
+        let a = rec(&(0..4000).collect::<Vec<_>>());
+        let b = rec(&(2000..6000).collect::<Vec<_>>());
+        let sa = KmvSketch::from_record(&a, &hasher, 400);
+        let sb = KmvSketch::from_record(&b, &hasher, 400);
+        let est = sa.intersection_estimate(&sb);
+        let true_inter = 2000.0;
+        assert!(
+            (est - true_inter).abs() / true_inter < 0.3,
+            "estimate {est} too far from {true_inter}"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_zero_intersection() {
+        let hasher = Hasher64::new(6);
+        let a = KmvSketch::from_record(&rec(&(0..1000).collect::<Vec<_>>()), &hasher, 64);
+        let b = KmvSketch::from_record(&rec(&(10_000..11_000).collect::<Vec<_>>()), &hasher, 64);
+        // K∩ can only be non-zero through a 64-bit hash collision.
+        assert_eq!(a.intersection_estimate(&b), 0.0);
+    }
+
+    #[test]
+    fn identical_sets_estimate_full_intersection() {
+        let hasher = Hasher64::new(7);
+        let r = rec(&(0..5000).collect::<Vec<_>>());
+        let s = KmvSketch::from_record(&r, &hasher, 256);
+        let pair = s.pair_estimate(&s);
+        assert_eq!(pair.k_intersection, pair.k);
+        let rel_err = (pair.intersection_estimate - 5000.0).abs() / 5000.0;
+        assert!(rel_err < 0.2);
+    }
+
+    #[test]
+    fn exhaustive_pair_estimate_is_exact() {
+        let hasher = Hasher64::new(8);
+        let a = KmvSketch::from_record(&rec(&[1, 2, 3, 4, 7]), &hasher, 100);
+        let q = KmvSketch::from_record(&rec(&[1, 2, 3, 5, 7, 9]), &hasher, 100);
+        let pair = q.pair_estimate(&a);
+        assert!(pair.exact);
+        assert_eq!(pair.intersection_estimate, 4.0);
+        assert_eq!(pair.union_estimate, 7.0);
+    }
+
+    #[test]
+    fn empty_and_zero_k_sketches() {
+        let hasher = Hasher64::new(9);
+        let empty = KmvSketch::from_record(&Record::default(), &hasher, 8);
+        let zero_k = KmvSketch::from_record(&rec(&[1, 2, 3]), &hasher, 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.distinct_estimate(), 0.0);
+        assert_eq!(zero_k.len(), 0);
+        let other = KmvSketch::from_record(&rec(&[1, 2, 3]), &hasher, 8);
+        assert_eq!(zero_k.pair_estimate(&other).intersection_estimate, 0.0);
+    }
+
+    #[test]
+    fn variance_formula_matches_paper() {
+        // Spot check Eq. 11 with hand-computed values.
+        // D∩=10, D∪=100, k=20: numerator = 10*(20*100 - 400 - 100 + 20 + 10)
+        //                                  = 10*1530 = 15300; denom = 20*18=360.
+        let v = intersection_variance(10.0, 100.0, 20.0);
+        assert!((v - 15300.0 / 360.0).abs() < 1e-9);
+        assert!(intersection_variance(10.0, 100.0, 2.0).is_infinite());
+        assert_eq!(intersection_variance(0.0, 100.0, 20.0), 0.0);
+    }
+
+    #[test]
+    fn variance_decreases_with_k() {
+        // Lemma 2: larger k gives smaller variance (all else equal).
+        let mut prev = f64::INFINITY;
+        for k in [4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+            let v = intersection_variance(50.0, 500.0, k);
+            assert!(v < prev, "variance should shrink as k grows");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sorted_intersection_count_works() {
+        assert_eq!(sorted_intersection_count(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection_count(&[], &[1]), 0);
+        assert_eq!(sorted_intersection_count(&[1, 2], &[1, 2]), 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Record-size partitioning.
+//!
+//! Both the GB-KMV search acceleration (the paper partitions the dataset by
+//! record size before applying its PPjoin*-style filter) and the LSH Ensemble
+//! baseline (which proves that *equal-depth* partitioning minimises the false
+//! positives introduced by its per-partition size upper bound) need the same
+//! substrate: split a dataset's records into contiguous size ranges.
+//!
+//! [`SizePartitions`] supports both equal-depth (same number of records per
+//! partition — LSH-E's optimal scheme under a power-law size distribution)
+//! and equal-width partitioning, and exposes the per-partition size upper
+//! bound `u` that LSH-E substitutes into the threshold transform.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, RecordId};
+
+/// A single size partition: the records whose sizes fall in
+/// `[min_size, max_size]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizePartition {
+    /// Smallest record size in the partition.
+    pub min_size: usize,
+    /// Largest record size in the partition (the upper bound `u` used by
+    /// LSH-E's threshold transform).
+    pub max_size: usize,
+    /// The record ids assigned to this partition, sorted by record size
+    /// (ascending) then by id.
+    pub records: Vec<RecordId>,
+}
+
+/// A partitioning of a dataset's records by size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizePartitions {
+    partitions: Vec<SizePartition>,
+}
+
+impl SizePartitions {
+    /// Equal-depth partitioning: each partition receives (as close as
+    /// possible to) the same number of records. This is the scheme LSH-E
+    /// proves optimal for power-law size distributions.
+    pub fn equal_depth(dataset: &Dataset, num_partitions: usize) -> Self {
+        let mut by_size: Vec<(usize, RecordId)> = dataset
+            .iter()
+            .map(|(id, r)| (r.len(), id))
+            .collect();
+        by_size.sort_unstable();
+        Self::from_sorted(by_size, num_partitions.max(1), true)
+    }
+
+    /// Equal-width partitioning: the size range is split into equally wide
+    /// intervals. Provided for the ablation of LSH-E's partitioning choice.
+    pub fn equal_width(dataset: &Dataset, num_partitions: usize) -> Self {
+        let mut by_size: Vec<(usize, RecordId)> = dataset
+            .iter()
+            .map(|(id, r)| (r.len(), id))
+            .collect();
+        by_size.sort_unstable();
+        if by_size.is_empty() {
+            return SizePartitions {
+                partitions: Vec::new(),
+            };
+        }
+        let num_partitions = num_partitions.max(1);
+        let min = by_size.first().unwrap().0;
+        let max = by_size.last().unwrap().0;
+        let width = ((max - min) / num_partitions).max(1);
+        let mut partitions: Vec<SizePartition> = Vec::new();
+        for (size, id) in by_size {
+            let bucket = ((size - min) / width).min(num_partitions - 1);
+            if partitions.len() <= bucket {
+                while partitions.len() <= bucket {
+                    partitions.push(SizePartition {
+                        min_size: usize::MAX,
+                        max_size: 0,
+                        records: Vec::new(),
+                    });
+                }
+            }
+            let p = &mut partitions[bucket];
+            p.min_size = p.min_size.min(size);
+            p.max_size = p.max_size.max(size);
+            p.records.push(id);
+        }
+        partitions.retain(|p| !p.records.is_empty());
+        SizePartitions { partitions }
+    }
+
+    fn from_sorted(
+        by_size: Vec<(usize, RecordId)>,
+        num_partitions: usize,
+        _equal_depth: bool,
+    ) -> Self {
+        if by_size.is_empty() {
+            return SizePartitions {
+                partitions: Vec::new(),
+            };
+        }
+        let total = by_size.len();
+        let num_partitions = num_partitions.min(total);
+        let base = total / num_partitions;
+        let remainder = total % num_partitions;
+        let mut partitions = Vec::with_capacity(num_partitions);
+        let mut cursor = 0usize;
+        for p in 0..num_partitions {
+            let take = base + usize::from(p < remainder);
+            if take == 0 {
+                continue;
+            }
+            let slice = &by_size[cursor..cursor + take];
+            partitions.push(SizePartition {
+                min_size: slice.first().unwrap().0,
+                max_size: slice.last().unwrap().0,
+                records: slice.iter().map(|&(_, id)| id).collect(),
+            });
+            cursor += take;
+        }
+        SizePartitions { partitions }
+    }
+
+    /// The partitions in increasing size order.
+    pub fn partitions(&self) -> &[SizePartition] {
+        &self.partitions
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Whether there are no partitions (empty dataset).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Iterates over partitions whose largest record size is at least
+    /// `min_required_size` — the search-time pruning used by the GB-KMV
+    /// index: a record can only reach an overlap of `θ` if it has at least
+    /// `θ` elements.
+    pub fn partitions_with_max_at_least(
+        &self,
+        min_required_size: usize,
+    ) -> impl Iterator<Item = &SizePartition> {
+        self.partitions
+            .iter()
+            .filter(move |p| p.max_size >= min_required_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn dataset_with_sizes(sizes: &[usize]) -> Dataset {
+        let records: Vec<Vec<u32>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s as u32).map(|j| (i as u32) * 10_000 + j).collect())
+            .collect();
+        Dataset::from_records(records)
+    }
+
+    #[test]
+    fn equal_depth_balances_record_counts() {
+        let sizes: Vec<usize> = (10..110).collect();
+        let d = dataset_with_sizes(&sizes);
+        let parts = SizePartitions::equal_depth(&d, 4);
+        assert_eq!(parts.len(), 4);
+        for p in parts.partitions() {
+            assert_eq!(p.records.len(), 25);
+        }
+        // Partition bounds are non-overlapping and increasing.
+        let bounds: Vec<(usize, usize)> = parts
+            .partitions()
+            .iter()
+            .map(|p| (p.min_size, p.max_size))
+            .collect();
+        for w in bounds.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn equal_depth_covers_every_record_exactly_once() {
+        let sizes = vec![10, 500, 20, 20, 300, 41, 12, 90, 33, 77, 15];
+        let d = dataset_with_sizes(&sizes);
+        let parts = SizePartitions::equal_depth(&d, 3);
+        let mut all: Vec<usize> = parts
+            .partitions()
+            .iter()
+            .flat_map(|p| p.records.clone())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..sizes.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_partitions_than_records_is_clamped() {
+        let d = dataset_with_sizes(&[10, 20, 30]);
+        let parts = SizePartitions::equal_depth(&d, 32);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.partitions().iter().all(|p| p.records.len() == 1));
+    }
+
+    #[test]
+    fn equal_width_respects_size_ranges() {
+        let sizes = vec![10, 15, 20, 100, 105, 110, 200, 205];
+        let d = dataset_with_sizes(&sizes);
+        let parts = SizePartitions::equal_width(&d, 4);
+        for p in parts.partitions() {
+            assert!(p.min_size <= p.max_size);
+            assert!(!p.records.is_empty());
+        }
+        let total: usize = parts.partitions().iter().map(|p| p.records.len()).sum();
+        assert_eq!(total, sizes.len());
+    }
+
+    #[test]
+    fn max_size_is_upper_bound_of_partition_members() {
+        let sizes = vec![10, 11, 12, 50, 51, 52, 90, 91, 92];
+        let d = dataset_with_sizes(&sizes);
+        let parts = SizePartitions::equal_depth(&d, 3);
+        for p in parts.partitions() {
+            for &id in &p.records {
+                assert!(d.record(id).len() <= p.max_size);
+                assert!(d.record(id).len() >= p.min_size);
+            }
+        }
+    }
+
+    #[test]
+    fn size_pruning_filters_small_partitions() {
+        let sizes = vec![10, 12, 14, 40, 45, 50, 100, 120, 140];
+        let d = dataset_with_sizes(&sizes);
+        let parts = SizePartitions::equal_depth(&d, 3);
+        let surviving: Vec<usize> = parts
+            .partitions_with_max_at_least(60)
+            .flat_map(|p| p.records.clone())
+            .collect();
+        // Only the last partition (sizes 100..140) can contain records with
+        // ≥ 60 elements.
+        assert!(surviving.iter().all(|&id| d.record(id).len() >= 100));
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_partitions() {
+        let parts = SizePartitions::equal_depth(&Dataset::default(), 4);
+        assert!(parts.is_empty());
+        let parts_w = SizePartitions::equal_width(&Dataset::default(), 4);
+        assert!(parts_w.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact set similarity functions and the containment ⇄ Jaccard transform.
+//!
+//! The paper (Section II) defines two similarity functions over records:
+//!
+//! * Jaccard similarity `J(X, Y) = |X ∩ Y| / |X ∪ Y|` (symmetric),
+//! * containment similarity `C(X, Y) = |X ∩ Y| / |X|` (asymmetric — the
+//!   denominator is the *first* argument, the query in a search).
+//!
+//! The LSH Ensemble baseline works by transforming a containment threshold
+//! into a Jaccard threshold (Equation 12/13); [`SimilarityTransform`]
+//! implements that transform in both directions so that both the baseline and
+//! the analytical comparisons (Equations 14–21) can share one audited
+//! implementation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Record;
+
+/// Exact overlap `|X ∩ Y|` of two records.
+#[inline]
+pub fn overlap(x: &Record, y: &Record) -> usize {
+    x.intersection_size(y)
+}
+
+/// Exact Jaccard similarity `|X ∩ Y| / |X ∪ Y|`.
+///
+/// Returns 0 when both records are empty (the union is empty), matching the
+/// usual convention.
+pub fn jaccard(x: &Record, y: &Record) -> f64 {
+    let inter = x.intersection_size(y);
+    let union = x.len() + y.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Exact containment similarity `C(Q, X) = |Q ∩ X| / |Q|` of the query `q`
+/// in the record `x`.
+///
+/// Returns 0 when the query is empty.
+pub fn containment(q: &Record, x: &Record) -> f64 {
+    if q.is_empty() {
+        0.0
+    } else {
+        q.intersection_size(x) as f64 / q.len() as f64
+    }
+}
+
+/// The containment ⇄ Jaccard transform of Equation 12, parameterised by the
+/// record size `x = |X|` (or an upper bound `u` in the LSH-E case) and the
+/// query size `q = |Q|`.
+///
+/// ```text
+/// s = t / (x/q + 1 − t)          (containment t → Jaccard s)
+/// t = (x/q + 1) · s / (1 + s)    (Jaccard s → containment t)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityTransform {
+    /// Record size `x` (or the partition upper bound `u` for LSH-E).
+    pub record_size: f64,
+    /// Query size `q`.
+    pub query_size: f64,
+}
+
+impl SimilarityTransform {
+    /// Creates a transform for a (record size, query size) pair.
+    pub fn new(record_size: usize, query_size: usize) -> Self {
+        SimilarityTransform {
+            record_size: record_size as f64,
+            query_size: query_size.max(1) as f64,
+        }
+    }
+
+    /// Converts a containment similarity `t` into the equivalent Jaccard
+    /// similarity `s` (Equation 12, forward direction).
+    pub fn containment_to_jaccard(&self, t: f64) -> f64 {
+        let ratio = self.record_size / self.query_size;
+        let denom = ratio + 1.0 - t;
+        if denom <= 0.0 {
+            // t ≥ x/q + 1 can only happen for t > 1 or degenerate sizes;
+            // clamp to 1 (the tightest possible Jaccard threshold).
+            1.0
+        } else {
+            (t / denom).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Converts a Jaccard similarity `s` into the equivalent containment
+    /// similarity `t` (Equation 12, backward direction).
+    pub fn jaccard_to_containment(&self, s: f64) -> f64 {
+        let ratio = self.record_size / self.query_size;
+        ((ratio + 1.0) * s / (1.0 + s)).clamp(0.0, 1.0)
+    }
+}
+
+/// Derives the overlap threshold `θ = ⌈t* · |Q|⌉` used to convert a
+/// containment search into an intersection-size search (Equation 23).
+///
+/// The paper uses `θ = t*·|Q|` and the comparison `|Q ∩ X| ≥ θ`; since
+/// intersection sizes are integral, rounding up gives the identical exact
+/// predicate while avoiding accidental inclusion through floating-point
+/// noise. Estimated intersection sizes are compared against the *unrounded*
+/// value, which we also expose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapThreshold {
+    /// The raw value `t* · |Q|`.
+    pub raw: f64,
+    /// The integral threshold `⌈t* · |Q|⌉` for exact comparisons.
+    pub exact: usize,
+}
+
+impl OverlapThreshold {
+    /// Computes the overlap threshold for a query of `query_size` elements
+    /// and a containment threshold `t_star ∈ [0, 1]`.
+    pub fn new(query_size: usize, t_star: f64) -> Self {
+        let raw = t_star * query_size as f64;
+        // Guard against 2.999999 ceiling to 3 when t*·q is "really" 3.
+        let exact = (raw - 1e-9).ceil().max(0.0) as usize;
+        OverlapThreshold { raw, exact }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Record;
+
+    fn rec(v: &[u32]) -> Record {
+        Record::new(v.to_vec())
+    }
+
+    #[test]
+    fn paper_motivating_example_containment_vs_jaccard() {
+        // Q = {five, guys}; X = 9-word record containing both; Y = 3-word
+        // record containing one. Jaccard prefers Y, containment prefers X.
+        let q = rec(&[0, 1]);
+        let x = rec(&[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        let y = rec(&[0, 10, 11]);
+        assert!((jaccard(&q, &x) - 2.0 / 9.0).abs() < 1e-12);
+        assert!((jaccard(&q, &y) - 0.25).abs() < 1e-12);
+        assert!((containment(&q, &x) - 1.0).abs() < 1e-12);
+        assert!((containment(&q, &y) - 0.5).abs() < 1e-12);
+        assert!(jaccard(&q, &y) > jaccard(&q, &x));
+        assert!(containment(&q, &x) > containment(&q, &y));
+    }
+
+    #[test]
+    fn example_1_containment_values() {
+        // Figure 1 of the paper.
+        let q = rec(&[1, 2, 3, 5, 7, 9]);
+        let xs = [
+            rec(&[1, 2, 3, 4, 7]),
+            rec(&[2, 3, 5]),
+            rec(&[2, 4, 5]),
+            rec(&[1, 2, 6, 10]),
+        ];
+        let expected = [4.0 / 6.0, 3.0 / 6.0, 2.0 / 6.0, 2.0 / 6.0];
+        for (x, e) in xs.iter().zip(expected) {
+            assert!((containment(&q, x) - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        let e = Record::default();
+        let r = rec(&[1, 2, 3]);
+        assert_eq!(containment(&e, &r), 0.0);
+        assert_eq!(jaccard(&e, &e), 0.0);
+        assert_eq!(overlap(&e, &r), 0);
+    }
+
+    #[test]
+    fn transform_round_trips() {
+        let tr = SimilarityTransform::new(50, 10);
+        for &t in &[0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let s = tr.containment_to_jaccard(t);
+            let back = tr.jaccard_to_containment(s);
+            assert!((back - t).abs() < 1e-9, "t={t} round-tripped to {back}");
+        }
+    }
+
+    #[test]
+    fn transform_matches_exact_similarities() {
+        // For actual records the transform must map the true Jaccard to the
+        // true containment (Equation 12 is an identity, not an approximation).
+        let q = rec(&[1, 2, 3, 5, 7, 9]);
+        let x = rec(&[1, 2, 3, 4, 7]);
+        let tr = SimilarityTransform::new(x.len(), q.len());
+        let s = jaccard(&q, &x);
+        let t = containment(&q, &x);
+        assert!((tr.jaccard_to_containment(s) - t).abs() < 1e-12);
+        assert!((tr.containment_to_jaccard(t) - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_monotone_in_threshold() {
+        let tr = SimilarityTransform::new(100, 20);
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let t = i as f64 / 10.0;
+            let s = tr.containment_to_jaccard(t);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn larger_upper_bound_gives_smaller_jaccard_threshold() {
+        // The LSH-E false-positive mechanism: replacing x with an upper bound
+        // u > x lowers the Jaccard threshold, admitting more candidates.
+        let t = 0.5;
+        let tight = SimilarityTransform::new(50, 10).containment_to_jaccard(t);
+        let loose = SimilarityTransform::new(500, 10).containment_to_jaccard(t);
+        assert!(loose < tight);
+    }
+
+    #[test]
+    fn overlap_threshold_rounding() {
+        let th = OverlapThreshold::new(6, 0.5);
+        assert_eq!(th.exact, 3);
+        assert!((th.raw - 3.0).abs() < 1e-12);
+        let th2 = OverlapThreshold::new(7, 0.5);
+        assert_eq!(th2.exact, 4); // 3.5 rounds up
+        let th3 = OverlapThreshold::new(10, 0.0);
+        assert_eq!(th3.exact, 0);
+    }
+
+    #[test]
+    fn transform_clamps_degenerate_threshold() {
+        let tr = SimilarityTransform::new(0, 10);
+        // record size 0 with t=1: denominator hits zero; we clamp to 1.
+        assert_eq!(tr.containment_to_jaccard(1.0), 1.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Dataset statistics used by the GB-KMV cost model and the evaluation.
+//!
+//! GB-KMV is a *data-dependent* sketch: both the global threshold `τ` and the
+//! buffer size `r` are chosen from the distribution of record sizes and
+//! element frequencies. [`DatasetStats`] gathers everything the construction
+//! algorithm (Algorithm 1), the cost model (Section IV-C6) and the Table II
+//! reproduction need in a single pass over the dataset:
+//!
+//! * the element frequency table, sorted by decreasing frequency (so the
+//!   top-`r` most frequent elements — the buffer candidates `E_H` — are a
+//!   prefix),
+//! * the record size distribution,
+//! * the fitted power-law exponents `α1` (element frequency) and `α2`
+//!   (record size).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::{Dataset, ElementId};
+use crate::powerlaw::PowerLawFit;
+
+/// An element together with its frequency (number of records containing it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElementFrequency {
+    /// The element identifier.
+    pub element: ElementId,
+    /// Number of records that contain the element.
+    pub frequency: usize,
+}
+
+/// Summary statistics of a [`Dataset`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of records `m`.
+    pub num_records: usize,
+    /// Number of distinct elements `n` actually occurring in the dataset.
+    pub num_distinct_elements: usize,
+    /// Total number of element occurrences `N = Σ_X |X|`.
+    pub total_elements: usize,
+    /// Average record length `N / m`.
+    pub avg_record_len: f64,
+    /// Minimum record size.
+    pub min_record_len: usize,
+    /// Maximum record size.
+    pub max_record_len: usize,
+    /// Element frequencies sorted by decreasing frequency; ties are broken by
+    /// element id so the ordering (and therefore the buffer contents) is
+    /// deterministic.
+    pub element_frequencies: Vec<ElementFrequency>,
+    /// Record sizes, in record-id order.
+    pub record_sizes: Vec<usize>,
+    /// Power-law exponent `α1` fitted to the element frequency distribution.
+    pub alpha1_element_freq: f64,
+    /// Power-law exponent `α2` fitted to the record size distribution.
+    pub alpha2_record_size: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset in a single pass.
+    pub fn compute(dataset: &Dataset) -> Self {
+        let mut freq: Vec<usize> = vec![0; dataset.universe_size()];
+        let mut record_sizes = Vec::with_capacity(dataset.len());
+        let mut total = 0usize;
+        for record in dataset.records() {
+            record_sizes.push(record.len());
+            total += record.len();
+            for e in record.iter() {
+                freq[e as usize] += 1;
+            }
+        }
+
+        let mut element_frequencies: Vec<ElementFrequency> = freq
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(e, &f)| ElementFrequency {
+                element: e as ElementId,
+                frequency: f,
+            })
+            .collect();
+        // Sort by decreasing frequency, then by element id for determinism.
+        element_frequencies.sort_by(|a, b| {
+            b.frequency
+                .cmp(&a.frequency)
+                .then_with(|| a.element.cmp(&b.element))
+        });
+
+        let freq_values: Vec<f64> = element_frequencies
+            .iter()
+            .map(|ef| ef.frequency as f64)
+            .collect();
+        let size_values: Vec<f64> = record_sizes.iter().map(|&s| s as f64).collect();
+
+        let alpha1 = PowerLawFit::fit(&freq_values)
+            .map(|f| f.alpha)
+            .unwrap_or(0.0);
+        let alpha2 = PowerLawFit::fit(&size_values)
+            .map(|f| f.alpha)
+            .unwrap_or(0.0);
+
+        let (min_len, max_len) = record_sizes
+            .iter()
+            .fold((usize::MAX, 0usize), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+
+        DatasetStats {
+            num_records: dataset.len(),
+            num_distinct_elements: element_frequencies.len(),
+            total_elements: total,
+            avg_record_len: if dataset.is_empty() {
+                0.0
+            } else {
+                total as f64 / dataset.len() as f64
+            },
+            min_record_len: if record_sizes.is_empty() { 0 } else { min_len },
+            max_record_len: max_len,
+            element_frequencies,
+            record_sizes,
+            alpha1_element_freq: alpha1,
+            alpha2_record_size: alpha2,
+        }
+    }
+
+    /// The top-`r` most frequent elements (the buffer candidate set `E_H`).
+    /// If `r` exceeds the number of distinct elements the whole vocabulary is
+    /// returned.
+    pub fn top_frequent_elements(&self, r: usize) -> Vec<ElementId> {
+        self.element_frequencies
+            .iter()
+            .take(r)
+            .map(|ef| ef.element)
+            .collect()
+    }
+
+    /// Total frequency mass of the top-`r` elements, `N1(r) = Σ_{i ≤ r} f_i`.
+    pub fn top_frequency_mass(&self, r: usize) -> usize {
+        self.element_frequencies
+            .iter()
+            .take(r)
+            .map(|ef| ef.frequency)
+            .sum()
+    }
+
+    /// `f_{n2} = Σ_i f_i² / N²` — the second frequency moment normalised by
+    /// the squared total, used throughout the variance analysis
+    /// (Theorems 3 and 5 and the cost model).
+    pub fn fn2(&self) -> f64 {
+        let n = self.total_elements as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.element_frequencies
+            .iter()
+            .map(|ef| {
+                let f = ef.frequency as f64;
+                f * f
+            })
+            .sum::<f64>()
+            / (n * n)
+    }
+
+    /// `f_{r2} = Σ_{i ≤ r} f_i² / N²` — the second-moment contribution of the
+    /// top-`r` (buffered) elements.
+    pub fn fr2(&self, r: usize) -> f64 {
+        let n = self.total_elements as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.element_frequencies
+            .iter()
+            .take(r)
+            .map(|ef| {
+                let f = ef.frequency as f64;
+                f * f
+            })
+            .sum::<f64>()
+            / (n * n)
+    }
+
+    /// `f_r = Σ_{i ≤ r} f_i / N` — the fraction of all element occurrences
+    /// covered by the top-`r` elements.
+    pub fn fr(&self, r: usize) -> f64 {
+        let n = self.total_elements as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        self.top_frequency_mass(r) as f64 / n
+    }
+
+    /// Returns a histogram of record sizes as `(size, count)` pairs sorted by
+    /// size; useful for the Table II reproduction and the size-partitioned
+    /// index.
+    pub fn record_size_histogram(&self) -> Vec<(usize, usize)> {
+        let mut sorted = self.record_sizes.clone();
+        sorted.sort_unstable();
+        let mut hist: Vec<(usize, usize)> = Vec::new();
+        for s in sorted {
+            match hist.last_mut() {
+                Some((size, count)) if *size == s => *count += 1,
+                _ => hist.push((s, 1)),
+            }
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn example_dataset() -> Dataset {
+        // Example 1 of the paper.
+        Dataset::from_records(vec![
+            vec![1, 2, 3, 4, 7],
+            vec![2, 3, 5],
+            vec![2, 4, 5],
+            vec![1, 2, 6, 10],
+        ])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let stats = DatasetStats::compute(&example_dataset());
+        assert_eq!(stats.num_records, 4);
+        assert_eq!(stats.total_elements, 15);
+        assert_eq!(stats.num_distinct_elements, 8);
+        assert!((stats.avg_record_len - 3.75).abs() < 1e-12);
+        assert_eq!(stats.min_record_len, 3);
+        assert_eq!(stats.max_record_len, 5);
+    }
+
+    #[test]
+    fn element_frequencies_sorted_desc() {
+        let stats = DatasetStats::compute(&example_dataset());
+        let freqs: Vec<usize> = stats
+            .element_frequencies
+            .iter()
+            .map(|ef| ef.frequency)
+            .collect();
+        assert!(freqs.windows(2).all(|w| w[0] >= w[1]));
+        // e2 appears in all 4 records and must be first.
+        assert_eq!(stats.element_frequencies[0].element, 2);
+        assert_eq!(stats.element_frequencies[0].frequency, 4);
+    }
+
+    #[test]
+    fn top_frequent_elements_match_paper_buffer() {
+        // The paper's Figure 4 uses E_H = {e1, e2} (the two most frequent
+        // elements of Example 1: e2 appears 4 times, e1 twice — ties among
+        // frequency-2 elements broken by id, so e1 is selected).
+        let stats = DatasetStats::compute(&example_dataset());
+        let top2 = stats.top_frequent_elements(2);
+        assert_eq!(top2, vec![2, 1]);
+    }
+
+    #[test]
+    fn frequency_mass_and_moments() {
+        let stats = DatasetStats::compute(&example_dataset());
+        let n = stats.total_elements as f64;
+        assert_eq!(stats.top_frequency_mass(1), 4);
+        assert!((stats.fr(1) - 4.0 / n).abs() < 1e-12);
+        // fn2 = Σ f² / N²; compute by hand: freqs are e2:4, e1:2, e3:2, e4:2,
+        // e5:2, e7:1, e6:1, e10:1 → Σ f² = 16+4+4+4+4+1+1+1 = 35.
+        assert!((stats.fn2() - 35.0 / (n * n)).abs() < 1e-12);
+        assert!((stats.fr2(1) - 16.0 / (n * n)).abs() < 1e-12);
+        // fr2 is monotone in r and bounded by fn2.
+        let mut prev = 0.0;
+        for r in 0..=stats.num_distinct_elements {
+            let v = stats.fr2(r);
+            assert!(v >= prev - 1e-15);
+            assert!(v <= stats.fn2() + 1e-15);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn top_r_larger_than_vocabulary_is_clamped() {
+        let stats = DatasetStats::compute(&example_dataset());
+        assert_eq!(stats.top_frequent_elements(100).len(), 8);
+        assert_eq!(stats.top_frequency_mass(100), 15);
+        assert!((stats.fr(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_size_histogram_sums_to_record_count() {
+        let stats = DatasetStats::compute(&example_dataset());
+        let hist = stats.record_size_histogram();
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert_eq!(hist, vec![(3, 2), (4, 1), (5, 1)]);
+    }
+
+    #[test]
+    fn empty_dataset_stats_do_not_panic() {
+        let stats = DatasetStats::compute(&Dataset::default());
+        assert_eq!(stats.num_records, 0);
+        assert_eq!(stats.fn2(), 0.0);
+        assert_eq!(stats.fr(3), 0.0);
+        assert_eq!(stats.avg_record_len, 0.0);
+    }
+}

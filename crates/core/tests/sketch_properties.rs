@@ -1,0 +1,147 @@
+//! Property-based tests for the core sketch invariants, run against the
+//! public API of `gbkmv-core` only (no other crates involved).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gbkmv_core::buffer::BufferLayout;
+use gbkmv_core::dataset::{Dataset, Record};
+use gbkmv_core::gkmv::{GKmvSketch, GlobalThreshold};
+use gbkmv_core::hash::{unit_hash, Hasher64};
+use gbkmv_core::kmv::KmvSketch;
+use gbkmv_core::partition::SizePartitions;
+use gbkmv_core::stats::DatasetStats;
+
+fn record_strategy(universe: u32, max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    vec(0..universe, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmv_sketch_is_sorted_and_bounded(elements in record_strategy(5_000, 200), k in 1usize..64) {
+        let sketch = KmvSketch::from_record(&Record::new(elements), &Hasher64::new(5), k);
+        prop_assert!(sketch.len() <= k);
+        prop_assert!(sketch.hashes().windows(2).all(|w| w[0] < w[1]));
+        if let Some(u) = sketch.kth_unit() {
+            prop_assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn kmv_pair_estimate_is_symmetric(a in record_strategy(2_000, 150), b in record_strategy(2_000, 150)) {
+        let hasher = Hasher64::new(6);
+        let sa = KmvSketch::from_record(&Record::new(a), &hasher, 32);
+        let sb = KmvSketch::from_record(&Record::new(b), &hasher, 32);
+        let ab = sa.pair_estimate(&sb);
+        let ba = sb.pair_estimate(&sa);
+        prop_assert_eq!(ab.k, ba.k);
+        prop_assert_eq!(ab.k_intersection, ba.k_intersection);
+        prop_assert!((ab.intersection_estimate - ba.intersection_estimate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmv_intersection_never_exceeds_union_estimate(a in record_strategy(2_000, 150), b in record_strategy(2_000, 150)) {
+        let hasher = Hasher64::new(7);
+        let sa = KmvSketch::from_record(&Record::new(a), &hasher, 48);
+        let sb = KmvSketch::from_record(&Record::new(b), &hasher, 48);
+        let pair = sa.pair_estimate(&sb);
+        prop_assert!(pair.intersection_estimate <= pair.union_estimate + 1e-9);
+        prop_assert!(pair.intersection_estimate >= 0.0);
+    }
+
+    #[test]
+    fn gkmv_sketch_contains_only_admitted_hashes(elements in record_strategy(5_000, 200), raw in 0u64..u64::MAX) {
+        let hasher = Hasher64::new(8);
+        let threshold = GlobalThreshold { raw };
+        let record = Record::new(elements);
+        let sketch = GKmvSketch::from_record(&record, &hasher, threshold);
+        for &h in sketch.hashes() {
+            prop_assert!(threshold.admits(h));
+        }
+        // Every admitted element hash must be present.
+        let expected = record.iter().filter(|&e| threshold.admits(hasher.hash(e))).count();
+        prop_assert_eq!(sketch.len(), expected);
+    }
+
+    #[test]
+    fn global_threshold_budget_is_respected(records in vec(record_strategy(800, 60), 2..30), budget in 1usize..500) {
+        let dataset = Dataset::from_records(records);
+        let hasher = Hasher64::new(9);
+        let threshold = GlobalThreshold::from_budget(&dataset, &hasher, budget);
+        let stored: usize = dataset
+            .records()
+            .iter()
+            .map(|r| r.iter().filter(|&e| threshold.admits(hasher.hash(e))).count())
+            .sum();
+        prop_assert!(stored <= budget || threshold.raw == u64::MAX,
+            "stored {} exceeds budget {} with non-saturated threshold", stored, budget);
+        if threshold.raw == u64::MAX {
+            // Saturation only happens when the budget covers everything.
+            prop_assert!(budget >= dataset.total_elements());
+        }
+    }
+
+    #[test]
+    fn buffer_intersection_counts_common_buffered_elements(
+        buffered in vec(0u32..200, 1..64),
+        a in record_strategy(200, 80),
+        b in record_strategy(200, 80),
+    ) {
+        let mut buffered = buffered;
+        buffered.sort_unstable();
+        buffered.dedup();
+        let layout = BufferLayout::new(buffered.clone());
+        let ra = Record::new(a);
+        let rb = Record::new(b);
+        let ba = layout.build_buffer(&ra);
+        let bb = layout.build_buffer(&rb);
+        let expected = buffered
+            .iter()
+            .filter(|&&e| ra.contains(e) && rb.contains(e))
+            .count();
+        prop_assert_eq!(ba.intersection_count(&bb), expected);
+    }
+
+    #[test]
+    fn unit_hash_is_order_preserving(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(a.cmp(&b), unit_hash(a).partial_cmp(&unit_hash(b)).unwrap());
+    }
+
+    #[test]
+    fn stats_moments_are_consistent(records in vec(record_strategy(500, 60), 1..40)) {
+        let dataset = Dataset::from_records(records);
+        let stats = DatasetStats::compute(&dataset);
+        prop_assert_eq!(stats.total_elements, dataset.total_elements());
+        // fr and fr2 are monotone in r and reach fn2 / 1.0 at the vocabulary size.
+        let n = stats.num_distinct_elements;
+        prop_assert!((stats.fr(n) - 1.0).abs() < 1e-9 || stats.total_elements == 0);
+        prop_assert!((stats.fr2(n) - stats.fn2()).abs() < 1e-12);
+        let mut prev = 0.0;
+        for r in 0..=n.min(50) {
+            let f = stats.fr(r);
+            prop_assert!(f + 1e-12 >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn equal_depth_partitions_cover_all_records(records in vec(record_strategy(500, 60), 1..60), parts in 1usize..10) {
+        let dataset = Dataset::from_records(records);
+        let partitions = SizePartitions::equal_depth(&dataset, parts);
+        let mut covered: Vec<usize> = partitions
+            .partitions()
+            .iter()
+            .flat_map(|p| p.records.clone())
+            .collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..dataset.len()).collect::<Vec<_>>());
+        for p in partitions.partitions() {
+            for &id in &p.records {
+                let len = dataset.record(id).len();
+                prop_assert!(len >= p.min_size && len <= p.max_size);
+            }
+        }
+    }
+}

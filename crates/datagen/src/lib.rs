@@ -1,0 +1,33 @@
+//! # gbkmv-datagen
+//!
+//! Synthetic set-valued dataset generation for the GB-KMV reproduction.
+//!
+//! The paper evaluates on seven real datasets (Table II) that are not
+//! redistributable here; as documented in `DESIGN.md`, every experiment in
+//! this repository instead runs on synthetic datasets whose *distributional*
+//! properties match the published statistics: the power-law exponent of the
+//! element frequency distribution (`α1`), the power-law exponent of the
+//! record size distribution (`α2`), the average record length and the
+//! vocabulary size — the only quantities the paper's analysis and cost model
+//! depend on.
+//!
+//! * [`zipf`] — a deterministic Zipf sampler over ranked elements;
+//! * [`synthetic`] — the dataset generator (power-law record sizes ×
+//!   power-law element frequencies, plus a uniform mode for Figure 19a);
+//! * [`profiles`] — scaled-down profiles of the paper's seven datasets
+//!   (NETFLIX, DELIC, COD, ENRON, REUTERS, WEBSPAM, WDC);
+//! * [`queries`] — query workload sampling ("200 queries randomly chosen
+//!   from the dataset").
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod profiles;
+pub mod queries;
+pub mod synthetic;
+pub mod zipf;
+
+pub use profiles::{DatasetProfile, ProfileSpec};
+pub use queries::QueryWorkload;
+pub use synthetic::{SyntheticConfig, SyntheticDataset};
+pub use zipf::ZipfSampler;

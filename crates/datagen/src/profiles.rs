@@ -1,0 +1,323 @@
+//! Scaled-down profiles of the paper's seven evaluation datasets (Table II).
+//!
+//! The real corpora (Netflix ratings, Delicious folksonomies, Canadian Open
+//! Data, Enron e-mail, Reuters, Webspam, WDC Web Tables) are not bundled with
+//! this repository; each profile instead parameterises the synthetic
+//! generator with the **published** distributional statistics of the
+//! corresponding dataset — the element-frequency exponent `α1`, the
+//! record-size exponent `α2`, the average record length and the relative
+//! vocabulary size — while scaling the record count down so the whole
+//! benchmark suite runs in minutes on a laptop.
+//!
+//! The scaling factor only shrinks the number of records; because every
+//! competing method is evaluated on the *same* generated dataset, relative
+//! comparisons (who wins, by how much, where crossovers happen) are
+//! preserved, which is what `EXPERIMENTS.md` tracks against the paper.
+
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::Dataset;
+
+use crate::synthetic::{SyntheticConfig, SyntheticDataset};
+
+/// The seven dataset profiles of Table II plus the uniform synthetic profile
+/// used by the supplementary experiment (Figure 19a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// Netflix movie ratings: long records (avg 209), small vocabulary
+    /// (17.7 K movies), heavy record-size skew (α2 = 4.95).
+    Netflix,
+    /// Delicious folksonomy: avg length 98, very large vocabulary, α2 = 3.05.
+    Delicious,
+    /// Canadian Open Data (the LSH-E paper's dataset): very long records
+    /// (avg 6 284), huge vocabulary, mild size skew (α2 = 1.81).
+    CanadianOpenData,
+    /// Enron e-mail corpus: avg length 134, α2 = 3.10.
+    Enron,
+    /// Reuters news corpus: avg length 78, α2 = 6.61.
+    Reuters,
+    /// Webspam corpus: very long records (avg 3 728), α2 = 9.34.
+    Webspam,
+    /// WDC Web Tables: short records (avg 29), internet-scale record count,
+    /// α2 = 2.4.
+    WdcWebTables,
+    /// Uniform synthetic data (α1 = α2 = 0), the Figure 19a setting.
+    UniformSynthetic,
+}
+
+impl DatasetProfile {
+    /// All seven Table II profiles, in the order the paper lists them.
+    pub fn table2_profiles() -> Vec<DatasetProfile> {
+        vec![
+            DatasetProfile::Netflix,
+            DatasetProfile::Delicious,
+            DatasetProfile::CanadianOpenData,
+            DatasetProfile::Enron,
+            DatasetProfile::Reuters,
+            DatasetProfile::Webspam,
+            DatasetProfile::WdcWebTables,
+        ]
+    }
+
+    /// The short name used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProfile::Netflix => "NETFLIX",
+            DatasetProfile::Delicious => "DELIC",
+            DatasetProfile::CanadianOpenData => "COD",
+            DatasetProfile::Enron => "ENRON",
+            DatasetProfile::Reuters => "REUTERS",
+            DatasetProfile::Webspam => "WEBSPAM",
+            DatasetProfile::WdcWebTables => "WDC",
+            DatasetProfile::UniformSynthetic => "UNIFORM",
+        }
+    }
+
+    /// The full specification of the profile: the paper's published
+    /// statistics plus the scaled generation parameters.
+    pub fn spec(&self) -> ProfileSpec {
+        match self {
+            DatasetProfile::Netflix => ProfileSpec {
+                profile: *self,
+                paper_num_records: 480_189,
+                paper_avg_length: 209.25,
+                paper_distinct_elements: 17_770,
+                alpha1: 1.14,
+                alpha2: 4.95,
+                config: SyntheticConfig {
+                    num_records: 4_000,
+                    universe_size: 17_770,
+                    alpha_element_freq: 1.14,
+                    alpha_record_size: 4.95,
+                    min_record_len: 150,
+                    max_record_len: 2_000,
+                    seed: 0x4E7F,
+                },
+            },
+            DatasetProfile::Delicious => ProfileSpec {
+                profile: *self,
+                paper_num_records: 833_081,
+                paper_avg_length: 98.42,
+                paper_distinct_elements: 4_512_099,
+                alpha1: 1.14,
+                alpha2: 3.05,
+                config: SyntheticConfig {
+                    num_records: 4_000,
+                    universe_size: 60_000,
+                    alpha_element_freq: 1.14,
+                    alpha_record_size: 3.05,
+                    min_record_len: 50,
+                    max_record_len: 1_500,
+                    seed: 0xDE11,
+                },
+            },
+            DatasetProfile::CanadianOpenData => ProfileSpec {
+                profile: *self,
+                paper_num_records: 65_553,
+                paper_avg_length: 6_284.0,
+                paper_distinct_elements: 111_011_807,
+                alpha1: 1.09,
+                alpha2: 1.81,
+                config: SyntheticConfig {
+                    num_records: 800,
+                    universe_size: 200_000,
+                    alpha_element_freq: 1.09,
+                    alpha_record_size: 1.81,
+                    min_record_len: 400,
+                    max_record_len: 12_000,
+                    seed: 0xC0DA,
+                },
+            },
+            DatasetProfile::Enron => ProfileSpec {
+                profile: *self,
+                paper_num_records: 517_431,
+                paper_avg_length: 133.57,
+                paper_distinct_elements: 1_113_219,
+                alpha1: 1.16,
+                alpha2: 3.10,
+                config: SyntheticConfig {
+                    num_records: 4_000,
+                    universe_size: 40_000,
+                    alpha_element_freq: 1.16,
+                    alpha_record_size: 3.10,
+                    min_record_len: 70,
+                    max_record_len: 1_500,
+                    seed: 0xE4F0,
+                },
+            },
+            DatasetProfile::Reuters => ProfileSpec {
+                profile: *self,
+                paper_num_records: 833_081,
+                paper_avg_length: 77.6,
+                paper_distinct_elements: 283_906,
+                alpha1: 1.32,
+                alpha2: 6.61,
+                config: SyntheticConfig {
+                    num_records: 4_000,
+                    universe_size: 30_000,
+                    alpha_element_freq: 1.32,
+                    alpha_record_size: 6.61,
+                    min_record_len: 64,
+                    max_record_len: 1_000,
+                    seed: 0x2E07,
+                },
+            },
+            DatasetProfile::Webspam => ProfileSpec {
+                profile: *self,
+                paper_num_records: 350_000,
+                paper_avg_length: 3_728.0,
+                paper_distinct_elements: 16_609_143,
+                alpha1: 1.33,
+                alpha2: 9.34,
+                config: SyntheticConfig {
+                    num_records: 600,
+                    universe_size: 150_000,
+                    alpha_element_freq: 1.33,
+                    alpha_record_size: 9.34,
+                    min_record_len: 2_000,
+                    max_record_len: 10_000,
+                    seed: 0x3B5A,
+                },
+            },
+            DatasetProfile::WdcWebTables => ProfileSpec {
+                profile: *self,
+                paper_num_records: 262_893_406,
+                paper_avg_length: 29.2,
+                paper_distinct_elements: 111_562_175,
+                alpha1: 1.08,
+                alpha2: 2.4,
+                config: SyntheticConfig {
+                    num_records: 8_000,
+                    universe_size: 80_000,
+                    alpha_element_freq: 1.08,
+                    alpha_record_size: 2.4,
+                    min_record_len: 10,
+                    max_record_len: 300,
+                    seed: 0x00DC,
+                },
+            },
+            DatasetProfile::UniformSynthetic => ProfileSpec {
+                profile: *self,
+                paper_num_records: 100_000,
+                paper_avg_length: 2_505.0,
+                paper_distinct_elements: 100_000,
+                alpha1: 0.0,
+                alpha2: 0.0,
+                config: SyntheticConfig {
+                    num_records: 1_000,
+                    universe_size: 100_000,
+                    alpha_element_freq: 0.0,
+                    alpha_record_size: 0.0,
+                    min_record_len: 10,
+                    max_record_len: 2_000,
+                    seed: 0x0F19,
+                },
+            },
+        }
+    }
+
+    /// Generates the (scaled) dataset for this profile.
+    pub fn generate(&self) -> Dataset {
+        SyntheticDataset::generate(self.spec().config).dataset
+    }
+
+    /// Generates a smaller variant (record count divided by `factor`), used
+    /// by the quicker micro-benchmarks.
+    pub fn generate_scaled(&self, factor: usize) -> Dataset {
+        let mut config = self.spec().config;
+        config.num_records = (config.num_records / factor.max(1)).max(50);
+        SyntheticDataset::generate(config).dataset
+    }
+}
+
+/// The published statistics of a Table II dataset together with the scaled
+/// synthetic generation parameters used in this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileSpec {
+    /// The profile this spec describes.
+    pub profile: DatasetProfile,
+    /// Record count reported in Table II.
+    pub paper_num_records: usize,
+    /// Average record length reported in Table II.
+    pub paper_avg_length: f64,
+    /// Vocabulary size reported in Table II.
+    pub paper_distinct_elements: usize,
+    /// Element-frequency power-law exponent reported in Table II.
+    pub alpha1: f64,
+    /// Record-size power-law exponent reported in Table II.
+    pub alpha2: f64,
+    /// The scaled synthetic generator configuration.
+    pub config: SyntheticConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbkmv_core::stats::DatasetStats;
+
+    #[test]
+    fn all_profiles_generate_nonempty_datasets() {
+        for profile in DatasetProfile::table2_profiles() {
+            let d = profile.generate_scaled(8);
+            assert!(!d.is_empty(), "{} generated no records", profile.name());
+            assert!(d.avg_record_len() >= 5.0);
+        }
+    }
+
+    #[test]
+    fn table2_lists_seven_profiles() {
+        assert_eq!(DatasetProfile::table2_profiles().len(), 7);
+        let names: Vec<&str> = DatasetProfile::table2_profiles()
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["NETFLIX", "DELIC", "COD", "ENRON", "REUTERS", "WEBSPAM", "WDC"]
+        );
+    }
+
+    #[test]
+    fn specs_carry_paper_exponents() {
+        let netflix = DatasetProfile::Netflix.spec();
+        assert!((netflix.alpha1 - 1.14).abs() < 1e-9);
+        assert!((netflix.alpha2 - 4.95).abs() < 1e-9);
+        assert_eq!(netflix.paper_distinct_elements, 17_770);
+        let cod = DatasetProfile::CanadianOpenData.spec();
+        assert!(cod.paper_avg_length > 6_000.0);
+    }
+
+    #[test]
+    fn generated_skew_reflects_profile_exponents() {
+        // Reuters (α1 = 1.32) should show stronger element skew than the
+        // uniform profile.
+        let reuters = DatasetProfile::Reuters.generate_scaled(8);
+        let uniform = DatasetProfile::UniformSynthetic.generate_scaled(4);
+        let s_reuters = DatasetStats::compute(&reuters);
+        let s_uniform = DatasetStats::compute(&uniform);
+        let head_share = |s: &DatasetStats| {
+            s.top_frequency_mass(10) as f64 / s.total_elements.max(1) as f64
+        };
+        assert!(
+            head_share(&s_reuters) > head_share(&s_uniform) * 3.0,
+            "Reuters head share {} should dominate uniform {}",
+            head_share(&s_reuters),
+            head_share(&s_uniform)
+        );
+    }
+
+    #[test]
+    fn generate_scaled_reduces_record_count() {
+        let full = DatasetProfile::WdcWebTables.spec().config.num_records;
+        let scaled = DatasetProfile::WdcWebTables.generate_scaled(10);
+        assert!(scaled.len() <= full / 10 + 1);
+        assert!(scaled.len() >= 50);
+    }
+
+    #[test]
+    fn uniform_profile_has_zero_exponents() {
+        let spec = DatasetProfile::UniformSynthetic.spec();
+        assert_eq!(spec.alpha1, 0.0);
+        assert_eq!(spec.alpha2, 0.0);
+    }
+}

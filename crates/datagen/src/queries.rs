@@ -1,0 +1,163 @@
+//! Query workload sampling.
+//!
+//! The paper's evaluation ("Settings", Section V-A) randomly selects 200
+//! queries from each dataset and reports average accuracy over them; the
+//! theoretical analysis likewise assumes "the query Q is randomly chosen from
+//! the records". [`QueryWorkload`] reproduces that protocol deterministically
+//! from a seed and also supports derived workloads (subset queries, noisy
+//! queries) used by the example applications.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::{Dataset, Record, RecordId};
+
+/// A set of query records sampled from (or derived from) a dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// The queries themselves.
+    pub queries: Vec<Record>,
+    /// For queries sampled directly from the dataset, the id of the source
+    /// record (parallel to `queries`); `None` for derived queries.
+    pub source_records: Vec<Option<RecordId>>,
+}
+
+impl QueryWorkload {
+    /// Samples `count` queries uniformly at random from the dataset's
+    /// records (without replacement when possible), the paper's protocol.
+    pub fn sample_from_dataset(dataset: &Dataset, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<RecordId> = (0..dataset.len()).collect();
+        ids.shuffle(&mut rng);
+        let take = count.min(ids.len());
+        let mut chosen: Vec<RecordId> = ids.into_iter().take(take).collect();
+        // With replacement if the dataset is smaller than the workload.
+        while chosen.len() < count && !dataset.is_empty() {
+            chosen.push(rng.random_range(0..dataset.len()));
+        }
+        let queries = chosen.iter().map(|&id| dataset.record(id).clone()).collect();
+        QueryWorkload {
+            queries,
+            source_records: chosen.into_iter().map(Some).collect(),
+        }
+    }
+
+    /// Derives a workload of *subset* queries: each query keeps a random
+    /// fraction of a sampled record's elements. Subset queries have
+    /// containment exactly 1.0 in their source record, the "error-tolerant
+    /// keyword search" scenario from the paper's introduction.
+    pub fn sample_subset_queries(
+        dataset: &Dataset,
+        count: usize,
+        keep_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        let base = Self::sample_from_dataset(dataset, count, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_F00D);
+        let keep_fraction = keep_fraction.clamp(0.05, 1.0);
+        let mut queries = Vec::with_capacity(base.queries.len());
+        for q in &base.queries {
+            let mut elements: Vec<u32> = q.iter().collect();
+            elements.shuffle(&mut rng);
+            let keep = ((elements.len() as f64 * keep_fraction).ceil() as usize).max(1);
+            elements.truncate(keep);
+            queries.push(Record::new(elements));
+        }
+        QueryWorkload {
+            queries,
+            source_records: base.source_records,
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Iterates over the queries.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.queries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticConfig, SyntheticDataset};
+    use gbkmv_core::sim::containment;
+
+    fn dataset() -> Dataset {
+        SyntheticDataset::generate(SyntheticConfig {
+            num_records: 300,
+            ..Default::default()
+        })
+        .dataset
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = dataset();
+        let a = QueryWorkload::sample_from_dataset(&d, 50, 7);
+        let b = QueryWorkload::sample_from_dataset(&d, 50, 7);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.source_records, b.source_records);
+    }
+
+    #[test]
+    fn sampled_queries_come_from_dataset() {
+        let d = dataset();
+        let w = QueryWorkload::sample_from_dataset(&d, 40, 11);
+        assert_eq!(w.len(), 40);
+        for (q, src) in w.queries.iter().zip(&w.source_records) {
+            let id = src.expect("dataset-sampled queries track their source");
+            assert_eq!(q, d.record(id));
+        }
+    }
+
+    #[test]
+    fn sampling_without_replacement_when_possible() {
+        let d = dataset();
+        let w = QueryWorkload::sample_from_dataset(&d, 100, 3);
+        let mut ids: Vec<RecordId> = w.source_records.iter().map(|s| s.unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100, "queries should be distinct records");
+    }
+
+    #[test]
+    fn oversampling_small_dataset_uses_replacement() {
+        let d = Dataset::from_records(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let w = QueryWorkload::sample_from_dataset(&d, 10, 5);
+        assert_eq!(w.len(), 10);
+    }
+
+    #[test]
+    fn subset_queries_are_contained_in_their_source() {
+        let d = dataset();
+        let w = QueryWorkload::sample_subset_queries(&d, 30, 0.3, 13);
+        for (q, src) in w.queries.iter().zip(&w.source_records) {
+            let source = d.record(src.unwrap());
+            assert!(q.len() <= source.len());
+            assert!(!q.is_empty());
+            assert!((containment(q, source) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subset_fraction_is_respected_approximately() {
+        let d = dataset();
+        let w = QueryWorkload::sample_subset_queries(&d, 30, 0.5, 17);
+        for (q, src) in w.queries.iter().zip(&w.source_records) {
+            let source = d.record(src.unwrap());
+            let ratio = q.len() as f64 / source.len() as f64;
+            assert!((0.4..=0.7).contains(&ratio), "ratio {ratio} out of range");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Synthetic set-valued dataset generation.
+//!
+//! A generated dataset is controlled by four distributional knobs mirroring
+//! the properties reported in Table II of the paper:
+//!
+//! * `num_records` (`m`) and `universe_size` (`n`),
+//! * `alpha_element_freq` (`α1`) — elements of each record are drawn from a
+//!   Zipf distribution over the universe with this exponent, so a few
+//!   elements become very frequent across records;
+//! * `alpha_record_size` (`α2`) — record sizes are drawn from a truncated
+//!   power law between `min_record_len` and `max_record_len`;
+//! * `seed` — everything is generated from a single `StdRng` seed, so every
+//!   experiment is reproducible bit-for-bit.
+//!
+//! Setting both exponents to zero produces the uniform dataset used in the
+//! paper's Figure 19a supplementary experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::{Dataset, ElementId};
+
+use crate::zipf::ZipfSampler;
+
+/// Configuration of a synthetic dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of records `m`.
+    pub num_records: usize,
+    /// Universe size `n` (number of distinct element identifiers available).
+    pub universe_size: usize,
+    /// Power-law exponent of the element popularity distribution (`α1`);
+    /// 0 means uniform.
+    pub alpha_element_freq: f64,
+    /// Power-law exponent of the record size distribution (`α2`);
+    /// 0 means uniform between the two length bounds.
+    pub alpha_record_size: f64,
+    /// Minimum record length (the paper discards records shorter than 10).
+    pub min_record_len: usize,
+    /// Maximum record length.
+    pub max_record_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            num_records: 1_000,
+            universe_size: 20_000,
+            alpha_element_freq: 1.1,
+            alpha_record_size: 3.0,
+            min_record_len: 10,
+            max_record_len: 500,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A uniform-distribution configuration (`α1 = α2 = 0`), the setting of
+    /// the paper's Figure 19a experiment.
+    pub fn uniform(num_records: usize, universe_size: usize, max_record_len: usize) -> Self {
+        SyntheticConfig {
+            num_records,
+            universe_size,
+            alpha_element_freq: 0.0,
+            alpha_record_size: 0.0,
+            min_record_len: 10,
+            max_record_len,
+            seed: 0xD1CE,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated dataset together with the configuration that produced it.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The generated records.
+    pub dataset: Dataset,
+    /// The generating configuration.
+    pub config: SyntheticConfig,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset from the configuration.
+    pub fn generate(config: SyntheticConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let element_sampler = ZipfSampler::new(
+            config.universe_size.max(1),
+            config.alpha_element_freq.max(0.0),
+        );
+
+        let min_len = config.min_record_len.max(1);
+        let max_len = config.max_record_len.max(min_len);
+
+        let mut records: Vec<Vec<ElementId>> = Vec::with_capacity(config.num_records);
+        for _ in 0..config.num_records {
+            let size = sample_record_size(&mut rng, min_len, max_len, config.alpha_record_size);
+            let mut elements: Vec<ElementId> = Vec::with_capacity(size);
+            let mut seen = std::collections::HashSet::with_capacity(size * 2);
+            // Rejection-sample distinct elements; cap the attempts so a tiny
+            // universe cannot loop forever (the record is then shorter).
+            let max_attempts = size * 20 + 100;
+            let mut attempts = 0;
+            while elements.len() < size && attempts < max_attempts {
+                attempts += 1;
+                let e = element_sampler.sample(&mut rng) as ElementId;
+                if seen.insert(e) {
+                    elements.push(e);
+                }
+            }
+            records.push(elements);
+        }
+
+        SyntheticDataset {
+            dataset: Dataset::from_records(records),
+            config,
+        }
+    }
+}
+
+/// Samples a record size from a truncated power law `p(x) ∝ x^{-α}` on
+/// `[min_len, max_len]` (uniform when `α = 0`), via inverse-CDF sampling of
+/// the continuous distribution rounded to the nearest integer.
+fn sample_record_size<R: Rng + ?Sized>(
+    rng: &mut R,
+    min_len: usize,
+    max_len: usize,
+    alpha: f64,
+) -> usize {
+    if max_len <= min_len {
+        return min_len;
+    }
+    let u: f64 = rng.random();
+    let (a, b) = (min_len as f64, max_len as f64);
+    let x = if alpha.abs() < 1e-9 {
+        a + u * (b - a)
+    } else if (alpha - 1.0).abs() < 1e-9 {
+        // p(x) ∝ 1/x: CDF ∝ ln(x/a) / ln(b/a).
+        a * (b / a).powf(u)
+    } else {
+        // General case: inverse of the truncated CDF.
+        let one_minus = 1.0 - alpha;
+        let lo = a.powf(one_minus);
+        let hi = b.powf(one_minus);
+        (lo + u * (hi - lo)).powf(1.0 / one_minus)
+    };
+    (x.round() as usize).clamp(min_len, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbkmv_core::stats::DatasetStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SyntheticConfig {
+            num_records: 200,
+            ..Default::default()
+        };
+        let a = SyntheticDataset::generate(config);
+        let b = SyntheticDataset::generate(config);
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = SyntheticConfig {
+            num_records: 100,
+            ..Default::default()
+        };
+        let a = SyntheticDataset::generate(base.with_seed(1));
+        let b = SyntheticDataset::generate(base.with_seed(2));
+        assert_ne!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn record_sizes_respect_bounds() {
+        let config = SyntheticConfig {
+            num_records: 300,
+            min_record_len: 10,
+            max_record_len: 120,
+            universe_size: 50_000,
+            ..Default::default()
+        };
+        let d = SyntheticDataset::generate(config).dataset;
+        assert_eq!(d.len(), 300);
+        for record in d.records() {
+            assert!(record.len() >= 5, "record unexpectedly tiny: {}", record.len());
+            assert!(record.len() <= 120);
+        }
+    }
+
+    #[test]
+    fn skewed_element_frequency_is_detected() {
+        let config = SyntheticConfig {
+            num_records: 400,
+            universe_size: 5_000,
+            alpha_element_freq: 1.3,
+            alpha_record_size: 2.5,
+            min_record_len: 20,
+            max_record_len: 200,
+            seed: 99,
+        };
+        let d = SyntheticDataset::generate(config).dataset;
+        let stats = DatasetStats::compute(&d);
+        // The most frequent element must cover far more records than the
+        // median element under a skewed generator.
+        let top = stats.element_frequencies.first().unwrap().frequency;
+        let median =
+            stats.element_frequencies[stats.element_frequencies.len() / 2].frequency;
+        assert!(
+            top >= median * 10,
+            "element skew not visible: top={top}, median={median}"
+        );
+    }
+
+    #[test]
+    fn uniform_config_has_low_skew() {
+        let config = SyntheticConfig::uniform(300, 30_000, 200);
+        let d = SyntheticDataset::generate(config).dataset;
+        let stats = DatasetStats::compute(&d);
+        let top = stats.element_frequencies.first().unwrap().frequency;
+        // With 300 records of ≤200 elements over 30k elements, no element
+        // should dominate.
+        assert!(top < 20, "uniform generator produced a hot element ({top})");
+    }
+
+    #[test]
+    fn record_size_skew_follows_alpha2() {
+        let skewed = SyntheticDataset::generate(SyntheticConfig {
+            num_records: 500,
+            alpha_record_size: 3.5,
+            min_record_len: 10,
+            max_record_len: 1_000,
+            universe_size: 100_000,
+            alpha_element_freq: 0.5,
+            seed: 3,
+        })
+        .dataset;
+        let flat = SyntheticDataset::generate(SyntheticConfig {
+            num_records: 500,
+            alpha_record_size: 0.0,
+            min_record_len: 10,
+            max_record_len: 1_000,
+            universe_size: 100_000,
+            alpha_element_freq: 0.5,
+            seed: 3,
+        })
+        .dataset;
+        // A steep size exponent concentrates mass near the minimum length.
+        assert!(skewed.avg_record_len() < flat.avg_record_len());
+    }
+
+    #[test]
+    fn tiny_universe_does_not_hang() {
+        let config = SyntheticConfig {
+            num_records: 20,
+            universe_size: 8,
+            min_record_len: 10,
+            max_record_len: 50,
+            ..Default::default()
+        };
+        let d = SyntheticDataset::generate(config).dataset;
+        assert_eq!(d.len(), 20);
+        for record in d.records() {
+            assert!(record.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn size_sampler_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_record_size(&mut rng, 10, 10, 2.0), 10);
+        for _ in 0..100 {
+            let s = sample_record_size(&mut rng, 5, 50, 1.0);
+            assert!((5..=50).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! A deterministic Zipf (truncated discrete power-law) sampler.
+//!
+//! Element frequencies and record sizes in the paper's datasets follow
+//! power laws `p(x) ∝ x^{-α}`; this module samples ranks `1..=n` with
+//! probability proportional to `rank^{-α}` using inverse-CDF lookup over a
+//! precomputed cumulative table (binary search per draw). The sampler is
+//! deterministic given the caller's RNG, so every experiment is exactly
+//! reproducible from its seed.
+
+use rand::{Rng, RngExt};
+
+/// A Zipf sampler over ranks `1..=n` with exponent `alpha ≥ 0`.
+///
+/// `alpha = 0` degenerates to the uniform distribution over ranks, which is
+/// how the "uniform distribution" experiments (Figure 19a, Theorem 5's
+/// `α1 = α2 = 0` case) are generated.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative distribution over ranks (monotonically increasing, last
+    /// entry is 1.0).
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks and exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative"
+        );
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            let w = (rank as f64).powf(-alpha);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n` (0-based; rank 0 is the most probable).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability of rank `i` (0-based).
+    pub fn probability(&self, i: usize) -> f64 {
+        if i >= self.cdf.len() {
+            return 0.0;
+        }
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(1000, 1.2);
+        let total: f64 = (0..1000).map(|i| z.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_alpha_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.probability(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_increases_head_mass() {
+        let flat = ZipfSampler::new(1000, 0.5);
+        let steep = ZipfSampler::new(1000, 2.0);
+        assert!(steep.probability(0) > flat.probability(0));
+        assert!(steep.probability(999) < flat.probability(999));
+    }
+
+    #[test]
+    fn samples_follow_the_distribution() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let draws = 200_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Empirical frequency of the head rank should be close to its
+        // probability, and monotonically more probable ranks should be drawn
+        // more often (comparing well-separated ranks to avoid noise).
+        let head_expected = z.probability(0);
+        let head_observed = counts[0] as f64 / draws as f64;
+        assert!((head_observed - head_expected).abs() < 0.01);
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = ZipfSampler::new(500, 1.3);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_probability_is_zero() {
+        let z = ZipfSampler::new(10, 1.0);
+        assert_eq!(z.probability(10), 0.0);
+        assert_eq!(z.len(), 10);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

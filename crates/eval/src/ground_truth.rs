@@ -1,0 +1,107 @@
+//! Ground-truth computation for accuracy experiments.
+//!
+//! For every query and threshold, the ground-truth set
+//! `T = {X : C(Q, X) ≥ t*}` is computed with the exact brute-force oracle;
+//! the accuracy of an approximate method is then measured against these sets
+//! (Section V-A of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::{Dataset, Record, RecordId};
+use gbkmv_exact::brute::BruteForceIndex;
+
+/// Precomputed ground truth for a query workload at a fixed threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The containment threshold the truth was computed at.
+    pub threshold: f64,
+    /// For each query (in workload order), the ids of the true results.
+    pub results: Vec<Vec<RecordId>>,
+}
+
+impl GroundTruth {
+    /// Computes the ground truth of every query at the given threshold.
+    pub fn compute(dataset: &Dataset, queries: &[Record], threshold: f64) -> Self {
+        let oracle = BruteForceIndex::build(dataset);
+        let results = queries
+            .iter()
+            .map(|q| oracle.ground_truth(q, threshold))
+            .collect();
+        GroundTruth { threshold, results }
+    }
+
+    /// Ground truth of the `i`-th query.
+    pub fn for_query(&self, i: usize) -> &[RecordId] {
+        &self.results[i]
+    }
+
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the ground truth covers no queries.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Average ground-truth result size (useful to sanity-check that a
+    /// threshold is neither trivially empty nor trivially full).
+    pub fn avg_result_size(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(Vec::len).sum::<usize>() as f64 / self.results.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::from_records(vec![
+            vec![1, 2, 3, 4, 7],
+            vec![2, 3, 5],
+            vec![2, 4, 5],
+            vec![1, 2, 6, 10],
+        ])
+    }
+
+    #[test]
+    fn example_1_truth() {
+        let d = paper_dataset();
+        let queries = vec![Record::new(vec![1, 2, 3, 5, 7, 9])];
+        let truth = GroundTruth::compute(&d, &queries, 0.5);
+        assert_eq!(truth.for_query(0), &[0, 1]);
+        assert_eq!(truth.len(), 1);
+        assert_eq!(truth.avg_result_size(), 2.0);
+    }
+
+    #[test]
+    fn higher_threshold_shrinks_results() {
+        let d = paper_dataset();
+        let queries = vec![Record::new(vec![2, 3])];
+        let loose = GroundTruth::compute(&d, &queries, 0.5);
+        let strict = GroundTruth::compute(&d, &queries, 1.0);
+        assert!(strict.for_query(0).len() <= loose.for_query(0).len());
+    }
+
+    #[test]
+    fn self_queries_always_contain_their_source() {
+        let d = paper_dataset();
+        let queries: Vec<Record> = d.records().to_vec();
+        let truth = GroundTruth::compute(&d, &queries, 1.0);
+        for (i, t) in truth.results.iter().enumerate() {
+            assert!(t.contains(&i), "query {i} should match its own record");
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let d = paper_dataset();
+        let truth = GroundTruth::compute(&d, &[], 0.5);
+        assert!(truth.is_empty());
+        assert_eq!(truth.avg_result_size(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Accuracy metrics: precision, recall and the Fα score.
+//!
+//! Given the ground-truth result set `T` of a query and the answer set `A`
+//! returned by a method, the paper (Section V-A) evaluates
+//!
+//! ```text
+//! Precision = |T ∩ A| / |A|,   Recall = |T ∩ A| / |T|,
+//! Fα = (1 + α²) · P · R / (α²·P + R)
+//! ```
+//!
+//! with `α = 1` (the usual F1) and `α = 0.5` (which discounts recall, used
+//! because LSH-E is recall-biased).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::RecordId;
+
+/// Confusion counts of a single query's answer set against its ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ConfusionCounts {
+    /// Records returned and correct.
+    pub true_positives: usize,
+    /// Records returned but not in the ground truth.
+    pub false_positives: usize,
+    /// Ground-truth records that were missed.
+    pub false_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Computes the confusion counts of `answer` against `truth`.
+    pub fn from_sets(truth: &[RecordId], answer: &[RecordId]) -> Self {
+        let truth_set: HashSet<RecordId> = truth.iter().copied().collect();
+        let answer_set: HashSet<RecordId> = answer.iter().copied().collect();
+        let true_positives = answer_set.intersection(&truth_set).count();
+        ConfusionCounts {
+            true_positives,
+            false_positives: answer_set.len() - true_positives,
+            false_negatives: truth_set.len() - true_positives,
+        }
+    }
+
+    /// Precision `|T ∩ A| / |A|`. By convention an empty answer set has
+    /// precision 1 when the truth is also empty, and 0 otherwise is avoided:
+    /// the paper averages per-query scores, and a query with an empty answer
+    /// and empty truth is a perfect answer.
+    pub fn precision(&self) -> f64 {
+        let returned = self.true_positives + self.false_positives;
+        if returned == 0 {
+            return if self.false_negatives == 0 { 1.0 } else { 0.0 };
+        }
+        self.true_positives as f64 / returned as f64
+    }
+
+    /// Recall `|T ∩ A| / |T|` (1 when the ground truth is empty).
+    pub fn recall(&self) -> f64 {
+        let truth = self.true_positives + self.false_negatives;
+        if truth == 0 {
+            return 1.0;
+        }
+        self.true_positives as f64 / truth as f64
+    }
+
+    /// The Fα score (Equation 35).
+    pub fn f_score(&self, alpha: f64) -> f64 {
+        f_score(self.precision(), self.recall(), alpha)
+    }
+
+    /// Merges counts from another query (micro-averaging).
+    pub fn merge(&mut self, other: &ConfusionCounts) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+/// The Fα score from a precision/recall pair (Equation 35).
+pub fn f_score(precision: f64, recall: f64, alpha: f64) -> f64 {
+    let denom = alpha * alpha * precision + recall;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (1.0 + alpha * alpha) * precision * recall / denom
+}
+
+/// Convenience wrapper returning `(precision, recall)` for two id sets.
+pub fn precision_recall(truth: &[RecordId], answer: &[RecordId]) -> (f64, f64) {
+    let c = ConfusionCounts::from_sets(truth, answer);
+    (c.precision(), c.recall())
+}
+
+/// Macro-averaged accuracy over a set of queries, the aggregation the
+/// paper's figures report (mean of per-query scores, plus min/max for the
+/// accuracy-distribution figure).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct AccuracySummary {
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean F1 score.
+    pub f1: f64,
+    /// Mean F0.5 score.
+    pub f05: f64,
+    /// Minimum per-query F1 (Figure 14).
+    pub f1_min: f64,
+    /// Maximum per-query F1 (Figure 14).
+    pub f1_max: f64,
+}
+
+impl AccuracySummary {
+    /// Aggregates per-query confusion counts into a macro-averaged summary.
+    pub fn from_counts(per_query: &[ConfusionCounts]) -> Self {
+        if per_query.is_empty() {
+            return AccuracySummary::default();
+        }
+        let n = per_query.len() as f64;
+        let mut summary = AccuracySummary {
+            f1_min: f64::INFINITY,
+            f1_max: f64::NEG_INFINITY,
+            ..Default::default()
+        };
+        for c in per_query {
+            let f1 = c.f_score(1.0);
+            summary.precision += c.precision();
+            summary.recall += c.recall();
+            summary.f1 += f1;
+            summary.f05 += c.f_score(0.5);
+            summary.f1_min = summary.f1_min.min(f1);
+            summary.f1_max = summary.f1_max.max(f1);
+        }
+        summary.precision /= n;
+        summary.recall /= n;
+        summary.f1 /= n;
+        summary.f05 /= n;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_answer() {
+        let c = ConfusionCounts::from_sets(&[1, 2, 3], &[3, 2, 1]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f_score(1.0), 1.0);
+        assert_eq!(c.f_score(0.5), 1.0);
+    }
+
+    #[test]
+    fn partial_answer() {
+        // Truth {1,2,3,4}, answer {1,2,5}: P = 2/3, R = 1/2.
+        let c = ConfusionCounts::from_sets(&[1, 2, 3, 4], &[1, 2, 5]);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 2);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        let f1 = c.f_score(1.0);
+        assert!((f1 - 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_half_weights_precision_more() {
+        // With high precision / low recall, F0.5 > F1.
+        let p = 0.9;
+        let r = 0.3;
+        assert!(f_score(p, r, 0.5) > f_score(p, r, 1.0));
+        // With low precision / high recall, F0.5 < F1.
+        assert!(f_score(0.3, 0.9, 0.5) < f_score(0.3, 0.9, 1.0));
+    }
+
+    #[test]
+    fn empty_sets_conventions() {
+        let both_empty = ConfusionCounts::from_sets(&[], &[]);
+        assert_eq!(both_empty.precision(), 1.0);
+        assert_eq!(both_empty.recall(), 1.0);
+        let empty_answer = ConfusionCounts::from_sets(&[1, 2], &[]);
+        assert_eq!(empty_answer.precision(), 0.0);
+        assert_eq!(empty_answer.recall(), 0.0);
+        let empty_truth = ConfusionCounts::from_sets(&[], &[5]);
+        assert_eq!(empty_truth.recall(), 1.0);
+        assert_eq!(empty_truth.precision(), 0.0);
+    }
+
+    #[test]
+    fn f_score_zero_when_both_zero() {
+        assert_eq!(f_score(0.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_in_answer_do_not_inflate_precision() {
+        let c = ConfusionCounts::from_sets(&[1], &[1, 1, 1]);
+        assert_eq!(c.true_positives, 1);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionCounts::from_sets(&[1, 2], &[1]);
+        let b = ConfusionCounts::from_sets(&[3], &[3, 4]);
+        a.merge(&b);
+        assert_eq!(a.true_positives, 2);
+        assert_eq!(a.false_positives, 1);
+        assert_eq!(a.false_negatives, 1);
+    }
+
+    #[test]
+    fn summary_averages_and_extremes() {
+        let counts = vec![
+            ConfusionCounts::from_sets(&[1, 2], &[1, 2]), // F1 = 1
+            ConfusionCounts::from_sets(&[1, 2], &[]),     // F1 = 0
+        ];
+        let s = AccuracySummary::from_counts(&counts);
+        assert!((s.f1 - 0.5).abs() < 1e-12);
+        assert_eq!(s.f1_min, 0.0);
+        assert_eq!(s.f1_max, 1.0);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = AccuracySummary::from_counts(&[]);
+        assert_eq!(s.f1, 0.0);
+        assert_eq!(s.precision, 0.0);
+    }
+
+    #[test]
+    fn precision_recall_helper() {
+        let (p, r) = precision_recall(&[1, 2, 3], &[1, 9]);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Plain-text and JSON reporting helpers for the benchmark binaries.
+//!
+//! Every benchmark binary regenerating a paper table/figure prints a small
+//! fixed-width table to stdout (the rows `EXPERIMENTS.md` quotes) and can
+//! optionally dump the underlying data as JSON for further plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Formats a table with a header row and fixed-width columns.
+///
+/// Column widths are derived from the longest cell in each column; all cells
+/// are left-aligned. The output ends with a newline.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(columns) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    write_row(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    write_row(&mut out, &separator);
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Serialises a report value as pretty JSON into `path`, creating parent
+/// directories as needed.
+pub fn write_json_report<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Formats a float with three decimal places (the precision used in the
+/// paper's tables).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats seconds, switching to milliseconds below one second for
+/// readability.
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{:.2}ms", seconds * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let out = format_table(
+            &["dataset", "F1"],
+            &[
+                vec!["NETFLIX".to_string(), "0.62".to_string()],
+                vec!["WDC".to_string(), "0.55".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("dataset"));
+        assert!(lines[1].starts_with("-------"));
+        // All rows have the same width for the first column.
+        let col_end = lines[0].find("F1").unwrap();
+        assert!(lines[2].len() >= col_end);
+    }
+
+    #[test]
+    fn table_handles_wide_cells() {
+        let out = format_table(
+            &["m", "value"],
+            &[vec!["a-very-long-method-name".to_string(), "1".to_string()]],
+        );
+        assert!(out.contains("a-very-long-method-name"));
+    }
+
+    #[test]
+    fn empty_rows_still_prints_header() {
+        let out = format_table(&["a", "b"], &[]);
+        assert_eq!(out.lines().count(), 2);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(0.123456), "0.123");
+        assert_eq!(fmt_seconds(2.5), "2.50s");
+        assert_eq!(fmt_seconds(0.0021), "2.10ms");
+    }
+
+    #[test]
+    fn json_report_round_trips() {
+        #[derive(serde::Serialize)]
+        struct Demo {
+            name: String,
+            value: f64,
+        }
+        let dir = std::env::temp_dir().join("gbkmv_eval_test");
+        let path = dir.join("report.json");
+        write_json_report(
+            &path,
+            &Demo {
+                name: "x".into(),
+                value: 1.5,
+            },
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"value\": 1.5"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

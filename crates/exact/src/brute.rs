@@ -1,0 +1,122 @@
+//! Brute-force exact containment search (the ground-truth oracle).
+
+use gbkmv_core::dataset::{Dataset, ElementId, Record, RecordId};
+use gbkmv_core::index::{ContainmentIndex, SearchHit};
+use gbkmv_core::sim::containment;
+
+/// Exact containment similarity search by scanning every record.
+///
+/// The index simply keeps a copy of the dataset; every query computes the
+/// exact containment of the query in each record with a sorted-merge
+/// intersection. This is the slowest method but its answers define the
+/// ground truth set `T` of the evaluation (Section V-A of the paper).
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    dataset: Dataset,
+    space_elements: f64,
+}
+
+impl BruteForceIndex {
+    /// Builds the oracle by cloning the dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        BruteForceIndex {
+            dataset: dataset.clone(),
+            space_elements: dataset.total_elements() as f64,
+        }
+    }
+
+    /// Exact containment search over a [`Record`] query.
+    pub fn search_record(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        let q = query.len();
+        let mut hits = Vec::new();
+        for (id, record) in self.dataset.iter() {
+            let c = containment(query, record);
+            if c + 1e-12 >= t_star {
+                hits.push(SearchHit {
+                    record_id: id,
+                    estimated_overlap: c * q as f64,
+                    estimated_containment: c,
+                });
+            }
+        }
+        hits
+    }
+
+    /// The exact ground-truth result set (record ids only) for a query.
+    pub fn ground_truth(&self, query: &Record, t_star: f64) -> Vec<RecordId> {
+        self.search_record(query, t_star)
+            .into_iter()
+            .map(|h| h.record_id)
+            .collect()
+    }
+
+    /// Number of records the oracle scans per query.
+    pub fn num_records(&self) -> usize {
+        self.dataset.len()
+    }
+}
+
+impl ContainmentIndex for BruteForceIndex {
+    fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        self.search_record(&Record::new(query.to_vec()), t_star)
+    }
+
+    fn space_elements(&self) -> f64 {
+        self.space_elements
+    }
+
+    fn name(&self) -> &'static str {
+        "Exact-Scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::from_records(vec![
+            vec![1, 2, 3, 4, 7],
+            vec![2, 3, 5],
+            vec![2, 4, 5],
+            vec![1, 2, 6, 10],
+        ])
+    }
+
+    #[test]
+    fn example_1_results() {
+        let index = BruteForceIndex::build(&paper_dataset());
+        let truth = index.ground_truth(&Record::new(vec![1, 2, 3, 5, 7, 9]), 0.5);
+        assert_eq!(truth, vec![0, 1]);
+    }
+
+    #[test]
+    fn threshold_zero_returns_all() {
+        let index = BruteForceIndex::build(&paper_dataset());
+        assert_eq!(index.ground_truth(&Record::new(vec![1]), 0.0).len(), 4);
+    }
+
+    #[test]
+    fn threshold_one_requires_full_containment() {
+        let index = BruteForceIndex::build(&paper_dataset());
+        let truth = index.ground_truth(&Record::new(vec![2, 3]), 1.0);
+        assert_eq!(truth, vec![0, 1]); // X1 and X2 both contain {2, 3}.
+    }
+
+    #[test]
+    fn empty_query_matches_nothing_above_zero() {
+        let index = BruteForceIndex::build(&paper_dataset());
+        assert!(index.ground_truth(&Record::default(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn trait_impl_reports_exact_scores() {
+        let index = BruteForceIndex::build(&paper_dataset());
+        let hits = index.search(&[1, 2, 3, 5, 7, 9], 0.5);
+        let x1 = hits.iter().find(|h| h.record_id == 0).unwrap();
+        assert!((x1.estimated_containment - 4.0 / 6.0).abs() < 1e-12);
+        assert!((x1.estimated_overlap - 4.0).abs() < 1e-12);
+        assert_eq!(index.name(), "Exact-Scan");
+        assert_eq!(index.space_elements(), 15.0);
+    }
+}

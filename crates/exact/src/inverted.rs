@@ -1,0 +1,137 @@
+//! A plain element → postings inverted index.
+//!
+//! Both exact accelerated baselines (FrequentSet-style overlap counting and
+//! the PPjoin*-style prefix filter) and several diagnostics are built on the
+//! same substrate: for every element, the sorted list of records containing
+//! it. Postings are stored in dense `Vec`s indexed by element id, which is
+//! cache-friendly for the dense identifiers produced by
+//! [`gbkmv_core::dataset::DatasetBuilder`].
+
+use gbkmv_core::dataset::{Dataset, ElementId, RecordId};
+
+/// An inverted index mapping each element to the records containing it.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    /// `postings[e]` lists (in increasing record id order) the records that
+    /// contain element `e`.
+    postings: Vec<Vec<RecordId>>,
+    num_records: usize,
+}
+
+impl InvertedIndex {
+    /// Builds the index over a dataset.
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut postings: Vec<Vec<RecordId>> = vec![Vec::new(); dataset.universe_size()];
+        for (id, record) in dataset.iter() {
+            for e in record.iter() {
+                postings[e as usize].push(id);
+            }
+        }
+        InvertedIndex {
+            postings,
+            num_records: dataset.len(),
+        }
+    }
+
+    /// The posting list of an element (empty slice for unseen elements).
+    pub fn postings(&self, element: ElementId) -> &[RecordId] {
+        self.postings
+            .get(element as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Document frequency of an element (length of its posting list).
+    pub fn document_frequency(&self, element: ElementId) -> usize {
+        self.postings(element).len()
+    }
+
+    /// Number of records the index was built over.
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    /// Number of elements with a non-empty posting list.
+    pub fn num_indexed_elements(&self) -> usize {
+        self.postings.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Total number of postings (equals the dataset's total element count).
+    pub fn total_postings(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
+    }
+
+    /// Counts, for every record, how many of the given query elements it
+    /// contains, returning `(record, count)` pairs with non-zero counts.
+    ///
+    /// This is the merge-count kernel used by the FrequentSet-style search.
+    pub fn overlap_counts(&self, query: &[ElementId]) -> Vec<(RecordId, usize)> {
+        let mut counts: std::collections::HashMap<RecordId, usize> = std::collections::HashMap::new();
+        for &e in query {
+            for &rid in self.postings(e) {
+                *counts.entry(rid).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(RecordId, usize)> = counts.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbkmv_core::dataset::Dataset;
+
+    fn paper_dataset() -> Dataset {
+        Dataset::from_records(vec![
+            vec![1, 2, 3, 4, 7],
+            vec![2, 3, 5],
+            vec![2, 4, 5],
+            vec![1, 2, 6, 10],
+        ])
+    }
+
+    #[test]
+    fn postings_are_sorted_and_complete() {
+        let index = InvertedIndex::build(&paper_dataset());
+        assert_eq!(index.postings(2), &[0, 1, 2, 3]);
+        assert_eq!(index.postings(1), &[0, 3]);
+        assert_eq!(index.postings(9), &[] as &[usize]);
+        assert_eq!(index.postings(10_000), &[] as &[usize]);
+    }
+
+    #[test]
+    fn document_frequencies() {
+        let index = InvertedIndex::build(&paper_dataset());
+        assert_eq!(index.document_frequency(2), 4);
+        assert_eq!(index.document_frequency(7), 1);
+        assert_eq!(index.document_frequency(42), 0);
+    }
+
+    #[test]
+    fn counts_match_dataset_totals() {
+        let d = paper_dataset();
+        let index = InvertedIndex::build(&d);
+        assert_eq!(index.num_records(), 4);
+        assert_eq!(index.total_postings(), d.total_elements());
+        assert_eq!(index.num_indexed_elements(), 8);
+    }
+
+    #[test]
+    fn overlap_counts_reproduce_example_1() {
+        let index = InvertedIndex::build(&paper_dataset());
+        let counts = index.overlap_counts(&[1, 2, 3, 5, 7, 9]);
+        let lookup: std::collections::HashMap<usize, usize> = counts.into_iter().collect();
+        assert_eq!(lookup[&0], 4);
+        assert_eq!(lookup[&1], 3);
+        assert_eq!(lookup[&2], 2);
+        assert_eq!(lookup[&3], 2);
+    }
+
+    #[test]
+    fn empty_query_has_no_overlaps() {
+        let index = InvertedIndex::build(&paper_dataset());
+        assert!(index.overlap_counts(&[]).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # gbkmv-exact
+//!
+//! Exact containment similarity search baselines.
+//!
+//! The GB-KMV paper compares its approximate index against two exact methods
+//! (Figure 19b) and needs exact answers as ground truth for every accuracy
+//! experiment. This crate provides:
+//!
+//! * [`brute::BruteForceIndex`] — a straightforward scan computing the exact
+//!   containment of the query in every record; the ground-truth oracle used
+//!   by the evaluation harness.
+//! * [`inverted::InvertedIndex`] — a plain element → postings inverted index,
+//!   the substrate of both exact accelerated methods.
+//! * [`freqset::FrequentSetIndex`] — a FrequentSet-style exact search
+//!   (Agrawal, Arasu, Kaushik, SIGMOD 2010): overlap counting over the
+//!   query's posting lists with a record-size filter.
+//! * [`ppjoin::PpJoinIndex`] — a PPjoin*-style exact search (Xiao et al.,
+//!   TODS 2011): elements are ordered by global frequency (rarest first),
+//!   candidates are generated only from the query's prefix and verified with
+//!   an early-terminating merge.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod brute;
+pub mod freqset;
+pub mod inverted;
+pub mod ppjoin;
+
+pub use brute::BruteForceIndex;
+pub use freqset::FrequentSetIndex;
+pub use inverted::InvertedIndex;
+pub use ppjoin::PpJoinIndex;

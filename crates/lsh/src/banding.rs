@@ -1,0 +1,263 @@
+//! MinHash LSH with banding and the standard `(b, r)` parameter optimisation.
+//!
+//! A signature of `k` values is split into `b` bands of `r` rows
+//! (`b · r ≤ k`). Two records become candidates when at least one band is
+//! identical. The probability of becoming a candidate at Jaccard similarity
+//! `s` is `1 − (1 − s^r)^b`, the classic S-curve; [`optimal_band_params`]
+//! picks `(b, r)` by minimising a weighted sum of the false-positive and
+//! false-negative areas of that curve around a target threshold, exactly the
+//! procedure LSH Ensemble uses per query/partition.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::RecordId;
+use gbkmv_core::hash::mix_band;
+
+use crate::minhash::MinHashSignature;
+
+/// Probability that two records with Jaccard similarity `s` share at least
+/// one band under `(b, r)` banding.
+pub fn collision_probability(s: f64, b: usize, r: usize) -> f64 {
+    1.0 - (1.0 - s.powi(r as i32)).powi(b as i32)
+}
+
+/// False-positive area of the S-curve below the threshold:
+/// `∫_0^{s*} 1 − (1 − t^r)^b dt` (numerically integrated).
+pub fn false_positive_weight(threshold: f64, b: usize, r: usize) -> f64 {
+    integrate(0.0, threshold, |t| collision_probability(t, b, r))
+}
+
+/// False-negative area of the S-curve above the threshold:
+/// `∫_{s*}^1 (1 − t^r)^b dt`.
+pub fn false_negative_weight(threshold: f64, b: usize, r: usize) -> f64 {
+    integrate(threshold, 1.0, |t| 1.0 - collision_probability(t, b, r))
+}
+
+fn integrate<F: Fn(f64) -> f64>(lo: f64, hi: f64, f: F) -> f64 {
+    if hi <= lo {
+        return 0.0;
+    }
+    let steps = 64;
+    let dx = (hi - lo) / steps as f64;
+    let mut acc = 0.0;
+    for i in 0..steps {
+        let x = lo + (i as f64 + 0.5) * dx;
+        acc += f(x) * dx;
+    }
+    acc
+}
+
+/// Chooses `(b, r)` with `b·r ≤ num_hashes` minimising
+/// `fp_weight·FP + fn_weight·FN` for the given Jaccard threshold.
+///
+/// This mirrors the parameter optimisation of the LSH Ensemble / datasketch
+/// implementations; LSH-E favours recall, which corresponds to a false
+/// negative weight larger than the false positive weight.
+pub fn optimal_band_params(
+    threshold: f64,
+    num_hashes: usize,
+    fp_weight: f64,
+    fn_weight: f64,
+) -> (usize, usize) {
+    let mut best = (1usize, num_hashes.max(1));
+    let mut best_cost = f64::INFINITY;
+    for r in 1..=num_hashes.max(1) {
+        let b = num_hashes / r;
+        if b == 0 {
+            continue;
+        }
+        let cost = fp_weight * false_positive_weight(threshold, b, r)
+            + fn_weight * false_negative_weight(threshold, b, r);
+        if cost < best_cost {
+            best_cost = cost;
+            best = (b, r);
+        }
+    }
+    best
+}
+
+/// A MinHash LSH index with fixed banding parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHashLshIndex {
+    bands: usize,
+    rows: usize,
+    /// One bucket map per band: band hash → record ids.
+    buckets: Vec<HashMap<u64, Vec<RecordId>>>,
+    num_records: usize,
+}
+
+impl MinHashLshIndex {
+    /// Creates an empty index with `bands × rows` banding.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        MinHashLshIndex {
+            bands: bands.max(1),
+            rows: rows.max(1),
+            buckets: vec![HashMap::new(); bands.max(1)],
+            num_records: 0,
+        }
+    }
+
+    /// Creates an index whose `(b, r)` is optimised for a Jaccard threshold.
+    pub fn with_threshold(threshold: f64, num_hashes: usize) -> Self {
+        let (b, r) = optimal_band_params(threshold, num_hashes, 0.5, 0.5);
+        Self::new(b, r)
+    }
+
+    /// Number of bands `b`.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows per band `r`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.num_records
+    }
+
+    /// Whether the index holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.num_records == 0
+    }
+
+    /// Inserts a record's signature under the given id.
+    pub fn insert(&mut self, id: RecordId, signature: &MinHashSignature) {
+        for band in 0..self.bands {
+            let key = self.band_key(signature, band);
+            self.buckets[band].entry(key).or_default().push(id);
+        }
+        self.num_records += 1;
+    }
+
+    /// Returns the candidate records sharing at least one band with the
+    /// query signature, deduplicated and sorted.
+    pub fn query(&self, signature: &MinHashSignature) -> Vec<RecordId> {
+        let mut out: Vec<RecordId> = Vec::new();
+        for band in 0..self.bands {
+            let key = self.band_key(signature, band);
+            if let Some(ids) = self.buckets[band].get(&key) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn band_key(&self, signature: &MinHashSignature, band: usize) -> u64 {
+        let start = band * self.rows;
+        let end = (start + self.rows).min(signature.len());
+        let slice = &signature.values()[start.min(signature.len())..end];
+        mix_band(band as u64, slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHashSigner;
+    use gbkmv_core::dataset::Record;
+
+    fn rec(range: std::ops::Range<u32>) -> Record {
+        Record::new(range.collect())
+    }
+
+    #[test]
+    fn collision_probability_is_monotone_s_curve() {
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let s = i as f64 / 10.0;
+            let p = collision_probability(s, 16, 4);
+            assert!(p >= prev - 1e-12);
+            prev = p;
+        }
+        assert!(collision_probability(0.0, 16, 4) < 1e-9);
+        assert!((collision_probability(1.0, 16, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_params_shift_with_threshold() {
+        let (_, r_low) = optimal_band_params(0.2, 128, 0.5, 0.5);
+        let (_, r_high) = optimal_band_params(0.9, 128, 0.5, 0.5);
+        // Higher thresholds need longer bands (more rows) to stay selective.
+        assert!(r_high >= r_low);
+    }
+
+    #[test]
+    fn optimal_params_respect_budget() {
+        for &threshold in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            let (b, r) = optimal_band_params(threshold, 256, 0.5, 0.5);
+            assert!(b * r <= 256);
+            assert!(b >= 1 && r >= 1);
+        }
+    }
+
+    #[test]
+    fn recall_weighting_prefers_more_permissive_bands() {
+        let (b_recall, r_recall) = optimal_band_params(0.5, 128, 0.1, 0.9);
+        let (b_precision, r_precision) = optimal_band_params(0.5, 128, 0.9, 0.1);
+        // Recall-weighted parameters collide more often at the threshold.
+        let p_recall = collision_probability(0.5, b_recall, r_recall);
+        let p_precision = collision_probability(0.5, b_precision, r_precision);
+        assert!(p_recall >= p_precision);
+    }
+
+    #[test]
+    fn index_finds_similar_records() {
+        let signer = MinHashSigner::new(11, 128);
+        let mut index = MinHashLshIndex::with_threshold(0.5, 128);
+        let base = rec(0..400);
+        index.insert(0, &signer.sign(&base));
+        index.insert(1, &signer.sign(&rec(0..380))); // very similar to base
+        index.insert(2, &signer.sign(&rec(5000..5400))); // unrelated
+
+        let candidates = index.query(&signer.sign(&base));
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&1));
+        assert!(!candidates.contains(&2));
+    }
+
+    #[test]
+    fn empty_index_returns_no_candidates() {
+        let signer = MinHashSigner::new(12, 64);
+        let index = MinHashLshIndex::new(8, 8);
+        assert!(index.is_empty());
+        assert!(index.query(&signer.sign(&rec(0..10))).is_empty());
+    }
+
+    #[test]
+    fn candidate_rate_follows_s_curve() {
+        // Records at similarity ~0.2 should be retrieved much less often than
+        // records at similarity ~0.8 under a 0.5-threshold index.
+        let signer = MinHashSigner::new(13, 128);
+        let mut index = MinHashLshIndex::with_threshold(0.5, 128);
+        let mut high_ids = Vec::new();
+        let mut low_ids = Vec::new();
+        for i in 0..40u32 {
+            // High-similarity family: ~89% overlap with the query.
+            let mut hi: Vec<u32> = (0..450).collect();
+            hi.extend(10_000 + i * 100..10_000 + i * 100 + 50);
+            index.insert(i as usize, &signer.sign(&Record::new(hi)));
+            high_ids.push(i as usize);
+            // Low-similarity family: ~11% overlap with the query.
+            let mut lo: Vec<u32> = (0..50).collect();
+            lo.extend(20_000 + i * 1000..20_000 + i * 1000 + 450);
+            index.insert(1000 + i as usize, &signer.sign(&Record::new(lo)));
+            low_ids.push(1000 + i as usize);
+        }
+        let query = signer.sign(&rec(0..500));
+        let candidates = index.query(&query);
+        let high_hits = high_ids.iter().filter(|id| candidates.contains(id)).count();
+        let low_hits = low_ids.iter().filter(|id| candidates.contains(id)).count();
+        assert!(
+            high_hits > low_hits,
+            "high-similarity records should be retrieved more often ({high_hits} vs {low_hits})"
+        );
+        assert!(high_hits >= 30, "most high-similarity records should be found");
+    }
+}

@@ -1,0 +1,238 @@
+//! MinHash-based containment estimators and their Taylor-expansion moments.
+//!
+//! Section III-B of the GB-KMV paper analyses the two estimators obtained by
+//! pushing the MinHash Jaccard estimate `ŝ` through the containment
+//! transform:
+//!
+//! * the MinHash-LSH estimator `t̂ = (x/q + 1)·ŝ / (1 + ŝ)` (Equation 14),
+//!   which uses the record's true size `x`;
+//! * the LSH-E estimator `t̂' = (u/q + 1)·ŝ / (1 + ŝ)` (Equation 15), which
+//!   replaces `x` with the partition upper bound `u ≥ x`.
+//!
+//! Because the transform is non-linear, both estimators are biased; the paper
+//! approximates their expectation and variance with a second-order Taylor
+//! expansion (Lemma 1, Equations 18–21). These closed forms are reproduced
+//! here so the analysis benchmark can compare them against GB-KMV's variance
+//! and against empirical moments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::minhash::MinHashSignature;
+
+/// Approximate expectation and variance of an estimator (via Lemma 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorMoments {
+    /// Approximate expectation `E[t̂]`.
+    pub expectation: f64,
+    /// Approximate variance `Var[t̂]`.
+    pub variance: f64,
+}
+
+/// The MinHash-LSH containment estimate `t̂ = (x/q + 1)·ŝ / (1 + ŝ)`
+/// (Equation 14) computed from two signatures and the true record size.
+pub fn minhash_containment_estimator(
+    query_sig: &MinHashSignature,
+    record_sig: &MinHashSignature,
+    record_size: usize,
+    query_size: usize,
+) -> f64 {
+    let s_hat = query_sig.jaccard_estimate(record_sig);
+    containment_from_jaccard(s_hat, record_size as f64, query_size as f64)
+}
+
+/// The LSH-E containment estimate `t̂' = (u/q + 1)·ŝ / (1 + ŝ)`
+/// (Equation 15): identical to the MinHash-LSH estimator but with the
+/// partition upper bound `u` in place of the record size.
+pub fn lsh_e_estimator(
+    query_sig: &MinHashSignature,
+    record_sig: &MinHashSignature,
+    upper_bound: usize,
+    query_size: usize,
+) -> f64 {
+    let s_hat = query_sig.jaccard_estimate(record_sig);
+    containment_from_jaccard(s_hat, upper_bound as f64, query_size as f64)
+}
+
+fn containment_from_jaccard(s_hat: f64, size: f64, query_size: f64) -> f64 {
+    if query_size <= 0.0 {
+        return 0.0;
+    }
+    let alpha = size / query_size + 1.0;
+    (alpha * s_hat / (1.0 + s_hat)).clamp(0.0, alpha)
+}
+
+/// Taylor-approximated moments of the MinHash-LSH estimator (Equations
+/// 18–19): given the true Jaccard similarity `s`, the true containment `t`,
+/// the intersection size `d_inter`, the record size `x`, the query size `q`
+/// and the signature length `k`.
+pub fn minhash_estimator_moments(
+    s: f64,
+    t: f64,
+    d_inter: f64,
+    query_size: usize,
+    k: usize,
+) -> EstimatorMoments {
+    let q = query_size as f64;
+    let k = k as f64;
+    if k <= 0.0 || q <= 0.0 || s <= 0.0 {
+        return EstimatorMoments {
+            expectation: t,
+            variance: f64::INFINITY,
+        };
+    }
+    let one_plus_s = 1.0 + s;
+    // E[t̂] ≈ t·(1 − (1 − s) / (k (1 + s)²))        (Equation 18)
+    let expectation = t * (1.0 - (1.0 - s) / (k * one_plus_s * one_plus_s));
+    // Var[t̂] ≈ D∩²(1−s)[k(1+s)² − s(1−s)] / (q² k² s (1+s)⁴)   (Equation 19)
+    let numerator =
+        d_inter * d_inter * (1.0 - s) * (k * one_plus_s * one_plus_s - s * (1.0 - s));
+    let denominator = q * q * k * k * s * one_plus_s.powi(4);
+    EstimatorMoments {
+        expectation,
+        variance: numerator / denominator,
+    }
+}
+
+/// Taylor-approximated moments of the LSH-E estimator (Equations 20–21):
+/// the MinHash-LSH moments scaled by `(u + q)/(x + q)` (expectation) and its
+/// square (variance).
+pub fn lsh_e_estimator_moments(
+    s: f64,
+    t: f64,
+    d_inter: f64,
+    record_size: usize,
+    upper_bound: usize,
+    query_size: usize,
+    k: usize,
+) -> EstimatorMoments {
+    let base = minhash_estimator_moments(s, t, d_inter, query_size, k);
+    let x = record_size as f64;
+    let u = upper_bound as f64;
+    let q = query_size as f64;
+    let scale = (u + q) / (x + q);
+    EstimatorMoments {
+        expectation: base.expectation * scale,
+        variance: base.variance * scale * scale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHashSigner;
+    use gbkmv_core::dataset::Record;
+    use gbkmv_core::sim::{containment, jaccard};
+
+    fn rec(range: std::ops::Range<u32>) -> Record {
+        Record::new(range.collect())
+    }
+
+    #[test]
+    fn minhash_estimator_tracks_true_containment() {
+        let q = rec(0..400);
+        let x = rec(200..1200);
+        let signer = MinHashSigner::new(31, 512);
+        let est = minhash_containment_estimator(&signer.sign(&q), &signer.sign(&x), x.len(), q.len());
+        let truth = containment(&q, &x);
+        assert!(
+            (est - truth).abs() < 0.1,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn lsh_e_estimator_overestimates_with_loose_upper_bound() {
+        let q = rec(0..400);
+        let x = rec(200..1200);
+        let signer = MinHashSigner::new(32, 512);
+        let sq = signer.sign(&q);
+        let sx = signer.sign(&x);
+        let tight = lsh_e_estimator(&sq, &sx, x.len(), q.len());
+        let loose = lsh_e_estimator(&sq, &sx, x.len() * 5, q.len());
+        assert!(
+            loose > tight,
+            "a larger upper bound must inflate the estimate ({loose} vs {tight})"
+        );
+    }
+
+    #[test]
+    fn estimators_coincide_when_upper_bound_is_exact() {
+        let q = rec(0..300);
+        let x = rec(100..700);
+        let signer = MinHashSigner::new(33, 256);
+        let sq = signer.sign(&q);
+        let sx = signer.sign(&x);
+        let a = minhash_containment_estimator(&sq, &sx, x.len(), q.len());
+        let b = lsh_e_estimator(&sq, &sx, x.len(), q.len());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moments_expectation_is_close_to_truth_for_large_k() {
+        let s = 0.4;
+        let t = 0.6;
+        let q = 100usize;
+        let d_inter = t * q as f64;
+        let m_small = minhash_estimator_moments(s, t, d_inter, q, 16);
+        let m_large = minhash_estimator_moments(s, t, d_inter, q, 4096);
+        // Bias shrinks with k.
+        assert!((m_large.expectation - t).abs() < (m_small.expectation - t).abs());
+        assert!((m_large.expectation - t).abs() < 1e-3);
+        // Variance shrinks with k.
+        assert!(m_large.variance < m_small.variance);
+    }
+
+    #[test]
+    fn lsh_e_variance_is_never_smaller_than_minhash_variance() {
+        // Section III-B: u ≥ x implies Var[t̂'] ≥ Var[t̂].
+        for &(x, u) in &[(50usize, 50usize), (50, 100), (50, 400), (200, 1000)] {
+            let s = 0.3;
+            let q = 80usize;
+            let t = 0.5;
+            let d_inter = t * q as f64;
+            let plain = minhash_estimator_moments(s, t, d_inter, q, 128);
+            let lshe = lsh_e_estimator_moments(s, t, d_inter, x, u, q, 128);
+            assert!(
+                lshe.variance >= plain.variance - 1e-15,
+                "u={u}, x={x}: LSH-E variance {} < MinHash variance {}",
+                lshe.variance,
+                plain.variance
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_variance_is_of_the_same_order_as_taylor_approximation() {
+        let q = rec(0..200);
+        let x = rec(100..500);
+        let s = jaccard(&q, &x);
+        let t = containment(&q, &x);
+        let d_inter = (q.intersection_size(&x)) as f64;
+        let k = 128;
+        let theory = minhash_estimator_moments(s, t, d_inter, q.len(), k);
+
+        let estimates: Vec<f64> = (0..80u64)
+            .map(|seed| {
+                let signer = MinHashSigner::new(seed * 104_729 + 7, k);
+                minhash_containment_estimator(&signer.sign(&q), &signer.sign(&x), x.len(), q.len())
+            })
+            .collect();
+        let mean: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        let var: f64 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
+            / estimates.len() as f64;
+        assert!(
+            var < theory.variance * 5.0 && var > theory.variance / 5.0,
+            "empirical variance {var} not within 5x of Taylor approximation {}",
+            theory.variance
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let m = minhash_estimator_moments(0.0, 0.0, 0.0, 10, 64);
+        assert!(m.variance.is_infinite());
+        let m2 = minhash_estimator_moments(0.5, 0.5, 5.0, 0, 64);
+        assert!(m2.variance.is_infinite());
+        assert_eq!(containment_from_jaccard(0.5, 10.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! LSH Forest: banding with a *query-time* choice of band depth.
+//!
+//! The LSH Ensemble needs a different Jaccard threshold per partition and per
+//! query (the upper bound `u` and the query size `q` both enter
+//! Equation 13), so a fixed `(b, r)` banding is not enough. The LSH Forest of
+//! Bawa, Condie and Ganesan (WWW 2005) solves this by indexing, for every
+//! band, the full `r_max`-value sequence in an ordered map; at query time any
+//! prefix depth `r ≤ r_max` can be matched by a range scan over the ordered
+//! keys, so the selectivity of the index adapts to the threshold without
+//! rebuilding anything.
+//!
+//! This implementation keys each band's ordered map by the band's
+//! `r_max`-length value sequence and answers prefix queries with a range scan
+//! bounded by the successor of the prefix.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::RecordId;
+
+use crate::minhash::MinHashSignature;
+
+/// An LSH Forest over MinHash signatures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshForest {
+    /// Number of bands (trees) `l`.
+    bands: usize,
+    /// Maximum rows per band `r_max`.
+    max_rows: usize,
+    /// One ordered map per band: the band's value sequence → record ids.
+    trees: Vec<BTreeMap<Vec<u64>, Vec<RecordId>>>,
+    num_records: usize,
+}
+
+impl LshForest {
+    /// Creates an empty forest with `bands` trees of depth `max_rows`.
+    /// A signature of `k` values supports `bands · max_rows ≤ k`.
+    pub fn new(bands: usize, max_rows: usize) -> Self {
+        LshForest {
+            bands: bands.max(1),
+            max_rows: max_rows.max(1),
+            trees: vec![BTreeMap::new(); bands.max(1)],
+            num_records: 0,
+        }
+    }
+
+    /// Number of bands (trees).
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Maximum prefix depth per band.
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.num_records
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_records == 0
+    }
+
+    fn band_sequence(&self, signature: &MinHashSignature, band: usize, depth: usize) -> Vec<u64> {
+        let start = band * self.max_rows;
+        let end = (start + depth).min(signature.len());
+        signature.values()[start.min(signature.len())..end].to_vec()
+    }
+
+    /// Inserts a record's signature.
+    pub fn insert(&mut self, id: RecordId, signature: &MinHashSignature) {
+        for band in 0..self.bands {
+            let key = self.band_sequence(signature, band, self.max_rows);
+            self.trees[band].entry(key).or_default().push(id);
+        }
+        self.num_records += 1;
+    }
+
+    /// Returns the records whose stored sequence matches the query's first
+    /// `depth` values in at least one band. `depth` is clamped to
+    /// `[1, max_rows]`; smaller depths are more permissive (higher recall,
+    /// lower precision).
+    pub fn query(&self, signature: &MinHashSignature, depth: usize) -> Vec<RecordId> {
+        self.query_with_params(signature, depth, self.bands)
+    }
+
+    /// Like [`LshForest::query`] but probing only the first `bands_used`
+    /// bands — the per-query `(b, r)` tuning the LSH Ensemble performs:
+    /// the band depth `r = depth` and the band count `b = bands_used` are
+    /// chosen per partition from the transformed Jaccard threshold.
+    pub fn query_with_params(
+        &self,
+        signature: &MinHashSignature,
+        depth: usize,
+        bands_used: usize,
+    ) -> Vec<RecordId> {
+        let depth = depth.clamp(1, self.max_rows);
+        let bands_used = bands_used.clamp(1, self.bands);
+        let mut out: Vec<RecordId> = Vec::new();
+        for band in 0..bands_used {
+            let prefix = self.band_sequence(signature, band, depth);
+            // Range scan: all keys whose first `depth` values equal `prefix`.
+            let upper = prefix_successor(&prefix);
+            let range = match &upper {
+                Some(upper) => self.trees[band]
+                    .range((Bound::Included(prefix.clone()), Bound::Excluded(upper.clone()))),
+                None => self.trees[band].range((Bound::Included(prefix.clone()), Bound::Unbounded)),
+            };
+            for (_, ids) in range {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Chooses the band depth for a Jaccard threshold: the smallest `r` whose
+    /// single-band collision probability `s^r` at the threshold is still at
+    /// least 50%, i.e. `r = ⌊ln 0.5 / ln s⌋` clamped to `[1, max_rows]`.
+    /// Lower thresholds therefore probe shallower (more permissive) prefixes,
+    /// which is the recall-favouring behaviour of LSH-E.
+    pub fn depth_for_threshold(&self, threshold: f64) -> usize {
+        if threshold >= 1.0 {
+            return self.max_rows;
+        }
+        if threshold <= 0.0 {
+            return 1;
+        }
+        let r = (0.5f64.ln() / threshold.ln()).floor() as usize;
+        r.clamp(1, self.max_rows)
+    }
+}
+
+/// The smallest sequence strictly greater than every sequence starting with
+/// `prefix`: increment the last element, dropping trailing `u64::MAX`
+/// elements that would overflow. `None` means "unbounded above".
+fn prefix_successor(prefix: &[u64]) -> Option<Vec<u64>> {
+    let mut succ = prefix.to_vec();
+    while let Some(last) = succ.last_mut() {
+        if *last == u64::MAX {
+            succ.pop();
+        } else {
+            *last += 1;
+            return Some(succ);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHashSigner;
+    use gbkmv_core::dataset::Record;
+
+    fn rec(range: std::ops::Range<u32>) -> Record {
+        Record::new(range.collect())
+    }
+
+    #[test]
+    fn prefix_successor_basic() {
+        assert_eq!(prefix_successor(&[1, 2, 3]), Some(vec![1, 2, 4]));
+        assert_eq!(prefix_successor(&[1, u64::MAX]), Some(vec![2]));
+        assert_eq!(prefix_successor(&[u64::MAX]), None);
+        assert_eq!(prefix_successor(&[]), None);
+    }
+
+    #[test]
+    fn identical_records_always_match_at_full_depth() {
+        let signer = MinHashSigner::new(21, 64);
+        let mut forest = LshForest::new(8, 8);
+        forest.insert(0, &signer.sign(&rec(0..200)));
+        let candidates = forest.query(&signer.sign(&rec(0..200)), 8);
+        assert_eq!(candidates, vec![0]);
+    }
+
+    #[test]
+    fn shallower_depth_is_more_permissive() {
+        let signer = MinHashSigner::new(22, 64);
+        let mut forest = LshForest::new(8, 8);
+        for i in 0..30u32 {
+            // Records with varying overlap with 0..300.
+            let overlap = 10 * i;
+            let mut v: Vec<u32> = (0..overlap).collect();
+            v.extend(100_000 + i * 1000..100_000 + i * 1000 + (300 - overlap));
+            forest.insert(i as usize, &signer.sign(&Record::new(v)));
+        }
+        let query = signer.sign(&rec(0..300));
+        let deep = forest.query(&query, 8).len();
+        let shallow = forest.query(&query, 2).len();
+        assert!(
+            shallow >= deep,
+            "depth 2 ({shallow}) should return at least as many candidates as depth 8 ({deep})"
+        );
+        assert!(shallow > 0);
+    }
+
+    #[test]
+    fn depth_for_threshold_is_monotone() {
+        let forest = LshForest::new(8, 16);
+        let mut prev = 0;
+        for i in 1..10 {
+            let t = i as f64 / 10.0;
+            let d = forest.depth_for_threshold(t);
+            assert!(d >= prev);
+            assert!((1..=16).contains(&d));
+            prev = d;
+        }
+        assert_eq!(forest.depth_for_threshold(0.0), 1);
+        assert_eq!(forest.depth_for_threshold(1.0), 16);
+    }
+
+    #[test]
+    fn unrelated_records_are_not_candidates_at_depth() {
+        let signer = MinHashSigner::new(23, 128);
+        let mut forest = LshForest::new(16, 8);
+        forest.insert(0, &signer.sign(&rec(0..500)));
+        forest.insert(1, &signer.sign(&rec(50_000..50_500)));
+        let candidates = forest.query(&signer.sign(&rec(0..500)), 4);
+        assert!(candidates.contains(&0));
+        assert!(!candidates.contains(&1));
+    }
+
+    #[test]
+    fn forest_len_tracks_inserts() {
+        let signer = MinHashSigner::new(24, 32);
+        let mut forest = LshForest::new(4, 8);
+        assert!(forest.is_empty());
+        for i in 0..5 {
+            forest.insert(i, &signer.sign(&rec(i as u32 * 10..i as u32 * 10 + 50)));
+        }
+        assert_eq!(forest.len(), 5);
+    }
+
+    #[test]
+    fn query_depth_is_clamped() {
+        let signer = MinHashSigner::new(25, 32);
+        let mut forest = LshForest::new(4, 8);
+        forest.insert(0, &signer.sign(&rec(0..100)));
+        // Depth 0 and depth 100 must not panic and must behave like 1 / max.
+        let q = signer.sign(&rec(0..100));
+        assert_eq!(forest.query(&q, 0), forest.query(&q, 1));
+        assert_eq!(forest.query(&q, 100), forest.query(&q, 8));
+    }
+}

@@ -1,0 +1,39 @@
+//! # gbkmv-lsh
+//!
+//! MinHash-based substrates and the **LSH Ensemble (LSH-E)** baseline the
+//! GB-KMV paper compares against (Zhu, Nargesian, Pu, Miller — VLDB 2016).
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`minhash`] — MinHash signatures built from `k` independent hash
+//!   functions and the unbiased Jaccard estimator (Equations 4–7 of the
+//!   GB-KMV paper);
+//! * [`banding`] — the classic MinHash LSH banding index with the standard
+//!   `(b, r)` parameter optimisation that balances false positives and false
+//!   negatives for a Jaccard threshold;
+//! * [`forest`] — an LSH Forest: per-band prefix maps that let the band
+//!   depth `r` be chosen *per query*, which is what LSH-E relies on to adapt
+//!   to per-partition Jaccard thresholds;
+//! * [`ensemble`] — the LSH-E containment similarity search baseline:
+//!   equal-depth record-size partitions, the containment → Jaccard threshold
+//!   transform with each partition's size upper bound (Equation 13), and a
+//!   per-partition MinHash LSH forest;
+//! * [`estimator`] — the MinHash-LSH and LSH-E containment estimators
+//!   (Equations 14–15) together with their Taylor-expansion expectation and
+//!   variance approximations (Equations 18–21), used by the analysis
+//!   benchmarks that reproduce the paper's Section III-B comparison.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod banding;
+pub mod ensemble;
+pub mod estimator;
+pub mod forest;
+pub mod minhash;
+
+pub use banding::{optimal_band_params, MinHashLshIndex};
+pub use ensemble::{LshEnsembleConfig, LshEnsembleIndex};
+pub use estimator::{lsh_e_estimator, minhash_containment_estimator, EstimatorMoments};
+pub use forest::LshForest;
+pub use minhash::{MinHashSignature, MinHashSigner};

@@ -1,0 +1,224 @@
+//! MinHash signatures (Broder 1997) and the Jaccard estimator.
+//!
+//! A MinHash signature keeps, for each of `k` independent hash functions, the
+//! minimum hash value over the record's elements. For two records the
+//! fraction of signature positions that agree is an unbiased estimator of
+//! their Jaccard similarity (Equations 4–6 of the GB-KMV paper) with variance
+//! `s(1 − s)/k` (Equation 7).
+//!
+//! MinHash is the substrate of the LSH Ensemble baseline; the GB-KMV paper's
+//! Remark 2 explains why the G-KMV global-threshold trick cannot be applied
+//! to it (each signature position comes from a *different* hash function).
+
+use serde::{Deserialize, Serialize};
+
+use gbkmv_core::dataset::{ElementId, Record};
+use gbkmv_core::hash::HashFamily;
+
+/// A MinHash signature: one minimum hash value per hash function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSignature {
+    values: Vec<u64>,
+}
+
+impl MinHashSignature {
+    /// The signature values, one per hash function.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Signature length `k`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the signature is empty (`k = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of positions where two signatures agree.
+    pub fn matching_positions(&self, other: &MinHashSignature) -> usize {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .filter(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The unbiased Jaccard estimator `ŝ = (matching positions)/k`
+    /// (Equation 5).
+    pub fn jaccard_estimate(&self, other: &MinHashSignature) -> f64 {
+        let k = self.values.len().min(other.values.len());
+        if k == 0 {
+            return 0.0;
+        }
+        self.matching_positions(other) as f64 / k as f64
+    }
+}
+
+/// Builds MinHash signatures with a fixed family of `k` hash functions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHashSigner {
+    family: HashFamily,
+}
+
+impl MinHashSigner {
+    /// Creates a signer with `k` hash functions derived from `seed`.
+    pub fn new(seed: u64, k: usize) -> Self {
+        MinHashSigner {
+            family: HashFamily::new(seed, k),
+        }
+    }
+
+    /// Signature length `k`.
+    pub fn num_hashes(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Signs a record. An empty record produces a signature of `u64::MAX`
+    /// values (which never collide with a non-empty record's minima except
+    /// through genuine hash collisions).
+    pub fn sign(&self, record: &Record) -> MinHashSignature {
+        let mut values = vec![u64::MAX; self.family.len()];
+        for e in record.iter() {
+            for (i, v) in values.iter_mut().enumerate() {
+                let h = self.family.hash(i, e);
+                if h < *v {
+                    *v = h;
+                }
+            }
+        }
+        MinHashSignature { values }
+    }
+
+    /// Signs a plain element slice (convenience for ad-hoc queries).
+    pub fn sign_elements(&self, elements: &[ElementId]) -> MinHashSignature {
+        self.sign(&Record::new(elements.to_vec()))
+    }
+
+    /// Space cost of one signature, measured in elements (32-bit words).
+    ///
+    /// The paper's space accounting treats every stored hash value as one
+    /// element ("the number of signatures (i.e. hash values or elements)");
+    /// MinHash minima only need 32 bits of precision in practice, so one
+    /// element per hash function matches that accounting (the in-memory
+    /// `u64` representation here is an implementation convenience).
+    pub fn signature_cost_elements(&self) -> f64 {
+        self.family.len() as f64
+    }
+}
+
+/// The theoretical variance of the MinHash Jaccard estimator,
+/// `s(1 − s)/k` (Equation 7).
+pub fn jaccard_estimator_variance(s: f64, k: usize) -> f64 {
+    if k == 0 {
+        return f64::INFINITY;
+    }
+    (s * (1.0 - s)) / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbkmv_core::sim::jaccard;
+
+    fn rec(range: std::ops::Range<u32>) -> Record {
+        Record::new(range.collect())
+    }
+
+    #[test]
+    fn identical_records_have_identical_signatures() {
+        let signer = MinHashSigner::new(1, 64);
+        let a = signer.sign(&rec(0..500));
+        let b = signer.sign(&rec(0..500));
+        assert_eq!(a, b);
+        assert_eq!(a.jaccard_estimate(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_records_rarely_collide() {
+        let signer = MinHashSigner::new(2, 128);
+        let a = signer.sign(&rec(0..500));
+        let b = signer.sign(&rec(10_000..10_500));
+        assert!(a.jaccard_estimate(&b) < 0.05);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let signer = MinHashSigner::new(3, 512);
+        let a = rec(0..900);
+        let b = rec(300..1200);
+        let sig_a = signer.sign(&a);
+        let sig_b = signer.sign(&b);
+        let est = sig_a.jaccard_estimate(&sig_b);
+        let truth = jaccard(&a, &b);
+        assert!(
+            (est - truth).abs() < 0.06,
+            "estimate {est} too far from true Jaccard {truth}"
+        );
+    }
+
+    #[test]
+    fn estimator_is_symmetric() {
+        let signer = MinHashSigner::new(4, 128);
+        let a = signer.sign(&rec(0..300));
+        let b = signer.sign(&rec(100..400));
+        assert_eq!(a.jaccard_estimate(&b), b.jaccard_estimate(&a));
+    }
+
+    #[test]
+    fn empty_record_signature() {
+        let signer = MinHashSigner::new(5, 16);
+        let empty = signer.sign(&Record::default());
+        assert!(empty.values().iter().all(|&v| v == u64::MAX));
+        let other = signer.sign(&rec(0..10));
+        assert_eq!(empty.jaccard_estimate(&other), 0.0);
+    }
+
+    #[test]
+    fn zero_hash_signer() {
+        let signer = MinHashSigner::new(6, 0);
+        let sig = signer.sign(&rec(0..10));
+        assert!(sig.is_empty());
+        assert_eq!(sig.jaccard_estimate(&sig), 0.0);
+    }
+
+    #[test]
+    fn variance_formula() {
+        assert!((jaccard_estimator_variance(0.5, 100) - 0.0025).abs() < 1e-12);
+        assert_eq!(jaccard_estimator_variance(0.5, 0), f64::INFINITY);
+        assert_eq!(jaccard_estimator_variance(1.0, 10), 0.0);
+    }
+
+    #[test]
+    fn empirical_variance_matches_formula() {
+        // Build many independent signers and check the estimator's spread
+        // against s(1-s)/k.
+        let a = rec(0..600);
+        let b = rec(200..800);
+        let truth = jaccard(&a, &b);
+        let k = 64;
+        let estimates: Vec<f64> = (0..60u64)
+            .map(|seed| {
+                let signer = MinHashSigner::new(seed * 7919 + 13, k);
+                signer.sign(&a).jaccard_estimate(&signer.sign(&b))
+            })
+            .collect();
+        let mean: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        let var: f64 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
+            / estimates.len() as f64;
+        let expected = jaccard_estimator_variance(truth, k);
+        assert!((mean - truth).abs() < 0.05, "estimator should be unbiased");
+        assert!(
+            var < expected * 3.0 && var > expected / 5.0,
+            "empirical variance {var} inconsistent with theoretical {expected}"
+        );
+    }
+
+    #[test]
+    fn signature_cost_matches_paper_accounting() {
+        let signer = MinHashSigner::new(9, 256);
+        assert_eq!(signer.signature_cost_elements(), 256.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build a GB-KMV index over a small synthetic dataset and run a
+//! few containment similarity searches.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use gbkmv::prelude::*;
+
+fn main() {
+    // 1. Generate a synthetic set-valued dataset (2 000 records, skewed
+    //    element frequencies and record sizes, like the paper's corpora).
+    let data = SyntheticDataset::generate(SyntheticConfig {
+        num_records: 2_000,
+        universe_size: 30_000,
+        alpha_element_freq: 1.1,
+        alpha_record_size: 2.5,
+        min_record_len: 40,
+        max_record_len: 600,
+        seed: 7,
+    });
+    let dataset = data.dataset;
+    println!(
+        "dataset: {} records, {} element occurrences, avg length {:.1}",
+        dataset.len(),
+        dataset.total_elements(),
+        dataset.avg_record_len()
+    );
+
+    // 2. Build the GB-KMV index with a 10% space budget. The buffer size is
+    //    chosen automatically by the cost model; the global threshold τ is
+    //    derived from the remaining budget.
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.10));
+    let summary = index.summary();
+    println!(
+        "index: buffer r = {}, τ = {:.4}, space = {:.1}% of the dataset",
+        summary.buffer_size,
+        summary.tau,
+        100.0 * summary.space_used_fraction
+    );
+
+    // 3. Run containment similarity searches: take a few records as queries
+    //    and ask for every record containing at least half of the query.
+    let t_star = 0.5;
+    for qid in [0usize, 100, 500] {
+        let query = dataset.record(qid);
+        let hits = index.search(query.elements(), t_star);
+        println!(
+            "query {qid} (|Q| = {}): {} records with estimated containment ≥ {t_star}",
+            query.len(),
+            hits.len()
+        );
+        // Compare the top estimate against the exact value.
+        if let Some(best) = hits
+            .iter()
+            .max_by(|a, b| a.estimated_containment.total_cmp(&b.estimated_containment))
+        {
+            let exact = containment(query, dataset.record(best.record_id));
+            println!(
+                "  best hit: record {} (estimated {:.3}, exact {:.3})",
+                best.record_id, best.estimated_containment, exact
+            );
+        }
+    }
+
+    // 4. Sanity-check accuracy against the exact oracle on a small workload.
+    let workload = QueryWorkload::sample_from_dataset(&dataset, 50, 42);
+    let truth = GroundTruth::compute(&dataset, &workload.queries, t_star);
+    let report = evaluate_index(
+        &index,
+        &workload.queries,
+        &truth,
+        t_star,
+        dataset.total_elements(),
+    );
+    println!(
+        "accuracy over {} queries: precision {:.3}, recall {:.3}, F1 {:.3}",
+        workload.len(),
+        report.accuracy.precision,
+        report.accuracy.recall,
+        report.accuracy.f1
+    );
+}
