@@ -35,7 +35,9 @@ fn ablation_buffer_and_filter(c: &mut Criterion) {
             black_box(index.search(q, 0.5));
         }
     };
-    group.bench_function("gbkmv_auto_buffer", |b| b.iter(|| run(&with_buffer, &queries)));
+    group.bench_function("gbkmv_auto_buffer", |b| {
+        b.iter(|| run(&with_buffer, &queries))
+    });
     group.bench_function("gbkmv_no_buffer_gkmv", |b| {
         b.iter(|| run(&without_buffer, &queries))
     });

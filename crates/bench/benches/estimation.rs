@@ -39,7 +39,8 @@ fn pairwise_estimation(c: &mut Criterion) {
 
     let dataset = DatasetProfile::Netflix.generate_scaled(8);
     let stats = DatasetStats::compute(&dataset);
-    let sketcher = GbKmvSketcher::build(&dataset, &stats, hasher, 128, dataset.total_elements() / 10);
+    let sketcher =
+        GbKmvSketcher::build(&dataset, &stats, hasher, 128, dataset.total_elements() / 10);
     let sa = sketcher.sketch_record(&a);
     let sb = sketcher.sketch_record(&b_rec);
     group.bench_function("gbkmv_pair", |bch| {

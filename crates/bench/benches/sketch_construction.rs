@@ -29,7 +29,8 @@ fn per_record_sketches(c: &mut Criterion) {
 
     let dataset = DatasetProfile::Netflix.generate_scaled(8);
     let stats = DatasetStats::compute(&dataset);
-    let sketcher = GbKmvSketcher::build(&dataset, &stats, hasher, 64, dataset.total_elements() / 10);
+    let sketcher =
+        GbKmvSketcher::build(&dataset, &stats, hasher, 64, dataset.total_elements() / 10);
     group.bench_function("gbkmv_record", |b| {
         b.iter(|| sketcher.sketch_record(black_box(&record)))
     });
@@ -53,18 +54,14 @@ fn index_construction(c: &mut Criterion) {
         b.iter(|| KmvIndex::build(black_box(&dataset), KmvConfig::with_space_fraction(0.10)))
     });
     for &hashes in &[64usize, 128] {
-        group.bench_with_input(
-            BenchmarkId::new("lshe", hashes),
-            &hashes,
-            |b, &hashes| {
-                b.iter(|| {
-                    LshEnsembleIndex::build(
-                        black_box(&dataset),
-                        LshEnsembleConfig::with_num_hashes(hashes).partitions(8),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lshe", hashes), &hashes, |b, &hashes| {
+            b.iter(|| {
+                LshEnsembleIndex::build(
+                    black_box(&dataset),
+                    LshEnsembleConfig::with_num_hashes(hashes).partitions(8),
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -41,17 +41,17 @@ fn main() {
         let header = ["Buffer size r", "Model variance", "F1 score"];
         let mut rows = Vec::new();
         for &r in &buffer_sizes {
-            let variance = model
-                .variance_at(r)
-                .or_else(|| {
-                    Some(gbkmv_core::cost::model_variance(
-                        &env.stats,
-                        budget,
-                        r,
-                        &env.stats.record_sizes.iter().map(|&s| s as f64).collect::<Vec<_>>()[..64.min(env.stats.record_sizes.len())],
-                    ))
-                })
-                .unwrap_or(f64::NAN);
+            // For r beyond the model's own grid, evaluate with the same
+            // evenly-spaced size sample the grid search used so every row of
+            // the table is comparable.
+            let variance = model.variance_at(r).unwrap_or_else(|| {
+                gbkmv_core::cost::model_variance(
+                    &env.stats,
+                    budget,
+                    r,
+                    &gbkmv_core::cost::sample_record_sizes(&env.stats, 64),
+                )
+            });
             let index = GbKmvIndex::build(
                 &env.dataset,
                 GbKmvConfig::with_space_fraction(0.10).buffer_size(r),

@@ -23,9 +23,7 @@ fn main() {
         let env = ExperimentEnv::new(profile, scale, DEFAULT_THRESHOLD, DEFAULT_NUM_QUERIES);
         let avg_len = env.stats.avg_record_len;
 
-        let header = [
-            "Method", "Space", "Precision", "Recall", "F1", "F0.5",
-        ];
+        let header = ["Method", "Space", "Precision", "Recall", "F1", "F0.5"];
         let mut rows = Vec::new();
         for &fraction in &space_fractions {
             let gbkmv = build_gbkmv(&env.dataset, fraction);
@@ -54,7 +52,12 @@ fn main() {
                 fmt3(report.accuracy.f05),
             ]);
         }
-        println!("{} ({} records, avg length {:.0})", profile.name(), env.dataset.len(), avg_len);
+        println!(
+            "{} ({} records, avg length {:.0})",
+            profile.name(),
+            env.dataset.len(),
+            avg_len
+        );
         println!("{}", format_table(&header, &rows));
     }
     println!("Expected shape (paper): GB-KMV beats LSH-E on F1/F0.5 at comparable space; LSH-E recall is high, precision low.");

@@ -35,8 +35,20 @@ fn evaluate(dataset: &gbkmv_core::dataset::Dataset) -> (f64, f64) {
     let truth = GroundTruth::compute(dataset, &workload.queries, DEFAULT_THRESHOLD);
     let gbkmv = build_gbkmv(dataset, 0.10);
     let lshe = build_lshe(dataset, 128);
-    let g = evaluate_index(&gbkmv, &workload.queries, &truth, DEFAULT_THRESHOLD, stats.total_elements);
-    let l = evaluate_index(&lshe, &workload.queries, &truth, DEFAULT_THRESHOLD, stats.total_elements);
+    let g = evaluate_index(
+        &gbkmv,
+        &workload.queries,
+        &truth,
+        DEFAULT_THRESHOLD,
+        stats.total_elements,
+    );
+    let l = evaluate_index(
+        &lshe,
+        &workload.queries,
+        &truth,
+        DEFAULT_THRESHOLD,
+        stats.total_elements,
+    );
     (g.accuracy.f1, l.accuracy.f1)
 }
 

@@ -45,7 +45,13 @@ fn part_a(scale: usize) {
     let mut rows = Vec::new();
     for &fraction in &[0.02f64, 0.05, 0.10] {
         let index = build_gbkmv(&dataset, fraction);
-        let r = evaluate_index(&index, &workload.queries, &truth, DEFAULT_THRESHOLD, stats.total_elements);
+        let r = evaluate_index(
+            &index,
+            &workload.queries,
+            &truth,
+            DEFAULT_THRESHOLD,
+            stats.total_elements,
+        );
         rows.push(vec![
             "GB-KMV".to_string(),
             format!("{:.0}% space", fraction * 100.0),
@@ -55,7 +61,13 @@ fn part_a(scale: usize) {
     }
     for &hashes in &[32usize, 64, 128] {
         let index = build_lshe(&dataset, hashes);
-        let r = evaluate_index(&index, &workload.queries, &truth, DEFAULT_THRESHOLD, stats.total_elements);
+        let r = evaluate_index(
+            &index,
+            &workload.queries,
+            &truth,
+            DEFAULT_THRESHOLD,
+            stats.total_elements,
+        );
         rows.push(vec![
             "LSH-E".to_string(),
             format!("{hashes} hashes"),
@@ -98,7 +110,11 @@ fn part_b(scale: usize) {
             .take(8)
             .map(|&id| dataset.record(id).clone())
             .collect();
-        let max_len = slice.iter().map(|&id| dataset.record(id).len()).max().unwrap();
+        let max_len = slice
+            .iter()
+            .map(|&id| dataset.record(id).len())
+            .max()
+            .unwrap();
 
         let time_per_query = |index: &dyn ContainmentIndex| {
             let start = Instant::now();

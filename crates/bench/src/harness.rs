@@ -100,7 +100,8 @@ impl ExperimentEnv {
     pub fn new(profile: DatasetProfile, scale: usize, threshold: f64, num_queries: usize) -> Self {
         let dataset = profile.generate_scaled(scale);
         let stats = DatasetStats::compute(&dataset);
-        let workload = QueryWorkload::sample_from_dataset(&dataset, num_queries, 0xBEEF ^ scale as u64);
+        let workload =
+            QueryWorkload::sample_from_dataset(&dataset, num_queries, 0xBEEF ^ scale as u64);
         let ground_truth = GroundTruth::compute(&dataset, &workload.queries, threshold);
         ExperimentEnv {
             profile,

@@ -73,11 +73,7 @@ impl BufferCostModel {
     /// Evaluates the model for every candidate `r` and selects the optimum.
     ///
     /// `budget_elements` is the total index budget `b` in elements.
-    pub fn evaluate(
-        stats: &DatasetStats,
-        budget_elements: usize,
-        config: CostModelConfig,
-    ) -> Self {
+    pub fn evaluate(stats: &DatasetStats, budget_elements: usize, config: CostModelConfig) -> Self {
         let size_sample = sample_record_sizes(stats, config.pair_sample_size);
         let max_r = config
             .max_buffer_size
@@ -122,33 +118,39 @@ impl BufferCostModel {
     }
 }
 
-/// Minimum expected number of G-KMV hash values per record the buffer is not
-/// allowed to starve the sketch below. Equation 11's variance is derived for
-/// the asymptotic regime of the KMV estimator; with fewer than a handful of
-/// samples per record the model underestimates the true error, so the grid
-/// search never trades the sketch below this floor.
-const MIN_GKMV_SAMPLES_PER_RECORD: usize = 8;
+/// Minimum expected number of G-KMV hash values per record the buffer may
+/// not starve the sketch below. Equation 11's variance is derived for the
+/// asymptotic regime of the KMV estimator; a record whose sketch holds no
+/// samples at all estimates its entire non-buffered intersection as zero, so
+/// a thin floor is kept even when the model's average-variance optimum would
+/// spend everything on the buffer.
+const MIN_GKMV_SAMPLES_PER_RECORD: usize = 2;
 
-/// The largest buffer considered by the grid search.
+/// The largest buffer considered by the grid search: the bitmap
+/// (`m·r/32` elements) must leave at least [`MIN_GKMV_SAMPLES_PER_RECORD`]
+/// elements of expected G-KMV budget per record.
 ///
-/// Two constraints: the bitmap must leave at least
-/// [`MIN_GKMV_SAMPLES_PER_RECORD`] elements of G-KMV budget per record on
-/// average, and it may consume at most half of the total budget. Both keep
-/// the model honest at very small budgets, where the closed-form variance
-/// underestimates how much a starved G-KMV part hurts the estimator.
+/// No other cap is imposed. On skewed data with tight budgets the optimum
+/// genuinely spends most of the budget on the buffer — exact coverage of the
+/// frequent, intersection-heavy elements beats a slightly larger but still
+/// starved G-KMV sketch — and the model's variance function accounts for a
+/// starved sketch via the `k ≤ 2` worst case and the shrinking residual
+/// mass `f_{n2} − f_{r2}`.
 fn max_buffer_for_budget(num_records: usize, budget_elements: usize) -> usize {
     if num_records == 0 {
         return 0;
     }
-    let slack = budget_elements
-        .saturating_sub(num_records * MIN_GKMV_SAMPLES_PER_RECORD)
-        .min(budget_elements / 2);
+    let slack = budget_elements.saturating_sub(num_records * MIN_GKMV_SAMPLES_PER_RECORD);
     (32 * slack) / num_records
 }
 
 /// Samples up to `count` record sizes, evenly spaced over the sorted size
 /// distribution so both small and large records are represented.
-fn sample_record_sizes(stats: &DatasetStats, count: usize) -> Vec<f64> {
+///
+/// Public so that callers evaluating [`model_variance`] outside the grid
+/// search (e.g. the Figure 5 sweep) use the same sampling scheme as
+/// [`BufferCostModel::evaluate`].
+pub fn sample_record_sizes(stats: &DatasetStats, count: usize) -> Vec<f64> {
     let mut sizes: Vec<usize> = stats.record_sizes.clone();
     if sizes.is_empty() {
         return Vec::new();

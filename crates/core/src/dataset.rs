@@ -291,10 +291,7 @@ impl DatasetBuilder {
                 continue;
             }
             let next_id = self.interner.len() as ElementId;
-            let id = *self
-                .interner
-                .entry(token.to_owned())
-                .or_insert(next_id);
+            let id = *self.interner.entry(token.to_owned()).or_insert(next_id);
             elements.push(id);
         }
         let record = Record::new(elements);

@@ -241,6 +241,7 @@ mod tests {
         // Element 2 is the most frequent and must be buffered.
         assert!(sketcher.layout().contains(2));
         let sketch = sketcher.sketch_record(dataset.record(1)); // {2,3,5}
+
         // The G-KMV part must not contain the hash of element 2.
         let h2 = sketcher.hasher().hash(2);
         assert!(!sketch.gkmv.hashes().contains(&h2));
@@ -281,14 +282,21 @@ mod tests {
         let mut pairs = 0usize;
         for i in (0..dataset.len()).step_by(7) {
             for j in (0..dataset.len()).step_by(11) {
-                let est = sketcher.estimate_containment(&sketches[i], &sketches[j], dataset.record(i).len());
+                let est = sketcher.estimate_containment(
+                    &sketches[i],
+                    &sketches[j],
+                    dataset.record(i).len(),
+                );
                 let exact = containment(dataset.record(i), dataset.record(j));
                 abs_err += (est - exact).abs();
                 pairs += 1;
             }
         }
         let mae = abs_err / pairs as f64;
-        assert!(mae < 0.15, "mean absolute containment error too large: {mae}");
+        assert!(
+            mae < 0.15,
+            "mean absolute containment error too large: {mae}"
+        );
     }
 
     #[test]
@@ -318,8 +326,6 @@ mod tests {
         // With r = 0 the estimate must equal the raw G-KMV estimate.
         let pair = with_buffer.estimate_pair(&sketches[0], &sketches[1]);
         assert_eq!(pair.buffer_overlap, 0);
-        assert!(
-            (pair.intersection_estimate - pair.gkmv.intersection_estimate).abs() < 1e-12
-        );
+        assert!((pair.intersection_estimate - pair.gkmv.intersection_estimate).abs() < 1e-12);
     }
 }

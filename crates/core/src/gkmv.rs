@@ -310,7 +310,10 @@ mod tests {
         assert!(stored <= budget, "stored {stored} exceeds budget {budget}");
         // The threshold is maximal: admitting the next larger hash value
         // would exceed the budget. We check it is at least 80% utilised.
-        assert!(stored * 10 >= budget * 8, "budget badly under-utilised: {stored}/{budget}");
+        assert!(
+            stored * 10 >= budget * 8,
+            "budget badly under-utilised: {stored}/{budget}"
+        );
     }
 
     #[test]
@@ -338,7 +341,8 @@ mod tests {
         let budget = 500;
         let plain = GlobalThreshold::from_budget(&dataset, &hasher, budget);
         // Exclude half the universe: the same budget now admits a larger τ.
-        let excl = GlobalThreshold::from_budget_excluding(&dataset, &hasher, budget, |e| e % 2 == 0);
+        let excl =
+            GlobalThreshold::from_budget_excluding(&dataset, &hasher, budget, |e| e % 2 == 0);
         assert!(excl.raw >= plain.raw);
     }
 

@@ -158,7 +158,9 @@ impl HashFamily {
     pub fn hasher(&self, i: usize) -> Hasher64 {
         // Hasher64::new pre-mixes, so reconstruct an equivalent hasher by
         // storing the already-mixed seed directly.
-        Hasher64 { seed: self.seeds[i] }
+        Hasher64 {
+            seed: self.seeds[i],
+        }
     }
 
     /// Iterates over the per-function seeds.

@@ -426,7 +426,10 @@ impl GbKmvIndex {
         let sketch = self.sketcher.sketch_record(record);
         if self.config.use_candidate_filter {
             for &h in sketch.gkmv.hashes() {
-                self.signature_postings.entry(h).or_default().push(id as u32);
+                self.signature_postings
+                    .entry(h)
+                    .or_default()
+                    .push(id as u32);
             }
             for pos in sketch.buffer.set_positions() {
                 self.buffer_postings[pos as usize].push(id as u32);
@@ -537,7 +540,10 @@ mod tests {
                 .collect();
             scan.sort_unstable();
             filt.sort_unstable();
-            assert_eq!(scan, filt, "query {qid}: filtered search diverged from scan");
+            assert_eq!(
+                scan, filt,
+                "query {qid}: filtered search diverged from scan"
+            );
         }
     }
 
@@ -636,8 +642,16 @@ mod tests {
             GbKmvConfig::with_space_fraction(0.4).candidate_filter(false),
         );
         let query = dataset.record(7);
-        let a: Vec<usize> = filtered.search_topk(query, 10).iter().map(|h| h.record_id).collect();
-        let b: Vec<usize> = scan.search_topk(query, 10).iter().map(|h| h.record_id).collect();
+        let a: Vec<usize> = filtered
+            .search_topk(query, 10)
+            .iter()
+            .map(|h| h.record_id)
+            .collect();
+        let b: Vec<usize> = scan
+            .search_topk(query, 10)
+            .iter()
+            .map(|h| h.record_id)
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -172,7 +172,11 @@ impl KmvSketch {
             };
         }
         let u_k = union_sketch.kth_unit().unwrap_or(1.0);
-        let union_estimate = if k >= 2 { (k as f64 - 1.0) / u_k } else { k as f64 };
+        let union_estimate = if k >= 2 {
+            (k as f64 - 1.0) / u_k
+        } else {
+            k as f64
+        };
         let k_intersection = union_sketch
             .hashes
             .iter()
@@ -231,8 +235,7 @@ pub fn intersection_variance(d_intersection: f64, d_union: f64, k: f64) -> f64 {
     if k <= 2.0 {
         return f64::INFINITY;
     }
-    let numerator =
-        d_intersection * (k * d_union - k * k - d_union + k + d_intersection);
+    let numerator = d_intersection * (k * d_union - k * k - d_union + k + d_intersection);
     (numerator / (k * (k - 2.0))).max(0.0)
 }
 

@@ -40,10 +40,8 @@ impl SizePartitions {
     /// possible to) the same number of records. This is the scheme LSH-E
     /// proves optimal for power-law size distributions.
     pub fn equal_depth(dataset: &Dataset, num_partitions: usize) -> Self {
-        let mut by_size: Vec<(usize, RecordId)> = dataset
-            .iter()
-            .map(|(id, r)| (r.len(), id))
-            .collect();
+        let mut by_size: Vec<(usize, RecordId)> =
+            dataset.iter().map(|(id, r)| (r.len(), id)).collect();
         by_size.sort_unstable();
         Self::from_sorted(by_size, num_partitions.max(1), true)
     }
@@ -51,10 +49,8 @@ impl SizePartitions {
     /// Equal-width partitioning: the size range is split into equally wide
     /// intervals. Provided for the ablation of LSH-E's partitioning choice.
     pub fn equal_width(dataset: &Dataset, num_partitions: usize) -> Self {
-        let mut by_size: Vec<(usize, RecordId)> = dataset
-            .iter()
-            .map(|(id, r)| (r.len(), id))
-            .collect();
+        let mut by_size: Vec<(usize, RecordId)> =
+            dataset.iter().map(|(id, r)| (r.len(), id)).collect();
         by_size.sort_unstable();
         if by_size.is_empty() {
             return SizePartitions {

@@ -110,10 +110,7 @@ fn mle_alpha(tail: &[f64], x_min: f64) -> Option<f64> {
     if x_min <= 0.0 {
         return None;
     }
-    let log_sum: f64 = tail
-        .iter()
-        .map(|&v| (v / x_min).ln().max(0.0))
-        .sum();
+    let log_sum: f64 = tail.iter().map(|&v| (v / x_min).ln().max(0.0)).sum();
     if log_sum <= f64::EPSILON {
         // All observations equal x_min: exponent is unbounded; report a large
         // sentinel rather than None so degenerate-but-valid data still fits.

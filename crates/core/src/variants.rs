@@ -233,8 +233,14 @@ impl PartitionedKmvIndex {
     }
 
     fn split_query(&self, query: &Record) -> (KmvSketch, KmvSketch) {
-        let high: Vec<ElementId> = query.iter().filter(|e| self.high_freq.contains(e)).collect();
-        let low: Vec<ElementId> = query.iter().filter(|e| !self.high_freq.contains(e)).collect();
+        let high: Vec<ElementId> = query
+            .iter()
+            .filter(|e| self.high_freq.contains(e))
+            .collect();
+        let low: Vec<ElementId> = query
+            .iter()
+            .filter(|e| !self.high_freq.contains(e))
+            .collect();
         (
             KmvSketch::from_record(&Record::new(high), &self.hasher, self.k_high),
             KmvSketch::from_record(&Record::new(low), &self.hasher, self.k_low),

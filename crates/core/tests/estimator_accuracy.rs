@@ -1,0 +1,224 @@
+//! Focused unit tests for the paper's core estimators on small *fixed*
+//! datasets (no randomness): GB-KMV containment estimates versus exact
+//! containment, plus the buffer / partition edge cases (empty record,
+//! singleton, all-duplicates).
+
+use gbkmv_core::buffer::BufferLayout;
+use gbkmv_core::dataset::{Dataset, Record};
+use gbkmv_core::gbkmv::GbKmvSketcher;
+use gbkmv_core::gkmv::{GKmvSketch, GlobalThreshold};
+use gbkmv_core::hash::Hasher64;
+use gbkmv_core::index::{ContainmentIndex, GbKmvConfig, GbKmvIndex};
+use gbkmv_core::kmv::KmvSketch;
+use gbkmv_core::partition::SizePartitions;
+use gbkmv_core::sim::containment;
+use gbkmv_core::stats::DatasetStats;
+
+/// Example 1 of the paper: four small records over a tiny universe.
+fn example1_dataset() -> Dataset {
+    Dataset::from_records(vec![
+        vec![1, 2, 3, 4, 7],
+        vec![2, 3, 5],
+        vec![2, 4, 5],
+        vec![1, 2, 6, 10],
+    ])
+}
+
+#[test]
+fn saturated_sketcher_estimates_equal_exact_containment() {
+    // With τ = keep-all and no buffer, the G-KMV part stores every hash, so
+    // the GB-KMV estimate degenerates to the exact containment (the
+    // degenerate case of Theorem 2 / Equation 27).
+    let dataset = example1_dataset();
+    let sketcher = GbKmvSketcher::new(
+        Hasher64::new(42),
+        BufferLayout::empty(),
+        GlobalThreshold::keep_all(),
+    );
+    let sketches = sketcher.sketch_dataset(&dataset);
+    for (qid, q) in dataset.iter() {
+        for (rid, x) in dataset.iter() {
+            let est = sketcher.estimate_containment(&sketches[qid], &sketches[rid], q.len());
+            let exact = containment(q, x);
+            assert!(
+                (est - exact).abs() < 1e-9,
+                "pair ({qid}, {rid}): estimate {est} != exact {exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturated_sketcher_with_buffer_is_still_exact() {
+    // Splitting coverage between the buffer (frequent elements, exact) and a
+    // saturated G-KMV sketch (everything else) must not change the estimate:
+    // the two parts are disjoint by construction.
+    let dataset = example1_dataset();
+    let stats = DatasetStats::compute(&dataset);
+    let budget = dataset.total_elements() * 2;
+    for buffer_size in [1usize, 2, 4, 8] {
+        let sketcher =
+            GbKmvSketcher::build(&dataset, &stats, Hasher64::new(7), buffer_size, budget);
+        let sketches = sketcher.sketch_dataset(&dataset);
+        for (qid, q) in dataset.iter() {
+            for (rid, x) in dataset.iter() {
+                let est = sketcher.estimate_containment(&sketches[qid], &sketches[rid], q.len());
+                let exact = containment(q, x);
+                assert!(
+                    (est - exact).abs() < 1e-9,
+                    "r={buffer_size}, pair ({qid}, {rid}): estimate {est} != exact {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_budget_index_search_equals_exact_search_on_example1() {
+    let dataset = example1_dataset();
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(2.0));
+    // Q = {1, 2, 3, 5, 7, 9} from the paper's running example: C(Q, X1) =
+    // 4/6, C(Q, X2) = 3/6, C(Q, X3) = 2/6, C(Q, X4) = 2/6.
+    let query = vec![1u32, 2, 3, 5, 7, 9];
+    let hits = index.search(&query, 0.5);
+    let mut ids: Vec<usize> = hits.iter().map(|h| h.record_id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![0, 1], "t* = 0.5 must return exactly X1 and X2");
+}
+
+#[test]
+fn empty_record_sketches_are_empty_and_estimate_zero() {
+    let empty = Record::new(Vec::new());
+    let hasher = Hasher64::new(3);
+
+    let kmv = KmvSketch::from_record(&empty, &hasher, 16);
+    assert!(kmv.is_empty() && kmv.is_exhaustive());
+    assert_eq!(kmv.distinct_estimate(), 0.0);
+
+    let gkmv = GKmvSketch::from_record(&empty, &hasher, GlobalThreshold::keep_all());
+    assert_eq!(gkmv.len(), 0);
+
+    let sketcher = GbKmvSketcher::new(
+        hasher,
+        BufferLayout::new(vec![1, 2, 3]),
+        GlobalThreshold::keep_all(),
+    );
+    let se = sketcher.sketch_record(&empty);
+    let other = sketcher.sketch_record(&Record::new(vec![1, 2, 3, 4]));
+    // An empty query has containment 0 by convention (division guard).
+    assert_eq!(sketcher.estimate_containment(&se, &other, 0), 0.0);
+    // An empty record also intersects nothing.
+    assert_eq!(
+        sketcher.estimate_pair(&se, &other).intersection_estimate,
+        0.0
+    );
+}
+
+#[test]
+fn singleton_record_estimates_are_exact() {
+    let singleton = Record::new(vec![99]);
+    let hasher = Hasher64::new(5);
+
+    let kmv = KmvSketch::from_record(&singleton, &hasher, 16);
+    assert!(kmv.is_exhaustive());
+    assert_eq!(kmv.distinct_estimate(), 1.0);
+
+    let sketcher = GbKmvSketcher::new(hasher, BufferLayout::empty(), GlobalThreshold::keep_all());
+    let ss = sketcher.sketch_record(&singleton);
+    // Containment of the singleton in itself is exactly 1.
+    assert!((sketcher.estimate_containment(&ss, &ss, singleton.len()) - 1.0).abs() < 1e-12);
+    // And in a record that contains it.
+    let superset = sketcher.sketch_record(&Record::new(vec![7, 99, 200]));
+    assert!((sketcher.estimate_containment(&ss, &superset, 1) - 1.0).abs() < 1e-12);
+    // And 0 in a disjoint record.
+    let disjoint = sketcher.sketch_record(&Record::new(vec![7, 200]));
+    assert_eq!(sketcher.estimate_containment(&ss, &disjoint, 1), 0.0);
+}
+
+#[test]
+fn all_duplicates_record_collapses_to_one_element() {
+    // Records are sets: duplicate elements must not inflate any estimate.
+    let dupes = Record::new(vec![5, 5, 5, 5, 5]);
+    assert_eq!(dupes.len(), 1, "Record::new must deduplicate");
+
+    let hasher = Hasher64::new(9);
+    let kmv = KmvSketch::from_record(&dupes, &hasher, 8);
+    assert_eq!(kmv.len(), 1);
+    assert_eq!(kmv.distinct_estimate(), 1.0);
+
+    let layout = BufferLayout::new(vec![5]);
+    let buffer = layout.build_buffer(&dupes);
+    assert_eq!(buffer.count_ones(), 1);
+    assert_eq!(buffer.intersection_count(&layout.build_buffer(&dupes)), 1);
+}
+
+#[test]
+fn buffer_layout_edge_cases() {
+    // Empty layout: no bits, zero cost, no intersections.
+    let empty_layout = BufferLayout::empty();
+    assert!(empty_layout.is_empty());
+    assert_eq!(empty_layout.cost_per_record(), 0.0);
+    let a = empty_layout.build_buffer(&Record::new(vec![1, 2, 3]));
+    let b = empty_layout.build_buffer(&Record::new(vec![2, 3, 4]));
+    assert_eq!(a.intersection_count(&b), 0);
+
+    // A layout never records elements outside itself.
+    let layout = BufferLayout::new(vec![10, 20, 30]);
+    let c = layout.build_buffer(&Record::new(vec![10, 99, 30]));
+    assert_eq!(c.count_ones(), 2);
+    assert!(!layout.contains(99));
+
+    // Buffer of an empty record intersects nothing.
+    let e = layout.build_buffer(&Record::new(Vec::new()));
+    assert_eq!(e.count_ones(), 0);
+    assert_eq!(e.intersection_count(&c), 0);
+}
+
+#[test]
+fn partition_edge_cases() {
+    // Empty dataset: no partitions, nothing covered.
+    let empty = Dataset::default();
+    let parts = SizePartitions::equal_depth(&empty, 4);
+    assert!(parts.is_empty());
+
+    // Single record: exactly one non-empty partition containing record 0.
+    let single = Dataset::from_records(vec![vec![1u32, 2, 3]]);
+    let parts = SizePartitions::equal_depth(&single, 4);
+    let covered: Vec<usize> = parts
+        .partitions()
+        .iter()
+        .flat_map(|p| p.records.clone())
+        .collect();
+    assert_eq!(covered, vec![0]);
+
+    // More partitions than records still covers every record exactly once.
+    let tiny = example1_dataset();
+    let parts = SizePartitions::equal_depth(&tiny, 16);
+    let mut covered: Vec<usize> = parts
+        .partitions()
+        .iter()
+        .flat_map(|p| p.records.clone())
+        .collect();
+    covered.sort_unstable();
+    assert_eq!(covered, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn index_handles_degenerate_records() {
+    // A dataset mixing an all-duplicates record, a singleton and normal
+    // records builds and answers self-queries at full budget.
+    let dataset = Dataset::from_records(vec![
+        vec![5u32, 5, 5, 5],
+        vec![42],
+        vec![1, 2, 3, 4, 5, 6, 7, 8],
+        vec![2, 4, 6, 8, 10, 12],
+    ]);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(2.0));
+    for (rid, record) in dataset.iter() {
+        let hits = index.search(record.elements(), 0.9);
+        assert!(
+            hits.iter().any(|h| h.record_id == rid),
+            "record {rid} should match itself at full budget"
+        );
+    }
+}

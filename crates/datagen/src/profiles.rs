@@ -295,9 +295,8 @@ mod tests {
         let uniform = DatasetProfile::UniformSynthetic.generate_scaled(4);
         let s_reuters = DatasetStats::compute(&reuters);
         let s_uniform = DatasetStats::compute(&uniform);
-        let head_share = |s: &DatasetStats| {
-            s.top_frequency_mass(10) as f64 / s.total_elements.max(1) as f64
-        };
+        let head_share =
+            |s: &DatasetStats| s.top_frequency_mass(10) as f64 / s.total_elements.max(1) as f64;
         assert!(
             head_share(&s_reuters) > head_share(&s_uniform) * 3.0,
             "Reuters head share {} should dominate uniform {}",

@@ -37,7 +37,10 @@ impl QueryWorkload {
         while chosen.len() < count && !dataset.is_empty() {
             chosen.push(rng.random_range(0..dataset.len()));
         }
-        let queries = chosen.iter().map(|&id| dataset.record(id).clone()).collect();
+        let queries = chosen
+            .iter()
+            .map(|&id| dataset.record(id).clone())
+            .collect();
         QueryWorkload {
             queries,
             source_records: chosen.into_iter().map(Some).collect(),

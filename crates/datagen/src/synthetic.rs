@@ -195,7 +195,11 @@ mod tests {
         let d = SyntheticDataset::generate(config).dataset;
         assert_eq!(d.len(), 300);
         for record in d.records() {
-            assert!(record.len() >= 5, "record unexpectedly tiny: {}", record.len());
+            assert!(
+                record.len() >= 5,
+                "record unexpectedly tiny: {}",
+                record.len()
+            );
             assert!(record.len() <= 120);
         }
     }
@@ -216,8 +220,7 @@ mod tests {
         // The most frequent element must cover far more records than the
         // median element under a skewed generator.
         let top = stats.element_frequencies.first().unwrap().frequency;
-        let median =
-            stats.element_frequencies[stats.element_frequencies.len() / 2].frequency;
+        let median = stats.element_frequencies[stats.element_frequencies.len() / 2].frequency;
         assert!(
             top >= median * 10,
             "element skew not visible: top={top}, median={median}"

@@ -205,7 +205,11 @@ mod tests {
         let index = GbKmvIndex::build(&d, GbKmvConfig::with_space_fraction(0.2));
         let report = evaluate_index(&index, &workload.queries, &truth, 0.5, d.total_elements());
         assert_eq!(report.method, "GB-KMV");
-        assert!(report.accuracy.f1 > 0.3, "F1 {} too low", report.accuracy.f1);
+        assert!(
+            report.accuracy.f1 > 0.3,
+            "F1 {} too low",
+            report.accuracy.f1
+        );
         assert!(report.space_fraction > 0.0 && report.space_fraction < 0.5);
         assert!(report.avg_query_seconds >= 0.0);
         assert!(report.accuracy.f1_max >= report.accuracy.f1_min);

@@ -66,7 +66,8 @@ impl InvertedIndex {
     ///
     /// This is the merge-count kernel used by the FrequentSet-style search.
     pub fn overlap_counts(&self, query: &[ElementId]) -> Vec<(RecordId, usize)> {
-        let mut counts: std::collections::HashMap<RecordId, usize> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<RecordId, usize> =
+            std::collections::HashMap::new();
         for &e in query {
             for &rid in self.postings(e) {
                 *counts.entry(rid).or_insert(0) += 1;

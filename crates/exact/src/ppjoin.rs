@@ -53,8 +53,7 @@ impl PpJoinIndex {
             }
         }
         // Global frequency order: rarest first, ties by element id.
-        let mut by_freq: Vec<(usize, ElementId)> =
-            df.iter().map(|(&e, &f)| (f, e)).collect();
+        let mut by_freq: Vec<(usize, ElementId)> = df.iter().map(|(&e, &f)| (f, e)).collect();
         by_freq.sort_unstable();
         let element_rank: HashMap<ElementId, u32> = by_freq
             .iter()
@@ -141,8 +140,7 @@ impl PpJoinIndex {
         for (rid, (count, qi_last, pos_last)) in candidates {
             // Positional filter: overlap ≤ prefix matches + what can still be
             // matched after the last match positions in both sequences.
-            let bound =
-                count + (q - qi_last - 1).min(self.record_sizes[rid] - pos_last - 1);
+            let bound = count + (q - qi_last - 1).min(self.record_sizes[rid] - pos_last - 1);
             if bound < threshold.exact {
                 continue;
             }

@@ -258,6 +258,9 @@ mod tests {
             high_hits > low_hits,
             "high-similarity records should be retrieved more often ({high_hits} vs {low_hits})"
         );
-        assert!(high_hits >= 30, "most high-similarity records should be found");
+        assert!(
+            high_hits >= 30,
+            "most high-similarity records should be found"
+        );
     }
 }

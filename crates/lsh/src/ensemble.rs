@@ -245,7 +245,9 @@ mod tests {
     #[test]
     fn build_produces_partitions_and_space() {
         let dataset = test_dataset(200);
-        let config = LshEnsembleConfig::with_num_hashes(64).partitions(8).bands(16);
+        let config = LshEnsembleConfig::with_num_hashes(64)
+            .partitions(8)
+            .bands(16);
         let index = LshEnsembleIndex::build(&dataset, config);
         assert_eq!(index.num_records(), 200);
         assert_eq!(index.num_partitions(), 8);
@@ -258,7 +260,9 @@ mod tests {
         let dataset = test_dataset(150);
         let index = LshEnsembleIndex::build(
             &dataset,
-            LshEnsembleConfig::with_num_hashes(128).partitions(8).bands(32),
+            LshEnsembleConfig::with_num_hashes(128)
+                .partitions(8)
+                .bands(32),
         );
         for qid in (0..150).step_by(17) {
             let hits = index.search_record(dataset.record(qid), 0.7);
@@ -274,7 +278,9 @@ mod tests {
         let dataset = test_dataset(200);
         let index = LshEnsembleIndex::build(
             &dataset,
-            LshEnsembleConfig::with_num_hashes(128).partitions(8).bands(32),
+            LshEnsembleConfig::with_num_hashes(128)
+                .partitions(8)
+                .bands(32),
         );
         let t_star = 0.5;
         let mut recalled = 0usize;
@@ -310,7 +316,9 @@ mod tests {
         let dataset = test_dataset(120);
         let index = LshEnsembleIndex::build(
             &dataset,
-            LshEnsembleConfig::with_num_hashes(64).partitions(6).bands(16),
+            LshEnsembleConfig::with_num_hashes(64)
+                .partitions(6)
+                .bands(16),
         );
         let hits = index.search_record(dataset.record(3), 0.3);
         let ids: Vec<usize> = hits.iter().map(|h| h.record_id).collect();
@@ -325,7 +333,9 @@ mod tests {
         let dataset = test_dataset(150);
         let index = LshEnsembleIndex::build(
             &dataset,
-            LshEnsembleConfig::with_num_hashes(128).partitions(8).bands(32),
+            LshEnsembleConfig::with_num_hashes(128)
+                .partitions(8)
+                .bands(32),
         );
         let query = dataset.record(10);
         let strict = index.search_record(query, 0.9).len();

@@ -84,8 +84,7 @@ pub fn minhash_estimator_moments(
     // E[t̂] ≈ t·(1 − (1 − s) / (k (1 + s)²))        (Equation 18)
     let expectation = t * (1.0 - (1.0 - s) / (k * one_plus_s * one_plus_s));
     // Var[t̂] ≈ D∩²(1−s)[k(1+s)² − s(1−s)] / (q² k² s (1+s)⁴)   (Equation 19)
-    let numerator =
-        d_inter * d_inter * (1.0 - s) * (k * one_plus_s * one_plus_s - s * (1.0 - s));
+    let numerator = d_inter * d_inter * (1.0 - s) * (k * one_plus_s * one_plus_s - s * (1.0 - s));
     let denominator = q * q * k * k * s * one_plus_s.powi(4);
     EstimatorMoments {
         expectation,
@@ -132,7 +131,8 @@ mod tests {
         let q = rec(0..400);
         let x = rec(200..1200);
         let signer = MinHashSigner::new(31, 512);
-        let est = minhash_containment_estimator(&signer.sign(&q), &signer.sign(&x), x.len(), q.len());
+        let est =
+            minhash_containment_estimator(&signer.sign(&q), &signer.sign(&x), x.len(), q.len());
         let truth = containment(&q, &x);
         assert!(
             (est - truth).abs() < 0.1,
@@ -218,8 +218,8 @@ mod tests {
             })
             .collect();
         let mean: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
-        let var: f64 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-            / estimates.len() as f64;
+        let var: f64 =
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / estimates.len() as f64;
         assert!(
             var < theory.variance * 5.0 && var > theory.variance / 5.0,
             "empirical variance {var} not within 5x of Taylor approximation {}",

@@ -107,8 +107,10 @@ impl LshForest {
             // Range scan: all keys whose first `depth` values equal `prefix`.
             let upper = prefix_successor(&prefix);
             let range = match &upper {
-                Some(upper) => self.trees[band]
-                    .range((Bound::Included(prefix.clone()), Bound::Excluded(upper.clone()))),
+                Some(upper) => self.trees[band].range((
+                    Bound::Included(prefix.clone()),
+                    Bound::Excluded(upper.clone()),
+                )),
                 None => self.trees[band].range((Bound::Included(prefix.clone()), Bound::Unbounded)),
             };
             for (_, ids) in range {

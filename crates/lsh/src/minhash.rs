@@ -206,8 +206,8 @@ mod tests {
             })
             .collect();
         let mean: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
-        let var: f64 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-            / estimates.len() as f64;
+        let var: f64 =
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / estimates.len() as f64;
         let expected = jaccard_estimator_variance(truth, k);
         assert!((mean - truth).abs() < 0.05, "estimator should be unbiased");
         assert!(

@@ -6,8 +6,8 @@
 
 use std::time::Instant;
 
-use gbkmv::prelude::*;
 use gbkmv::core::index::ContainmentIndex;
+use gbkmv::prelude::*;
 
 fn main() {
     // Simulate an open-data catalogue: ~800 "columns" (sets of cell values)

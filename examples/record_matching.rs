@@ -31,9 +31,7 @@ fn main() {
 
     // The last two "records" are really our queries; split them off.
     let num_queries = 2;
-    let dataset = Dataset::from_records(
-        full.records()[..full.len() - num_queries].to_vec(),
-    );
+    let dataset = Dataset::from_records(full.records()[..full.len() - num_queries].to_vec());
     let queries: Vec<Record> = full.records()[full.len() - num_queries..].to_vec();
 
     // Exact similarities first: show why containment is the right function.

@@ -55,8 +55,14 @@ fn exact_methods_agree_pairwise() {
             a.sort_unstable();
             b.sort_unstable();
             c.sort_unstable();
-            assert_eq!(a, b, "ppjoin disagreed with brute force (query {qi}, t={t})");
-            assert_eq!(a, c, "freqset disagreed with brute force (query {qi}, t={t})");
+            assert_eq!(
+                a, b,
+                "ppjoin disagreed with brute force (query {qi}, t={t})"
+            );
+            assert_eq!(
+                a, c,
+                "freqset disagreed with brute force (query {qi}, t={t})"
+            );
         }
     }
 }
@@ -84,7 +90,11 @@ fn gbkmv_beats_plain_kmv_on_f1() {
     // Absolute accuracy on this small, short-record synthetic dataset is
     // modest (each record only gets a handful of hash values at 10%); the
     // paper-scale comparison lives in the benchmark binaries.
-    assert!(g.accuracy.f1 > 0.3, "GB-KMV F1 {} unexpectedly low", g.accuracy.f1);
+    assert!(
+        g.accuracy.f1 > 0.3,
+        "GB-KMV F1 {} unexpectedly low",
+        g.accuracy.f1
+    );
 }
 
 #[test]
@@ -139,12 +149,19 @@ fn gbkmv_dominates_lshe_on_space_accuracy() {
 #[test]
 fn all_methods_recall_their_own_record() {
     let dataset = test_dataset();
-    let total = dataset.total_elements();
-    let _ = total;
     let indexes: Vec<Box<dyn ContainmentIndex>> = vec![
-        Box::new(GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25))),
-        Box::new(KmvIndex::build(&dataset, KmvConfig::with_space_fraction(0.25))),
-        Box::new(PartitionedKmvIndex::build(&dataset, KmvConfig::with_space_fraction(0.25))),
+        Box::new(GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.25),
+        )),
+        Box::new(KmvIndex::build(
+            &dataset,
+            KmvConfig::with_space_fraction(0.25),
+        )),
+        Box::new(PartitionedKmvIndex::build(
+            &dataset,
+            KmvConfig::with_space_fraction(0.25),
+        )),
         Box::new(BruteForceIndex::build(&dataset)),
         Box::new(PpJoinIndex::build(&dataset)),
         Box::new(FrequentSetIndex::build(&dataset)),

@@ -1,0 +1,79 @@
+//! Smoke test mirroring `examples/quickstart.rs` end-to-end: generate a
+//! synthetic dataset, build a GB-KMV index, search, and check the result
+//! against the exact brute-force oracle.
+
+use gbkmv::prelude::*;
+
+fn smoke_dataset() -> Dataset {
+    SyntheticDataset::generate(SyntheticConfig {
+        num_records: 500,
+        universe_size: 10_000,
+        alpha_element_freq: 1.1,
+        alpha_record_size: 2.5,
+        min_record_len: 40,
+        max_record_len: 400,
+        seed: 7,
+    })
+    .dataset
+}
+
+#[test]
+fn quickstart_pipeline_has_perfect_recall_at_high_threshold() {
+    let dataset = smoke_dataset();
+
+    // A budget covering the dataset saturates every sketch, so the index's
+    // estimates are exact and recall against the brute-force oracle must be
+    // 1.0 — any miss is a correctness bug, not estimation noise.
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(2.0));
+    let brute = BruteForceIndex::build(&dataset);
+
+    let workload = QueryWorkload::sample_from_dataset(&dataset, 30, 42);
+    let t_star = 0.9;
+    let mut truth_total = 0usize;
+    for (qi, query) in workload.queries.iter().enumerate() {
+        let truth = brute.ground_truth(query, t_star);
+        truth_total += truth.len();
+        let answer: Vec<usize> = index
+            .search(query.elements(), t_star)
+            .iter()
+            .map(|h| h.record_id)
+            .collect();
+        for id in &truth {
+            assert!(
+                answer.contains(id),
+                "query {qi}: record {id} in ground truth but missed (recall < 1.0)"
+            );
+        }
+    }
+    // Queries are sampled from the dataset, so each one's own record is in
+    // its ground truth: the assertion above cannot have been vacuous.
+    assert!(truth_total >= workload.queries.len());
+}
+
+#[test]
+fn quickstart_pipeline_is_accurate_at_paper_budget() {
+    // The quickstart's actual configuration: 10% space budget, t* = 0.5.
+    // Accuracy is checked end-to-end through the evaluation harness; the
+    // bound is deliberately loose (the paper-scale comparisons live in the
+    // benchmark binaries) but catches gross regressions.
+    let dataset = smoke_dataset();
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.10));
+
+    let summary = index.summary();
+    assert!(summary.space_used_fraction <= 0.12, "budget overrun");
+
+    let workload = QueryWorkload::sample_from_dataset(&dataset, 30, 42);
+    let truth = GroundTruth::compute(&dataset, &workload.queries, 0.5);
+    let report = evaluate_index(
+        &index,
+        &workload.queries,
+        &truth,
+        0.5,
+        dataset.total_elements(),
+    );
+    assert!(
+        report.accuracy.f1 > 0.4,
+        "F1 {} at 10% budget is far below expectations",
+        report.accuracy.f1
+    );
+}

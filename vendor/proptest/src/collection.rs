@@ -1,0 +1,29 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use rand::SampleUniform;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates a `Vec` whose length is drawn from `len` and whose elements are
+/// drawn from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = usize::sample_range(rng, self.len.start, self.len.end);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This vendored version keeps the same test-authoring surface the
+//! workspace uses — `proptest! { #![proptest_config(..)] #[test] fn f(x in
+//! strategy) { .. } }`, `prop_assert!`/`prop_assert_eq!`, range and
+//! `collection::vec` strategies, `any::<T>()` — with two simplifications:
+//!
+//! * cases are generated from a *deterministic* per-test seed (derived from
+//!   the test name), so failures are reproducible without a persistence
+//!   file;
+//! * there is **no shrinking**: a failing case reports the generated inputs
+//!   verbatim.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Strategy};
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything a property-test module needs, mirroring real proptest's
+/// prelude.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    if e.is_rejection() {
+                        continue;
+                    }
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, config.cases, e, inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: {} != {} (both {:?})",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (skips it without failing).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(0u32..100, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            for e in &v {
+                prop_assert!(*e < 100);
+            }
+        }
+
+        #[test]
+        fn any_u64_works(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_reports_inputs() {
+        // No inner #[test] attribute: the property fn is invoked directly.
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

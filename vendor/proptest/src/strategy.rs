@@ -1,0 +1,78 @@
+//! Value-generation strategies (no shrinking).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::{RngExt, SampleUniform, StandardSample};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A `Range<T>` generates uniformly from `[start, end)`.
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Generates an arbitrary value of `T` (full domain for integers).
+pub fn any<T: StandardSample>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: StandardSample> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A fixed value (mirrors proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}

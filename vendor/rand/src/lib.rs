@@ -1,0 +1,198 @@
+//! Offline stand-in for `rand`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This vendored version implements the (rand 0.9 flavoured) API
+//! surface the workspace uses — `StdRng::seed_from_u64`, `random()`,
+//! `random_range(..)`, `SliceRandom::shuffle` — backed by a xoshiro256**
+//! generator. Determinism for a given seed is all the experiments need; the
+//! generator is *not* cryptographically secure.
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random `u64`s. Object-safe.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Marker trait mirroring `rand::Rng`; commonly used as a generic bound.
+/// The sampling methods live on [`RngExt`].
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Extension methods for sampling values and ranges.
+pub trait RngExt: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (`f64` ∈ \[0, 1), integers uniform over their full range).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        let UniformRange {
+            low,
+            high_exclusive,
+        } = range.into();
+        T::sample_range(self, low, high_exclusive)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A half-open uniform range `[low, high_exclusive)` in `T`'s domain.
+pub struct UniformRange<T> {
+    /// Inclusive lower bound.
+    pub low: T,
+    /// Exclusive upper bound.
+    pub high_exclusive: T,
+}
+
+impl<T> From<std::ops::Range<T>> for UniformRange<T> {
+    fn from(r: std::ops::Range<T>) -> Self {
+        UniformRange {
+            low: r.start,
+            high_exclusive: r.end,
+        }
+    }
+}
+
+/// Types samplable from their standard distribution.
+pub trait StandardSample {
+    /// Samples one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform double in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high_exclusive)`. Panics if empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_exclusive: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_exclusive: Self) -> Self {
+                assert!(low < high_exclusive, "random_range: empty range");
+                let span = (high_exclusive as u64).wrapping_sub(low as u64);
+                // Multiply-shift rejection-free mapping; bias is negligible
+                // for the span sizes used in this workspace (≪ 2^32).
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_exclusive: Self) -> Self {
+        assert!(low < high_exclusive, "random_range: empty range");
+        low + f64::sample(rng) * (high_exclusive - low)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+        let mut seen0 = false;
+        let mut seen4 = false;
+        for _ in 0..1_000 {
+            match rng.random_range(0u32..5) {
+                0 => seen0 = true,
+                4 => seen4 = true,
+                _ => {}
+            }
+        }
+        assert!(seen0 && seen4, "both endpoints of [0,5) should appear");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+}

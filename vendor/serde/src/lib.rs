@@ -1,0 +1,185 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched from crates.io. This crate provides the *subset* of the serde
+//! surface this workspace uses:
+//!
+//! * a [`Serialize`] trait (JSON-value based rather than visitor based — the
+//!   workspace only ever serialises to JSON via `serde_json`);
+//! * a [`Deserialize`] marker trait (nothing in the workspace deserialises
+//!   at runtime);
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   stand-in, re-exported under the `derive` feature exactly like the real
+//!   crate.
+//!
+//! Swapping the real serde back in later only requires repointing the
+//! workspace dependency at crates.io; call sites are unchanged.
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::Value;
+
+/// A type that can be converted into a JSON value tree.
+///
+/// This is intentionally simpler than real serde's visitor-driven
+/// `Serialize`: the only serialiser in this workspace is JSON, so the data
+/// model *is* [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Marker trait standing in for serde's `Deserialize`.
+///
+/// Derivable so the seed code's `#[derive(..., Deserialize)]` attributes
+/// compile; no workspace code deserialises at runtime.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+impl Serialize for std::time::Duration {
+    fn to_json_value(&self) -> Value {
+        // Matches real serde's representation: {"secs": .., "nanos": ..}.
+        Value::Object(vec![
+            ("secs".to_string(), Value::Int(self.as_secs() as i128)),
+            ("nanos".to_string(), Value::Int(self.subsec_nanos() as i128)),
+        ])
+    }
+}
+
+/// Renders a map key as a JSON object key. JSON object keys must be
+/// strings, so non-string keys are rendered as their compact JSON (real
+/// serde_json rejects them at runtime instead; nothing in this workspace
+/// relies on that behaviour).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_json_value() {
+        Value::String(s) => s,
+        other => other.to_json(),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_json_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real serde cannot be
+//! fetched. This proc-macro crate derives the vendored `serde` crate's
+//! (much smaller) `Serialize`/`Deserialize` traits for the type shapes this
+//! workspace actually uses: non-generic structs with named fields, tuple
+//! structs, and enums with unit / tuple / struct variants.
+//!
+//! The parser walks the raw `TokenStream` directly (no `syn`/`quote`), which
+//! keeps the crate dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: its name (named structs) or index (tuple structs).
+enum FieldKey {
+    Named(String),
+    Indexed(usize),
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants; `Some((is_named, fields))` otherwise.
+    fields: Option<(bool, Vec<FieldKey>)>,
+}
+
+/// What the derive input turned out to be.
+enum Input {
+    Struct {
+        name: String,
+        /// `(is_named, fields)`; unit structs have an empty unnamed list.
+        is_named: bool,
+        fields: Vec<FieldKey>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips a `#[...]` or `#![...]` attribute starting at `i`; returns the new
+/// position (unchanged if the tokens at `i` are not an attribute).
+fn skip_attr(tokens: &[TokenTree], i: usize) -> usize {
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '#' {
+            let mut j = i + 1;
+            if let Some(TokenTree::Punct(b)) = tokens.get(j) {
+                if b.as_char() == '!' {
+                    j += 1;
+                }
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(j) {
+                if g.delimiter() == Delimiter::Bracket {
+                    return j + 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Skips attributes and a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        let j = skip_attr(tokens, i);
+        if j != i {
+            i = j;
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// Parses the fields inside a brace-delimited struct body (named fields).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<FieldKey> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(FieldKey::Named(name.to_string()));
+        i += 1;
+        // Skip past `: Type` up to the next top-level comma, tracking angle
+        // bracket depth so commas inside `HashMap<K, V>` don't split fields.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple struct / variant body.
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<FieldKey> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0usize;
+    let mut angle: i32 = 0;
+    let mut any = false;
+    for t in &tokens {
+        any = true;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if any {
+        // A trailing comma would overcount; tolerate it by checking the last
+        // meaningful token.
+        if let Some(TokenTree::Punct(p)) = tokens.last() {
+            if p.as_char() == ',' {
+                return (0..count).map(FieldKey::Indexed).collect();
+            }
+        }
+        (0..=count).map(FieldKey::Indexed).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Parses the variants of a brace-delimited enum body.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let vname = name.to_string();
+        i += 1;
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    fields = Some((false, parse_tuple_fields(g)));
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    fields = Some((true, parse_named_fields(g)));
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Struct {
+                name,
+                is_named: true,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input::Struct {
+                name,
+                is_named: false,
+                fields: parse_tuple_fields(g),
+            },
+            _ => Input::Struct {
+                name,
+                is_named: false,
+                fields: Vec::new(),
+            },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (JSON-value based).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let out = match parsed {
+        Input::Struct {
+            name,
+            is_named,
+            fields,
+        } => {
+            let body = if is_named {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| match f {
+                        FieldKey::Named(n) => format!(
+                            "(\"{n}\".to_string(), ::serde::Serialize::to_json_value(&self.{n}))"
+                        ),
+                        FieldKey::Indexed(_) => unreachable!(),
+                    })
+                    .collect();
+                format!("::serde::json::Value::Object(vec![{}])", entries.join(", "))
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| match f {
+                        FieldKey::Indexed(i) => {
+                            format!("::serde::Serialize::to_json_value(&self.{i})")
+                        }
+                        FieldKey::Named(_) => unreachable!(),
+                    })
+                    .collect();
+                match entries.len() {
+                    0 => "::serde::json::Value::Null".to_string(),
+                    1 => entries.into_iter().next().unwrap(),
+                    _ => format!("::serde::json::Value::Array(vec![{}])", entries.join(", ")),
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn to_json_value(&self) -> ::serde::json::Value {{ {body} }}\n                }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vn} => ::serde::json::Value::String(\"{vn}\".to_string())"
+                        ),
+                        Some((false, fields)) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("f{i}")).collect();
+                            let inner = if fields.len() == 1 {
+                                "::serde::Serialize::to_json_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::json::Value::Array(vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::json::Value::Object(vec![(\"{vn}\".to_string(), {inner})])",
+                                binds.join(", ")
+                            )
+                        }
+                        Some((true, fields)) => {
+                            let names: Vec<String> = fields
+                                .iter()
+                                .map(|f| match f {
+                                    FieldKey::Named(n) => n.clone(),
+                                    FieldKey::Indexed(_) => unreachable!(),
+                                })
+                                .collect();
+                            let items: Vec<String> = names
+                                .iter()
+                                .map(|n| format!(
+                                    "(\"{n}\".to_string(), ::serde::Serialize::to_json_value({n}))"
+                                ))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::json::Value::Object(vec![(\"{vn}\".to_string(), ::serde::json::Value::Object(vec![{}]))])",
+                                names.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n                    fn to_json_value(&self) -> ::serde::json::Value {{ match self {{ {} }} }}\n                }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    out.parse()
+        .expect("serde_derive stub: generated code failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+///
+/// Nothing in the workspace deserialises at runtime, so the impl is empty;
+/// deriving it keeps the seed code's `#[derive(..., Deserialize)]`
+/// attributes compiling unchanged.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_input(input) {
+        Input::Struct { name, .. } => name,
+        Input::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated code failed to parse")
+}

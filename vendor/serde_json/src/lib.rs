@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_json`, layered on the vendored `serde`
+//! stand-in's JSON [`Value`] tree. Only the serialisation entry points the
+//! workspace uses are provided.
+
+use std::fmt;
+
+pub use serde::json::Value;
+
+/// Serialisation error. The stand-in serialiser is infallible in practice,
+/// but the type keeps call sites source-compatible with real `serde_json`.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stand-in error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json())
+}
+
+/// Serialises `value` as pretty JSON (two-space indentation).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_json_pretty())
+}
+
+/// Converts `value` into its JSON value tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_matches_serde_json_layout() {
+        let out = super::to_string_pretty(&vec![1u32, 2, 3]).unwrap();
+        assert_eq!(out, "[\n  1,\n  2,\n  3\n]");
+    }
+}
