@@ -13,7 +13,7 @@ use gbkmv_core::stats::DatasetStats;
 use gbkmv_core::variants::{KmvConfig, KmvIndex};
 use gbkmv_datagen::profiles::DatasetProfile;
 use gbkmv_datagen::queries::QueryWorkload;
-use gbkmv_eval::experiment::{evaluate_index, MethodReport};
+use gbkmv_eval::experiment::{evaluate_index, ExperimentConfig, MethodReport};
 use gbkmv_eval::ground_truth::GroundTruth;
 use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
 
@@ -98,18 +98,36 @@ impl ExperimentEnv {
     /// Generates the environment for a profile, optionally scaling the
     /// record count down by `scale` for quicker runs.
     pub fn new(profile: DatasetProfile, scale: usize, threshold: f64, num_queries: usize) -> Self {
+        Self::with_config(
+            profile,
+            scale,
+            ExperimentConfig::default()
+                .threshold(threshold)
+                .num_queries(num_queries),
+        )
+    }
+
+    /// Generates the environment from an [`ExperimentConfig`]: the workload
+    /// knobs plus the thread count used for the exact ground-truth scans
+    /// (the dominant setup cost on the larger profiles).
+    pub fn with_config(profile: DatasetProfile, scale: usize, config: ExperimentConfig) -> Self {
         let dataset = profile.generate_scaled(scale);
         let stats = DatasetStats::compute(&dataset);
         let workload =
-            QueryWorkload::sample_from_dataset(&dataset, num_queries, 0xBEEF ^ scale as u64);
-        let ground_truth = GroundTruth::compute(&dataset, &workload.queries, threshold);
+            QueryWorkload::sample_from_dataset(&dataset, config.num_queries, 0xBEEF ^ scale as u64);
+        let ground_truth = GroundTruth::compute_with_threads(
+            &dataset,
+            &workload.queries,
+            config.threshold,
+            config.threads,
+        );
         ExperimentEnv {
             profile,
             dataset,
             stats,
             queries: workload.queries,
             ground_truth,
-            threshold,
+            threshold: config.threshold,
         }
     }
 
@@ -119,9 +137,9 @@ impl ExperimentEnv {
     }
 
     /// Recomputes the ground truth at a different threshold (used by the
-    /// threshold-sweep figure).
+    /// threshold-sweep figure), reusing all available cores.
     pub fn with_threshold(&self, threshold: f64) -> GroundTruth {
-        GroundTruth::compute(&self.dataset, &self.queries, threshold)
+        GroundTruth::compute_with_threads(&self.dataset, &self.queries, threshold, 0)
     }
 
     /// Total number of element occurrences `N` of the dataset.

@@ -96,8 +96,14 @@ impl BufferLayout {
 
     /// Builds the bitmap of a record under this layout.
     pub fn build_buffer(&self, record: &Record) -> ElementBuffer {
+        self.build_buffer_from(record.elements())
+    }
+
+    /// Builds the bitmap of a borrowed element slice under this layout
+    /// (duplicates are harmless — a bit is simply set twice).
+    pub fn build_buffer_from(&self, elements: &[ElementId]) -> ElementBuffer {
         let mut buffer = ElementBuffer::zeroed(self.words());
-        for e in record.iter() {
+        for e in elements.iter().copied() {
             if let Some(pos) = self.position(e) {
                 buffer.set(pos);
             }
@@ -118,6 +124,12 @@ impl ElementBuffer {
         ElementBuffer {
             words: vec![0; words],
         }
+    }
+
+    /// A bitmap over pre-computed words (the flattened
+    /// [`crate::store::SketchStore`] materialising a record sketch).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        ElementBuffer { words }
     }
 
     /// Sets the bit at `position`.
@@ -157,17 +169,24 @@ impl ElementBuffer {
     }
 
     /// The positions of the set bits, in increasing order.
-    pub fn set_positions(&self) -> Vec<u32> {
-        let mut out = Vec::with_capacity(self.count_ones());
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros();
-                out.push(wi as u32 * 64 + bit);
-                w &= w - 1;
-            }
-        }
-        out
+    ///
+    /// Returns a non-allocating iterator (each word is drained with
+    /// `trailing_zeros`); callers that need a materialised list can
+    /// `collect()`.
+    pub fn set_positions(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::from_fn({
+                let mut w = word;
+                move || {
+                    if w == 0 {
+                        return None;
+                    }
+                    let bit = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(wi as u32 * 64 + bit)
+                }
+            })
+        })
     }
 
     /// The underlying words (for size accounting and serialisation).
@@ -243,7 +262,10 @@ mod tests {
         for p in [0u32, 5, 63, 64, 100] {
             buf.set(p);
         }
-        assert_eq!(buf.set_positions(), vec![0, 5, 63, 64, 100]);
+        assert_eq!(
+            buf.set_positions().collect::<Vec<u32>>(),
+            vec![0, 5, 63, 64, 100]
+        );
         assert_eq!(buf.count_ones(), 5);
     }
 

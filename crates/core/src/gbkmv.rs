@@ -115,24 +115,47 @@ impl GbKmvSketcher {
 
     /// Sketches a single record.
     pub fn sketch_record(&self, record: &Record) -> GbKmvRecordSketch {
-        let buffer = self.layout.build_buffer(record);
-        let gkmv = GKmvSketch::from_record_excluding(record, &self.hasher, self.threshold, |e| {
-            self.layout.contains(e)
-        });
+        self.sketch_elements(record.elements())
+    }
+
+    /// Sketches a borrowed element slice that is already sorted and
+    /// deduplicated (a [`Record`]'s invariant) without building a `Record`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slice is not strictly increasing.
+    pub fn sketch_elements(&self, elements: &[crate::dataset::ElementId]) -> GbKmvRecordSketch {
+        debug_assert!(
+            elements.windows(2).all(|w| w[0] < w[1]),
+            "sketch_elements needs a sorted, deduplicated slice"
+        );
+        let buffer = self.layout.build_buffer_from(elements);
+        let gkmv =
+            GKmvSketch::from_elements_excluding(elements, &self.hasher, self.threshold, |e| {
+                self.layout.contains(e)
+            });
         GbKmvRecordSketch {
             buffer,
             gkmv,
-            record_size: record.len(),
+            record_size: elements.len(),
         }
     }
 
-    /// Sketches every record of a dataset.
+    /// Sketches every record of a dataset sequentially.
     pub fn sketch_dataset(&self, dataset: &Dataset) -> Vec<GbKmvRecordSketch> {
-        dataset
-            .records()
-            .iter()
-            .map(|r| self.sketch_record(r))
-            .collect()
+        self.sketch_dataset_threads(dataset, 1)
+    }
+
+    /// Sketches every record of a dataset, fanning the records out over
+    /// `threads` scoped threads (`0` = all available cores). The output is
+    /// identical to the sequential path for every thread count: records are
+    /// chunked contiguously and the chunks are concatenated in order.
+    pub fn sketch_dataset_threads(
+        &self,
+        dataset: &Dataset,
+        threads: usize,
+    ) -> Vec<GbKmvRecordSketch> {
+        crate::parallel::par_map(dataset.records(), threads, |r| self.sketch_record(r))
     }
 
     /// Pairwise intersection estimate (Equation 27).

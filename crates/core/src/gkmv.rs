@@ -135,6 +135,67 @@ pub struct GKmvPairEstimate {
     pub exact: bool,
 }
 
+impl GKmvPairEstimate {
+    /// Computes the Equation 24–25 estimate from the scalar summaries of a
+    /// sketch pair: the two signature lengths, the number of shared hash
+    /// values `K∩`, the largest hash value present in either sketch, and
+    /// whether *both* sketches are saturated.
+    ///
+    /// This is the single source of the estimator arithmetic: both
+    /// [`GKmvSketch::pair_estimate`] (which derives the parts from two
+    /// materialised sketches) and the accumulator-based query engine in
+    /// [`crate::index`] (which accumulates `K∩` term-at-a-time over inverted
+    /// postings and reads the other parts from the flattened
+    /// [`crate::store::SketchStore`]) call it, so the two paths are
+    /// bit-identical by construction.
+    pub fn from_parts(
+        len_a: usize,
+        len_b: usize,
+        k_intersection: usize,
+        max_hash: u64,
+        both_saturated: bool,
+    ) -> Self {
+        let k = len_a + len_b - k_intersection;
+        if both_saturated {
+            // Both sketches kept everything: the counts are exact.
+            return GKmvPairEstimate {
+                k,
+                k_intersection,
+                u_k: 1.0,
+                union_estimate: k as f64,
+                intersection_estimate: k_intersection as f64,
+                exact: true,
+            };
+        }
+        if k == 0 {
+            return GKmvPairEstimate {
+                k: 0,
+                k_intersection: 0,
+                u_k: 1.0,
+                union_estimate: 0.0,
+                intersection_estimate: 0.0,
+                exact: false,
+            };
+        }
+        let u_k = unit_hash(max_hash);
+        let (union_estimate, intersection_estimate) = if k >= 2 {
+            let union = (k as f64 - 1.0) / u_k;
+            let inter = (k_intersection as f64 / k as f64) * union;
+            (union, inter)
+        } else {
+            (k as f64, k_intersection as f64)
+        };
+        GKmvPairEstimate {
+            k,
+            k_intersection,
+            u_k,
+            union_estimate,
+            intersection_estimate,
+            exact: false,
+        }
+    }
+}
+
 impl GKmvSketch {
     /// Builds the G-KMV sketch of a record.
     pub fn from_record(record: &Record, hasher: &Hasher64, threshold: GlobalThreshold) -> Self {
@@ -152,9 +213,25 @@ impl GKmvSketch {
     where
         F: Fn(ElementId) -> bool,
     {
+        Self::from_elements_excluding(record.elements(), hasher, threshold, excluded)
+    }
+
+    /// Builds the G-KMV sketch from a borrowed element slice (duplicates are
+    /// tolerated — hash values are deduplicated), skipping elements for which
+    /// `excluded` returns true. This is the allocation-light path used by
+    /// [`crate::index::GbKmvIndex::search_elements`].
+    pub fn from_elements_excluding<F>(
+        elements: &[ElementId],
+        hasher: &Hasher64,
+        threshold: GlobalThreshold,
+        excluded: F,
+    ) -> Self
+    where
+        F: Fn(ElementId) -> bool,
+    {
         let mut hashes = Vec::new();
         let mut admitted_all = true;
-        for e in record.iter() {
+        for e in elements.iter().copied() {
             if excluded(e) {
                 continue;
             }
@@ -207,29 +284,6 @@ impl GKmvSketch {
     /// Pairwise estimation with `k = |L_Q ∪ L_X|` (Equations 24–25).
     pub fn pair_estimate(&self, other: &GKmvSketch) -> GKmvPairEstimate {
         let k_intersection = sorted_intersection_count(&self.hashes, &other.hashes);
-        let k = self.hashes.len() + other.hashes.len() - k_intersection;
-
-        if self.saturated && other.saturated {
-            // Both sketches kept everything: the counts are exact.
-            return GKmvPairEstimate {
-                k,
-                k_intersection,
-                u_k: 1.0,
-                union_estimate: k as f64,
-                intersection_estimate: k_intersection as f64,
-                exact: true,
-            };
-        }
-        if k == 0 {
-            return GKmvPairEstimate {
-                k: 0,
-                k_intersection: 0,
-                u_k: 1.0,
-                union_estimate: 0.0,
-                intersection_estimate: 0.0,
-                exact: false,
-            };
-        }
         // U(k) is the largest hash value present in either sketch: because
         // both sketches keep *all* values below τ, the k-th smallest value of
         // the union of the sketches is the k-th smallest value of h(Q ∪ X)
@@ -240,22 +294,13 @@ impl GKmvSketch {
             .copied()
             .unwrap_or(0)
             .max(other.hashes.last().copied().unwrap_or(0));
-        let u_k = unit_hash(max_hash);
-        let (union_estimate, intersection_estimate) = if k >= 2 {
-            let union = (k as f64 - 1.0) / u_k;
-            let inter = (k_intersection as f64 / k as f64) * union;
-            (union, inter)
-        } else {
-            (k as f64, k_intersection as f64)
-        };
-        GKmvPairEstimate {
-            k,
+        GKmvPairEstimate::from_parts(
+            self.hashes.len(),
+            other.hashes.len(),
             k_intersection,
-            u_k,
-            union_estimate,
-            intersection_estimate,
-            exact: false,
-        }
+            max_hash,
+            self.saturated && other.saturated,
+        )
     }
 
     /// Estimated intersection size `|Q ∩ X|` (Equation 25).

@@ -3,30 +3,48 @@
 //! [`GbKmvIndex::build`] runs Algorithm 1: it computes the dataset statistics,
 //! chooses the buffer size `r` with the cost model (unless fixed by the
 //! caller), selects the global threshold `τ` from the remaining budget and
-//! sketches every record. [`GbKmvIndex::search`] runs Algorithm 2: the
-//! containment threshold is converted to an overlap threshold
+//! sketches every record — fanning the sketching and posting construction out
+//! over `threads` scoped threads. [`GbKmvIndex::search`] runs Algorithm 2:
+//! the containment threshold is converted to an overlap threshold
 //! `θ = t*·|Q|`, the intersection of the query with each candidate record is
 //! estimated with Equation 27, and records whose estimate reaches `θ` are
 //! returned.
 //!
-//! Candidate generation follows the paper's PPjoin*-inspired acceleration:
-//! instead of scanning every record, an inverted index over (a) the buffered
-//! element bits and (b) the G-KMV signature hash values yields exactly the
-//! records whose estimated overlap can be non-zero; a record-size filter
-//! (`|X| ≥ θ`) prunes records that could never reach the overlap threshold.
-//! The unaccelerated [`GbKmvIndex::search_scan`] is kept both as a reference
-//! implementation and for the ablation benchmark.
+//! # Query engine
+//!
+//! The accelerated query path is a **term-at-a-time score accumulator** over
+//! the flattened [`SketchStore`]:
+//!
+//! 1. Walking the inverted postings of the query's G-KMV signature hashes
+//!    accumulates `K∩` per candidate into the epoch-stamped dense arrays of
+//!    a reusable [`QueryScratch`], and walking the buffer-bit postings
+//!    registers the remaining candidates — a single pass over exactly the
+//!    postings the index already stores.
+//! 2. Each touched candidate is then finished in O(1) arithmetic
+//!    ([`GKmvPairEstimate::from_parts`]) from the store's precomputed
+//!    `gkmv_len`/`max_hash`/`saturated` scalars plus a 1–2 word popcount for
+//!    the buffer overlap — no sorted merge, no per-candidate allocation.
+//!
+//! The unaccelerated [`GbKmvIndex::search_scan`] (full scan, sorted merges)
+//! and [`GbKmvIndex::search_filtered_baseline`] (hash-map candidate set +
+//! per-candidate merges, the pre-accumulator design) are kept as reference
+//! implementations: all three return bit-identical hits, which the agreement
+//! tests and the `query_agreement` property suite enforce.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{BufferCostModel, CostModelConfig};
 use crate::dataset::{Dataset, ElementId, Record, RecordId};
 use crate::gbkmv::{GbKmvRecordSketch, GbKmvSketcher};
+use crate::gkmv::GKmvPairEstimate;
 use crate::hash::Hasher64;
+use crate::parallel;
 use crate::sim::OverlapThreshold;
 use crate::stats::DatasetStats;
+use crate::store::{QueryScratch, SketchStore};
 
 /// A single search result.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +63,10 @@ pub struct SearchHit {
 pub trait ContainmentIndex {
     /// Returns the records whose (estimated) containment similarity with
     /// respect to `query` is at least `t_star`.
+    ///
+    /// **Contract:** hits are returned sorted by ascending `record_id`, so
+    /// result sets from different methods (and from the same method's
+    /// accelerated and reference paths) compare positionally.
     fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit>;
 
     /// Space consumed by the index, measured in elements (32-bit words), the
@@ -80,6 +102,10 @@ pub struct GbKmvConfig {
     /// Whether the inverted-signature candidate filter is used by
     /// [`GbKmvIndex::search`] (disable for the ablation).
     pub use_candidate_filter: bool,
+    /// Number of threads used for sketching and posting construction at build
+    /// time (`0` = all available cores). The built index is identical for
+    /// every thread count.
+    pub threads: usize,
     /// Cost model configuration used when `buffer` is [`BufferSizing::Auto`].
     pub cost_model: CostModelConfig,
 }
@@ -92,6 +118,7 @@ impl Default for GbKmvConfig {
             buffer: BufferSizing::Auto,
             hash_seed: 0x6bb7_9e4b_1f2d_3c58,
             use_candidate_filter: true,
+            threads: 0,
             cost_model: CostModelConfig::default(),
         }
     }
@@ -132,6 +159,12 @@ impl GbKmvConfig {
         self
     }
 
+    /// Sets the build-time thread count (`0` = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Resolves the element budget for a dataset with `total_elements`
     /// occurrences.
     pub fn resolve_budget(&self, total_elements: usize) -> usize {
@@ -158,15 +191,29 @@ pub struct IndexSummary {
     pub num_records: usize,
 }
 
+thread_local! {
+    /// Per-thread scratch reused by the convenience search entry points, so
+    /// callers that don't thread a [`QueryScratch`] through still pay zero
+    /// allocation per query after the first.
+    ///
+    /// The scratch grows to the largest index searched on the thread
+    /// (8 bytes per record) and stays resident for the thread's lifetime —
+    /// even after the index is dropped. Query loops that care about retained
+    /// memory should pass their own scratch via
+    /// [`GbKmvIndex::search_filtered_with`] / [`GbKmvIndex::search_topk_with`]
+    /// and drop it when done.
+    static QUERY_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
 /// The GB-KMV containment similarity search index.
 #[derive(Debug, Clone)]
 pub struct GbKmvIndex {
     sketcher: GbKmvSketcher,
-    sketches: Vec<GbKmvRecordSketch>,
-    record_sizes: Vec<usize>,
-    /// Inverted postings from G-KMV signature hash value to record ids.
+    store: SketchStore,
+    /// Inverted postings from G-KMV signature hash value to record ids
+    /// (ascending within each list).
     signature_postings: HashMap<u64, Vec<u32>>,
-    /// Inverted postings from buffer bit position to record ids.
+    /// Inverted postings from buffer bit position to record ids (ascending).
     buffer_postings: Vec<Vec<u32>>,
     summary: IndexSummary,
     config: GbKmvConfig,
@@ -194,26 +241,41 @@ impl GbKmvIndex {
 
         let hasher = Hasher64::new(config.hash_seed);
         let sketcher = GbKmvSketcher::build(dataset, stats, hasher, buffer_size, budget);
-        let sketches = sketcher.sketch_dataset(dataset);
-        let record_sizes: Vec<usize> = dataset.records().iter().map(Record::len).collect();
+        let sketches = sketcher.sketch_dataset_threads(dataset, config.threads);
+        let store = SketchStore::from_sketches(sketcher.layout().words(), &sketches);
 
         let mut signature_postings: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut buffer_postings: Vec<Vec<u32>> = vec![Vec::new(); sketcher.layout().size()];
         if config.use_candidate_filter {
-            for (id, sketch) in sketches.iter().enumerate() {
-                for &h in sketch.gkmv.hashes() {
-                    signature_postings.entry(h).or_default().push(id as u32);
+            // Each worker builds postings for a contiguous record chunk;
+            // merging the chunks in order keeps every posting list sorted by
+            // ascending record id, identical to the sequential build.
+            let chunked = parallel::map_chunks(&sketches, config.threads, |offset, chunk| {
+                let mut sig: HashMap<u64, Vec<u32>> = HashMap::new();
+                let mut buf: Vec<Vec<u32>> = vec![Vec::new(); buffer_postings.len()];
+                for (i, sketch) in chunk.iter().enumerate() {
+                    let id = (offset + i) as u32;
+                    for &h in sketch.gkmv.hashes() {
+                        sig.entry(h).or_default().push(id);
+                    }
+                    for pos in sketch.buffer.set_positions() {
+                        buf[pos as usize].push(id);
+                    }
                 }
-                for pos in sketch.buffer.set_positions() {
-                    buffer_postings[pos as usize].push(id as u32);
+                (sig, buf)
+            });
+            for (sig, buf) in chunked {
+                for (h, ids) in sig {
+                    signature_postings.entry(h).or_default().extend(ids);
+                }
+                for (pos, ids) in buf.into_iter().enumerate() {
+                    buffer_postings[pos].extend(ids);
                 }
             }
         }
 
-        let space_used_elements: f64 = sketches
-            .iter()
-            .map(|s| sketcher.sketch_cost_elements(s))
-            .sum();
+        let space_used_elements =
+            sketcher.layout().cost_per_record() * store.len() as f64 + store.total_hashes() as f64;
 
         let summary = IndexSummary {
             budget_elements: budget,
@@ -230,8 +292,7 @@ impl GbKmvIndex {
 
         GbKmvIndex {
             sketcher,
-            sketches,
-            record_sizes,
+            store,
             signature_postings,
             buffer_postings,
             summary,
@@ -252,12 +313,18 @@ impl GbKmvIndex {
 
     /// Number of indexed records.
     pub fn num_records(&self) -> usize {
-        self.sketches.len()
+        self.store.len()
     }
 
-    /// The per-record sketches (exposed for diagnostics and the benchmarks).
-    pub fn sketches(&self) -> &[GbKmvRecordSketch] {
-        &self.sketches
+    /// The flattened sketch store (exposed for diagnostics and benchmarks).
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// Materialises the sketch of one record (diagnostics; the query paths
+    /// operate on [`GbKmvIndex::store`] directly).
+    pub fn record_sketch(&self, record_id: RecordId) -> GbKmvRecordSketch {
+        self.store.record_sketch(record_id)
     }
 
     /// Sketches an ad-hoc query with the index's hash function, layout and
@@ -268,62 +335,153 @@ impl GbKmvIndex {
 
     /// Estimated containment of `query` in the record `record_id`.
     pub fn estimate_containment(&self, query: &Record, record_id: RecordId) -> f64 {
+        if query.is_empty() {
+            return 0.0;
+        }
         let q_sketch = self.sketch_query(query);
-        self.sketcher
-            .estimate_containment(&q_sketch, &self.sketches[record_id], query.len())
+        let view = QuerySketchView::new(&q_sketch);
+        let gkmv =
+            self.store
+                .gkmv_pair_estimate(view.hashes, view.max_hash, view.saturated, record_id);
+        let overlap = self
+            .store
+            .buffer_intersection_count(view.buffer_words(), record_id);
+        (overlap as f64 + gkmv.intersection_estimate) / query.len() as f64
     }
 
-    /// Containment similarity search (Algorithm 2) using the inverted
-    /// signature postings for candidate generation when enabled.
+    /// Containment similarity search (Algorithm 2) using the accumulator
+    /// engine when the candidate filter is enabled.
     pub fn search_record(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
-        if self.config.use_candidate_filter {
-            self.search_filtered(query, t_star)
+        self.search_sorted(query.elements(), t_star)
+    }
+
+    /// Containment similarity search over a borrowed element slice.
+    ///
+    /// If the slice is already sorted and deduplicated (every [`Record`]'s
+    /// invariant, so e.g. `record.elements()` qualifies) the query runs with
+    /// **zero** copies of the input; otherwise one canonicalising copy is
+    /// made.
+    pub fn search_elements(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        if query.windows(2).all(|w| w[0] < w[1]) {
+            self.search_sorted(query, t_star)
         } else {
-            self.search_scan(query, t_star)
+            let owned = Record::new(query.to_vec());
+            self.search_sorted(owned.elements(), t_star)
+        }
+    }
+
+    fn search_sorted(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        if self.config.use_candidate_filter {
+            QUERY_SCRATCH
+                .with(|scratch| self.filtered_sorted(query, t_star, &mut scratch.borrow_mut()))
+        } else {
+            self.scan_sorted(query, t_star)
         }
     }
 
     /// Reference implementation: estimates the intersection with every
-    /// record (subject to the size filter) without candidate pruning.
+    /// record (subject to the size filter) without candidate pruning, via a
+    /// sorted merge per record over the flat store.
     pub fn search_scan(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        self.scan_sorted(query.elements(), t_star)
+    }
+
+    fn scan_sorted(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
         let q = query.len();
         let threshold = OverlapThreshold::new(q, t_star);
-        let q_sketch = self.sketch_query(query);
+        let q_sketch = self.sketcher.sketch_elements(query);
+        let view = QuerySketchView::new(&q_sketch);
         let mut hits = Vec::new();
-        for (id, sketch) in self.sketches.iter().enumerate() {
-            if self.record_sizes[id] < threshold.exact {
+        for id in 0..self.store.len() {
+            if self.store.record_size(id) < threshold.exact {
                 continue;
             }
-            let pair = self.sketcher.estimate_pair(&q_sketch, sketch);
-            if pair.intersection_estimate + 1e-9 >= threshold.raw {
-                hits.push(SearchHit {
-                    record_id: id,
-                    estimated_overlap: pair.intersection_estimate,
-                    estimated_containment: if q == 0 {
-                        0.0
-                    } else {
-                        pair.intersection_estimate / q as f64
-                    },
-                });
+            if let Some(hit) = self.finish_merge(&view, id, q, threshold.raw) {
+                hits.push(hit);
             }
         }
         hits
     }
 
-    /// Candidate-filtered search: only records sharing at least one buffered
-    /// element or one G-KMV signature hash with the query are evaluated.
-    fn search_filtered(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+    /// Candidate-filtered search, accumulator engine: walks the query's
+    /// signature and buffer postings once, accumulating `K∩` and candidate
+    /// membership into the (thread-local) scratch, then finishes each
+    /// candidate in O(1).
+    ///
+    /// When the index was built with the candidate filter disabled (the
+    /// ablation configuration) no postings exist, so this falls back to
+    /// [`GbKmvIndex::search_scan`] rather than answering from an empty
+    /// candidate set.
+    pub fn search_filtered(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        QUERY_SCRATCH.with(|scratch| {
+            self.filtered_sorted(query.elements(), t_star, &mut scratch.borrow_mut())
+        })
+    }
+
+    /// [`GbKmvIndex::search_filtered`] with an explicit reusable scratch —
+    /// the zero-per-query-allocation entry point for query-loop callers.
+    pub fn search_filtered_with(
+        &self,
+        query: &Record,
+        t_star: f64,
+        scratch: &mut QueryScratch,
+    ) -> Vec<SearchHit> {
+        self.filtered_sorted(query.elements(), t_star, scratch)
+    }
+
+    fn filtered_sorted(
+        &self,
+        query: &[ElementId],
+        t_star: f64,
+        scratch: &mut QueryScratch,
+    ) -> Vec<SearchHit> {
         let q = query.len();
         let threshold = OverlapThreshold::new(q, t_star);
-        if threshold.raw <= 0.0 {
-            // Every record trivially satisfies a zero threshold.
+        if threshold.raw <= 1e-9 || !self.config.use_candidate_filter {
+            // At (effectively) zero threshold every record qualifies, even
+            // ones sharing no posting with the query; and without the
+            // candidate filter no postings were built at all. Both cases
+            // need the scan.
+            return self.scan_sorted(query, t_star);
+        }
+        let q_sketch = self.sketcher.sketch_elements(query);
+        let view = QuerySketchView::new(&q_sketch);
+
+        self.accumulate(&view, scratch);
+
+        // Hits are sorted after the finish: the qualifying hits are a small
+        // subset of the touched candidates, so sorting them is cheaper than
+        // pre-sorting the whole candidate list.
+        let mut hits = Vec::with_capacity(scratch.candidates().len());
+        for &rid in scratch.candidates() {
+            let id = rid as usize;
+            if self.store.record_size(id) < threshold.exact {
+                continue;
+            }
+            if let Some(hit) = self.finish_accumulated(&view, scratch, rid, q, threshold.raw) {
+                hits.push(hit);
+            }
+        }
+        hits.sort_unstable_by_key(|h| h.record_id);
+        hits
+    }
+
+    /// The pre-accumulator candidate-filtered search, kept as a reference
+    /// implementation and for the throughput ablation benchmark: candidates
+    /// are deduplicated through a fresh hash set and every candidate pays an
+    /// O(|L_Q| + |L_X|) sorted merge. Falls back to the scan under the same
+    /// conditions as [`GbKmvIndex::search_filtered`].
+    pub fn search_filtered_baseline(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
+        let q = query.len();
+        let threshold = OverlapThreshold::new(q, t_star);
+        if threshold.raw <= 1e-9 || !self.config.use_candidate_filter {
             return self.search_scan(query, t_star);
         }
         let q_sketch = self.sketch_query(query);
+        let view = QuerySketchView::new(&q_sketch);
 
-        // Gather candidates from signature postings and buffer postings.
         let mut candidates: HashMap<u32, ()> = HashMap::new();
-        for &h in q_sketch.gkmv.hashes() {
+        for &h in view.hashes {
             if let Some(postings) = self.signature_postings.get(&h) {
                 for &rid in postings {
                     candidates.insert(rid, ());
@@ -339,23 +497,14 @@ impl GbKmvIndex {
         let mut hits = Vec::new();
         for (&rid, _) in candidates.iter() {
             let id = rid as usize;
-            if self.record_sizes[id] < threshold.exact {
+            if self.store.record_size(id) < threshold.exact {
                 continue;
             }
-            let pair = self.sketcher.estimate_pair(&q_sketch, &self.sketches[id]);
-            if pair.intersection_estimate + 1e-9 >= threshold.raw {
-                hits.push(SearchHit {
-                    record_id: id,
-                    estimated_overlap: pair.intersection_estimate,
-                    estimated_containment: if q == 0 {
-                        0.0
-                    } else {
-                        pair.intersection_estimate / q as f64
-                    },
-                });
+            if let Some(hit) = self.finish_merge(&view, id, q, threshold.raw) {
+                hits.push(hit);
             }
         }
-        hits.sort_by_key(|h| h.record_id);
+        hits.sort_unstable_by_key(|h| h.record_id);
         hits
     }
 
@@ -366,64 +515,181 @@ impl GbKmvIndex {
     /// as domain search, where the analyst wants the best-covering datasets
     /// rather than everything above a threshold. Candidates are generated
     /// exactly as in the thresholded search (every record sharing a buffered
-    /// element or a signature hash with the query); ties are broken by record
-    /// id for determinism.
+    /// element or a signature hash with the query) and ranked through a
+    /// bounded binary heap; ties are broken by ascending record id for
+    /// determinism.
     pub fn search_topk(&self, query: &Record, k: usize) -> Vec<SearchHit> {
+        QUERY_SCRATCH
+            .with(|scratch| self.topk_sorted(query.elements(), k, &mut scratch.borrow_mut()))
+    }
+
+    /// [`GbKmvIndex::search_topk`] with an explicit reusable scratch.
+    pub fn search_topk_with(
+        &self,
+        query: &Record,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<SearchHit> {
+        self.topk_sorted(query.elements(), k, scratch)
+    }
+
+    fn topk_sorted(
+        &self,
+        query: &[ElementId],
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> Vec<SearchHit> {
         if k == 0 || query.is_empty() {
             return Vec::new();
         }
         let q = query.len();
-        let q_sketch = self.sketch_query(query);
+        let q_sketch = self.sketcher.sketch_elements(query);
+        let view = QuerySketchView::new(&q_sketch);
 
-        let mut hits: Vec<SearchHit> = Vec::with_capacity(self.sketches.len().min(1024));
+        // Bounded min-heap: the root is the currently worst kept hit, so a
+        // new candidate only displaces it when it ranks strictly better
+        // (higher score, then lower record id). This replaces the previous
+        // sort-everything-truncate with O(n log k).
+        let mut heap: BinaryHeap<TopKEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut consider = |entry: TopKEntry| {
+            if heap.len() < k {
+                heap.push(entry);
+            } else if entry < *heap.peek().expect("heap is non-empty when full") {
+                heap.pop();
+                heap.push(entry);
+            }
+        };
+
         if self.config.use_candidate_filter {
-            let mut candidates: HashMap<u32, ()> = HashMap::new();
-            for &h in q_sketch.gkmv.hashes() {
-                if let Some(postings) = self.signature_postings.get(&h) {
-                    for &rid in postings {
-                        candidates.insert(rid, ());
-                    }
-                }
-            }
-            for pos in q_sketch.buffer.set_positions() {
-                for &rid in &self.buffer_postings[pos as usize] {
-                    candidates.insert(rid, ());
-                }
-            }
-            for (&rid, _) in candidates.iter() {
-                let id = rid as usize;
-                let pair = self.sketcher.estimate_pair(&q_sketch, &self.sketches[id]);
-                hits.push(SearchHit {
-                    record_id: id,
-                    estimated_overlap: pair.intersection_estimate,
-                    estimated_containment: pair.intersection_estimate / q as f64,
-                });
+            self.accumulate(&view, scratch);
+            for &rid in scratch.candidates() {
+                let overlap = self.accumulated_overlap(&view, scratch, rid);
+                consider(TopKEntry::new(rid, overlap, q));
             }
         } else {
-            for (id, sketch) in self.sketches.iter().enumerate() {
-                let pair = self.sketcher.estimate_pair(&q_sketch, sketch);
-                hits.push(SearchHit {
-                    record_id: id,
-                    estimated_overlap: pair.intersection_estimate,
-                    estimated_containment: pair.intersection_estimate / q as f64,
-                });
+            for id in 0..self.store.len() {
+                let gkmv =
+                    self.store
+                        .gkmv_pair_estimate(view.hashes, view.max_hash, view.saturated, id);
+                let overlap = self
+                    .store
+                    .buffer_intersection_count(view.buffer_words(), id)
+                    as f64
+                    + gkmv.intersection_estimate;
+                consider(TopKEntry::new(id as u32, overlap, q));
             }
         }
-        hits.sort_by(|a, b| {
-            b.estimated_containment
-                .total_cmp(&a.estimated_containment)
-                .then_with(|| a.record_id.cmp(&b.record_id))
-        });
-        hits.truncate(k);
-        hits
+
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|e| SearchHit {
+                record_id: e.rid as usize,
+                estimated_overlap: e.overlap,
+                estimated_containment: e.score,
+            })
+            .collect()
+    }
+
+    /// Walks the query's signature and buffer postings, accumulating into
+    /// `scratch` (begins a fresh epoch).
+    fn accumulate(&self, view: &QuerySketchView<'_>, scratch: &mut QueryScratch) {
+        scratch.begin(self.store.len());
+        for &h in view.hashes {
+            if let Some(postings) = self.signature_postings.get(&h) {
+                for &rid in postings {
+                    scratch.add_signature_hit(rid);
+                }
+            }
+        }
+        // The buffer walk only contributes candidate *membership*: the
+        // overlap itself is recomputed at finish time as a popcount over the
+        // store's fixed-stride words, which is cheaper than one counter
+        // increment per posting entry.
+        for pos in view.buffer.set_positions() {
+            for &rid in &self.buffer_postings[pos as usize] {
+                scratch.add_candidate(rid);
+            }
+        }
+    }
+
+    /// O(1) finish of an accumulated candidate: Equation 27 from the scratch
+    /// counters and the store's scalar arrays.
+    #[inline]
+    fn accumulated_overlap(
+        &self,
+        view: &QuerySketchView<'_>,
+        scratch: &QueryScratch,
+        rid: u32,
+    ) -> f64 {
+        let id = rid as usize;
+        let gkmv = GKmvPairEstimate::from_parts(
+            view.hashes.len(),
+            self.store.gkmv_len(id),
+            scratch.k_intersection(rid),
+            view.max_hash.max(self.store.max_hash(id)),
+            view.saturated && self.store.is_saturated(id),
+        );
+        self.store
+            .buffer_intersection_count(view.buffer_words(), id) as f64
+            + gkmv.intersection_estimate
+    }
+
+    #[inline]
+    fn finish_accumulated(
+        &self,
+        view: &QuerySketchView<'_>,
+        scratch: &QueryScratch,
+        rid: u32,
+        q: usize,
+        threshold_raw: f64,
+    ) -> Option<SearchHit> {
+        let overlap = self.accumulated_overlap(view, scratch, rid);
+        Self::hit_if_qualifies(rid as usize, overlap, q, threshold_raw)
+    }
+
+    /// Sorted-merge finish (the scan and baseline reference paths).
+    #[inline]
+    fn finish_merge(
+        &self,
+        view: &QuerySketchView<'_>,
+        id: usize,
+        q: usize,
+        threshold_raw: f64,
+    ) -> Option<SearchHit> {
+        let gkmv = self
+            .store
+            .gkmv_pair_estimate(view.hashes, view.max_hash, view.saturated, id);
+        let overlap = self
+            .store
+            .buffer_intersection_count(view.buffer_words(), id) as f64
+            + gkmv.intersection_estimate;
+        Self::hit_if_qualifies(id, overlap, q, threshold_raw)
+    }
+
+    #[inline]
+    fn hit_if_qualifies(
+        id: usize,
+        overlap: f64,
+        q: usize,
+        threshold_raw: f64,
+    ) -> Option<SearchHit> {
+        if overlap + 1e-9 >= threshold_raw {
+            Some(SearchHit {
+                record_id: id,
+                estimated_overlap: overlap,
+                estimated_containment: if q == 0 { 0.0 } else { overlap / q as f64 },
+            })
+        } else {
+            None
+        }
     }
 
     /// Appends a new record to the index, reusing the existing layout and
     /// global threshold (the dynamic-data maintenance path described in the
     /// paper; a full rebuild re-optimises `τ` and `r`).
     pub fn insert(&mut self, record: &Record) -> RecordId {
-        let id = self.sketches.len();
         let sketch = self.sketcher.sketch_record(record);
+        let id = self.store.push(&sketch);
         if self.config.use_candidate_filter {
             for &h in sketch.gkmv.hashes() {
                 self.signature_postings
@@ -440,15 +706,82 @@ impl GbKmvIndex {
         self.summary.space_used_fraction =
             self.summary.space_used_elements / self.total_elements.max(1) as f64;
         self.summary.num_records += 1;
-        self.record_sizes.push(record.len());
-        self.sketches.push(sketch);
         id
+    }
+}
+
+/// Borrowed scalar view of a query sketch, so the inner loops never touch the
+/// `GbKmvRecordSketch` struct.
+struct QuerySketchView<'a> {
+    hashes: &'a [u64],
+    max_hash: u64,
+    saturated: bool,
+    buffer: &'a crate::buffer::ElementBuffer,
+}
+
+impl<'a> QuerySketchView<'a> {
+    fn new(sketch: &'a GbKmvRecordSketch) -> Self {
+        let hashes = sketch.gkmv.hashes();
+        QuerySketchView {
+            hashes,
+            max_hash: hashes.last().copied().unwrap_or(0),
+            saturated: sketch.gkmv.is_saturated(),
+            buffer: &sketch.buffer,
+        }
+    }
+
+    #[inline]
+    fn buffer_words(&self) -> &'a [u64] {
+        self.buffer.words()
+    }
+}
+
+/// Heap entry of the bounded top-k search. The `Ord` instance ranks *worse*
+/// hits greater (lower score first, then higher record id), so the max-heap
+/// root is the weakest kept hit and `into_sorted_vec` yields best-first.
+#[derive(Debug, Clone, Copy)]
+struct TopKEntry {
+    score: f64,
+    overlap: f64,
+    rid: u32,
+}
+
+impl TopKEntry {
+    fn new(rid: u32, overlap: f64, query_size: usize) -> Self {
+        TopKEntry {
+            score: overlap / query_size as f64,
+            overlap,
+            rid,
+        }
+    }
+}
+
+impl PartialEq for TopKEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for TopKEntry {}
+
+impl PartialOrd for TopKEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TopKEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| self.rid.cmp(&other.rid))
     }
 }
 
 impl ContainmentIndex for GbKmvIndex {
     fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
-        self.search_record(&Record::new(query.to_vec()), t_star)
+        self.search_elements(query, t_star)
     }
 
     fn space_elements(&self) -> f64 {
@@ -523,28 +856,107 @@ mod tests {
     }
 
     #[test]
-    fn filtered_and_scan_search_agree() {
+    fn filtered_scan_and_baseline_agree_bitwise() {
         let dataset = skewed_dataset(120);
         let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
         for qid in [0usize, 17, 63, 99] {
             let query = dataset.record(qid).clone();
-            let mut scan: Vec<usize> = index
-                .search_scan(&query, 0.4)
-                .iter()
-                .map(|h| h.record_id)
-                .collect();
-            let mut filt: Vec<usize> = index
-                .search_record(&query, 0.4)
-                .iter()
-                .map(|h| h.record_id)
-                .collect();
-            scan.sort_unstable();
-            filt.sort_unstable();
+            for t_star in [0.0, 0.2, 0.4, 0.8] {
+                let scan = index.search_scan(&query, t_star);
+                let filt = index.search_filtered(&query, t_star);
+                let base = index.search_filtered_baseline(&query, t_star);
+                assert_eq!(
+                    scan, filt,
+                    "query {qid} at t*={t_star}: accumulator diverged from scan"
+                );
+                assert_eq!(
+                    scan, base,
+                    "query {qid} at t*={t_star}: baseline diverged from scan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_paths_fall_back_to_scan_without_candidate_filter() {
+        // With the candidate filter disabled no postings are built; the
+        // public filtered entry points must answer via the scan instead of
+        // an empty candidate set.
+        let dataset = skewed_dataset(60);
+        let index = GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.25).candidate_filter(false),
+        );
+        let query = dataset.record(9);
+        let scan = index.search_scan(query, 0.5);
+        assert!(!scan.is_empty());
+        assert_eq!(index.search_filtered(query, 0.5), scan);
+        assert_eq!(index.search_filtered_baseline(query, 0.5), scan);
+        let mut scratch = QueryScratch::new();
+        assert_eq!(index.search_filtered_with(query, 0.5, &mut scratch), scan);
+    }
+
+    #[test]
+    fn results_are_sorted_by_record_id() {
+        let dataset = skewed_dataset(100);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+        for qid in [3usize, 42, 77] {
+            let query = dataset.record(qid);
+            for hits in [
+                index.search_scan(query, 0.3),
+                index.search_filtered(query, 0.3),
+                index.search_filtered_baseline(query, 0.3),
+            ] {
+                assert!(
+                    hits.windows(2).all(|w| w[0].record_id < w[1].record_id),
+                    "hits not sorted by ascending record id"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let dataset = skewed_dataset(90);
+        let seq = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.2).threads(1));
+        let par = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.2).threads(4));
+        assert_eq!(seq.store, par.store);
+        assert_eq!(seq.signature_postings, par.signature_postings);
+        assert_eq!(seq.buffer_postings, par.buffer_postings);
+        assert_eq!(seq.summary, par.summary);
+        let query = dataset.record(11);
+        assert_eq!(seq.search_record(query, 0.4), par.search_record(query, 0.4));
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_matches_fresh_scratch() {
+        let dataset = skewed_dataset(100);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+        let mut reused = QueryScratch::new();
+        for qid in 0..100 {
+            let query = dataset.record(qid);
+            let with_reuse = index.search_filtered_with(query, 0.4, &mut reused);
+            let mut fresh = QueryScratch::new();
+            let with_fresh = index.search_filtered_with(query, 0.4, &mut fresh);
             assert_eq!(
-                scan, filt,
-                "query {qid}: filtered search diverged from scan"
+                with_reuse, with_fresh,
+                "query {qid}: reused scratch leaked state from earlier queries"
             );
         }
+    }
+
+    #[test]
+    fn search_elements_handles_unsorted_and_duplicated_input() {
+        let dataset = skewed_dataset(60);
+        let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+        let sorted: Vec<u32> = dataset.record(5).elements().to_vec();
+        let mut shuffled = sorted.clone();
+        shuffled.reverse();
+        shuffled.push(sorted[0]); // duplicate
+        assert_eq!(
+            index.search_elements(&sorted, 0.5),
+            index.search_elements(&shuffled, 0.5)
+        );
     }
 
     #[test]
@@ -628,6 +1040,11 @@ mod tests {
         assert!(top
             .windows(2)
             .all(|w| w[0].estimated_containment >= w[1].estimated_containment));
+        // Equal scores are tie-broken by ascending record id.
+        assert!(top.windows(2).all(|w| {
+            w[0].estimated_containment != w[1].estimated_containment
+                || w[0].record_id < w[1].record_id
+        }));
         // k larger than the candidate set is clamped, k = 0 is empty.
         assert!(index.search_topk(query, 10_000).len() <= 100);
         assert!(index.search_topk(query, 0).is_empty());

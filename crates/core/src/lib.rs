@@ -74,10 +74,12 @@ pub mod gkmv;
 pub mod hash;
 pub mod index;
 pub mod kmv;
+pub mod parallel;
 pub mod partition;
 pub mod powerlaw;
 pub mod sim;
 pub mod stats;
+pub mod store;
 pub mod variants;
 
 pub use buffer::{BufferLayout, ElementBuffer};
@@ -90,3 +92,4 @@ pub use index::{GbKmvConfig, GbKmvIndex, SearchHit};
 pub use kmv::KmvSketch;
 pub use sim::{containment, jaccard, overlap, SimilarityTransform};
 pub use stats::DatasetStats;
+pub use store::{QueryScratch, SketchStore};

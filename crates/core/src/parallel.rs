@@ -1,0 +1,113 @@
+//! Minimal scoped-thread fan-out helpers.
+//!
+//! The vendored offline dependency set has no rayon, so the parallel build
+//! and evaluation paths use `std::thread::scope` directly: the input is split
+//! into one contiguous chunk per worker and the per-chunk results are stitched
+//! back together **in chunk order**, which keeps every parallel code path
+//! bit-identical to its sequential counterpart regardless of the thread
+//! count. Thread counts are plain `usize` knobs where `0` means "use
+//! [`std::thread::available_parallelism`]".
+
+/// Resolves a `threads` knob: `0` means all available cores, anything else is
+/// taken literally (and clamped to at least one).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Splits `items` into at most `threads` contiguous chunks, maps each chunk
+/// on its own scoped thread and returns the per-chunk outputs in chunk order.
+///
+/// `f` receives the chunk's starting index into `items` (so callers can
+/// recover global positions, e.g. record ids) and the chunk itself. With one
+/// thread (or a single-chunk input) the closure runs on the calling thread,
+/// so the sequential path pays no spawn overhead.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len()).max(1);
+    let chunk_size = items.len().div_ceil(threads);
+    if threads <= 1 || chunk_size == 0 {
+        return vec![f(0, items)];
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(i, chunk)| {
+                scope.spawn({
+                    let f = &f;
+                    move || f(i * chunk_size, chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Maps every item of `items` to one output, in parallel, preserving order:
+/// the concatenation of [`map_chunks`] results.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_chunks(items, threads, |_, chunk| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_uses_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order_and_offsets() {
+        let items: Vec<u32> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let chunks = map_chunks(&items, threads, |offset, chunk| {
+                (offset, chunk.iter().sum::<u32>())
+            });
+            let total: u32 = chunks.iter().map(|&(_, s)| s).sum();
+            assert_eq!(total, items.iter().sum::<u32>());
+            // Offsets are strictly increasing (chunk order preserved).
+            assert!(chunks.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 4, 7] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), expected);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u32> = Vec::new();
+        assert_eq!(par_map(&items, 4, |&x| x), Vec::<u32>::new());
+    }
+}

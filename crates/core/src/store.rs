@@ -1,0 +1,459 @@
+//! Flattened, cache-dense storage for the per-record GB-KMV sketches.
+//!
+//! The first version of the index kept a `Vec<GbKmvRecordSketch>`: every
+//! record owned two heap allocations (its G-KMV hash vector and its buffer
+//! bitmap), so a query touching thousands of candidates chased thousands of
+//! pointers. [`SketchStore`] replaces that with a CSR-style layout:
+//!
+//! * one contiguous arena of sorted `u64` hash values with per-record
+//!   offsets (`hashes(id)` is a plain subslice),
+//! * one contiguous arena of buffer bitmap words with a fixed per-record
+//!   stride (the buffer layout is shared by the whole index),
+//! * a parallel array of per-record scalars (`record_size` / `gkmv_len` /
+//!   `max_hash` / `saturated`, packed into one `RecordMeta` per record) so
+//!   the O(1) per-candidate estimate of the accumulator query engine reads
+//!   one cache line and never touches the arenas at all.
+//!
+//! [`QueryScratch`] is the reusable per-query accumulator state: dense
+//! epoch-stamped arrays over record ids, so clearing between queries is a
+//! single epoch increment instead of an O(m) wipe or a fresh hash map.
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::ElementBuffer;
+use crate::gbkmv::GbKmvRecordSketch;
+use crate::gkmv::{GKmvPairEstimate, GKmvSketch};
+use crate::kmv::sorted_intersection_count;
+
+/// CSR-style flattened sketch storage (one entry per record).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchStore {
+    /// Concatenated, per-record-sorted G-KMV hash values.
+    hash_arena: Vec<u64>,
+    /// `hash_offsets[i]..hash_offsets[i + 1]` is record `i`'s hash range.
+    hash_offsets: Vec<usize>,
+    /// Concatenated buffer bitmap words, `words_per_record` per record.
+    buffer_arena: Vec<u64>,
+    /// Fixed per-record stride of `buffer_arena` (the shared layout's word
+    /// count; 0 when the buffer is disabled).
+    words_per_record: usize,
+    /// Per-record scalar summaries, packed into one struct per record so the
+    /// O(1) candidate finish of the accumulator engine touches a single cache
+    /// line instead of four parallel arrays.
+    meta: Vec<RecordMeta>,
+}
+
+/// Per-record scalar summary: everything the accumulator's O(1) finish needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct RecordMeta {
+    /// Largest stored hash value (0 for an empty signature).
+    max_hash: u64,
+    /// True record size `|X|` (the search size filter needs it).
+    record_size: u32,
+    /// Number of stored hash values, `|L_X|`.
+    gkmv_len: u32,
+    /// Whether the global threshold admitted every element of the record.
+    saturated: bool,
+}
+
+impl Default for SketchStore {
+    /// An empty store with a zero-width buffer stride. A derived `Default`
+    /// would leave `hash_offsets` empty, violating the invariant that it
+    /// always starts with a leading 0.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SketchStore {
+    /// An empty store whose buffers have `words_per_record` 64-bit words.
+    pub fn new(words_per_record: usize) -> Self {
+        SketchStore {
+            hash_arena: Vec::new(),
+            hash_offsets: vec![0],
+            buffer_arena: Vec::new(),
+            words_per_record,
+            meta: Vec::new(),
+        }
+    }
+
+    /// Builds the store from materialised per-record sketches (the parallel
+    /// build produces sketches in chunks; appending here is a memcpy per
+    /// arena, so it is not worth parallelising).
+    pub fn from_sketches<'a, I>(words_per_record: usize, sketches: I) -> Self
+    where
+        I: IntoIterator<Item = &'a GbKmvRecordSketch>,
+    {
+        let mut store = SketchStore::new(words_per_record);
+        for sketch in sketches {
+            store.push(sketch);
+        }
+        store
+    }
+
+    /// Appends one record's sketch and returns its id.
+    pub fn push(&mut self, sketch: &GbKmvRecordSketch) -> usize {
+        let id = self.len();
+        let hashes = sketch.gkmv.hashes();
+        self.hash_arena.extend_from_slice(hashes);
+        self.hash_offsets.push(self.hash_arena.len());
+        let words = sketch.buffer.words();
+        let copied = words.len().min(self.words_per_record);
+        // A real assert, not debug_assert: push is a build-time path, and
+        // silently dropping set bits would make every later search undercount
+        // the buffer overlap.
+        assert!(
+            words[copied..].iter().all(|&w| w == 0),
+            "sketch buffer has set bits beyond the store's {} word stride \
+             (was it built under a wider BufferLayout?)",
+            self.words_per_record
+        );
+        self.buffer_arena.extend_from_slice(&words[..copied]);
+        self.buffer_arena
+            .extend(std::iter::repeat_n(0, self.words_per_record - copied));
+        self.meta.push(RecordMeta {
+            max_hash: hashes.last().copied().unwrap_or(0),
+            record_size: sketch.record_size as u32,
+            gkmv_len: hashes.len() as u32,
+            saturated: sketch.gkmv.is_saturated(),
+        });
+        id
+    }
+
+    /// Number of stored records.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether the store holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Record `id`'s sorted G-KMV hash values.
+    #[inline]
+    pub fn hashes(&self, id: usize) -> &[u64] {
+        &self.hash_arena[self.hash_offsets[id]..self.hash_offsets[id + 1]]
+    }
+
+    /// Record `id`'s buffer bitmap words (`words_per_record` of them).
+    #[inline]
+    pub fn buffer_words(&self, id: usize) -> &[u64] {
+        let start = id * self.words_per_record;
+        &self.buffer_arena[start..start + self.words_per_record]
+    }
+
+    /// Record `id`'s true size `|X|`.
+    #[inline]
+    pub fn record_size(&self, id: usize) -> usize {
+        self.meta[id].record_size as usize
+    }
+
+    /// Number of hash values in record `id`'s signature, `|L_X|`.
+    #[inline]
+    pub fn gkmv_len(&self, id: usize) -> usize {
+        self.meta[id].gkmv_len as usize
+    }
+
+    /// Largest hash value of record `id`'s signature (0 when empty).
+    #[inline]
+    pub fn max_hash(&self, id: usize) -> u64 {
+        self.meta[id].max_hash
+    }
+
+    /// Whether record `id`'s signature kept every non-buffered element.
+    #[inline]
+    pub fn is_saturated(&self, id: usize) -> bool {
+        self.meta[id].saturated
+    }
+
+    /// Total number of hash values across all records (space accounting).
+    #[inline]
+    pub fn total_hashes(&self) -> usize {
+        self.hash_arena.len()
+    }
+
+    /// The fixed buffer stride in 64-bit words.
+    #[inline]
+    pub fn words_per_record(&self) -> usize {
+        self.words_per_record
+    }
+
+    /// `|H_Q ∩ H_X|` for a query bitmap against record `id`: popcount of the
+    /// word-wise AND, entirely over the flat arena.
+    #[inline]
+    pub fn buffer_intersection_count(&self, query_words: &[u64], id: usize) -> usize {
+        self.buffer_words(id)
+            .iter()
+            .zip(query_words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Full pairwise estimate of a query signature against record `id` via a
+    /// sorted merge over the hash arena (the scan/reference query paths).
+    ///
+    /// `query_max_hash` is the query signature's largest hash value (0 when
+    /// empty) and `query_saturated` whether its threshold admitted every
+    /// element — the same scalars the store keeps per record.
+    pub fn gkmv_pair_estimate(
+        &self,
+        query_hashes: &[u64],
+        query_max_hash: u64,
+        query_saturated: bool,
+        id: usize,
+    ) -> GKmvPairEstimate {
+        let record_hashes = self.hashes(id);
+        let k_intersection = sorted_intersection_count(query_hashes, record_hashes);
+        GKmvPairEstimate::from_parts(
+            query_hashes.len(),
+            record_hashes.len(),
+            k_intersection,
+            query_max_hash.max(self.meta[id].max_hash),
+            query_saturated && self.meta[id].saturated,
+        )
+    }
+
+    /// Materialises record `id`'s sketch (diagnostics and serialisation; the
+    /// query paths never need this).
+    pub fn record_sketch(&self, id: usize) -> GbKmvRecordSketch {
+        GbKmvRecordSketch {
+            buffer: ElementBuffer::from_words(self.buffer_words(id).to_vec()),
+            gkmv: GKmvSketch::from_hashes(self.hashes(id).to_vec(), self.meta[id].saturated),
+            record_size: self.record_size(id),
+        }
+    }
+}
+
+/// Reusable per-query accumulator state for the term-at-a-time query engine.
+///
+/// The dense arrays (`stamp`, `k_int`) are indexed by record id. A candidate
+/// is "live" for the current query iff its stamp equals the current epoch,
+/// so starting a new query is one epoch increment — no O(m) clear, no
+/// per-query hash map. Records touched by the current query are tracked in
+/// `touched` (insertion order; callers sort as their output contract
+/// requires). Only `K∩` is accumulated: the buffer overlap is cheaper to
+/// recompute at finish time as a popcount over the [`SketchStore`] words, so
+/// buffer postings contribute candidate membership only
+/// ([`QueryScratch::add_candidate`]).
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    k_int: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; it grows to the index size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts accumulation for a new query over `num_records` records:
+    /// bumps the epoch (handling wrap-around) and grows the arrays if the
+    /// index has grown since the last query.
+    pub fn begin(&mut self, num_records: usize) {
+        if self.stamp.len() < num_records {
+            self.stamp.resize(num_records, 0);
+            self.k_int.resize(num_records, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // The 32-bit epoch wrapped: stale stamps could collide with the
+            // new epoch, so wipe them once every 2^32 queries.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Registers `rid` as touched by the current query, zeroing its
+    /// accumulators on first touch.
+    #[inline]
+    fn activate(&mut self, rid: u32) {
+        let i = rid as usize;
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.k_int[i] = 0;
+            self.touched.push(rid);
+        }
+    }
+
+    /// Accumulates one shared G-KMV signature hash for `rid` (one posting).
+    #[inline]
+    pub fn add_signature_hit(&mut self, rid: u32) {
+        self.activate(rid);
+        self.k_int[rid as usize] += 1;
+    }
+
+    /// Registers `rid` as a candidate without accumulating any overlap — used
+    /// by the buffer-posting walk, whose overlap is cheaper to recompute at
+    /// finish time as a 1–2 word popcount over the CSR store.
+    #[inline]
+    pub fn add_candidate(&mut self, rid: u32) {
+        self.activate(rid);
+    }
+
+    /// The records touched by the current query, in first-touch order.
+    #[inline]
+    pub fn candidates(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// `K∩` accumulated for `rid` in the current query.
+    #[inline]
+    pub fn k_intersection(&self, rid: u32) -> usize {
+        self.k_int[rid as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferLayout;
+    use crate::dataset::Record;
+    use crate::gkmv::GlobalThreshold;
+    use crate::hash::Hasher64;
+
+    fn sketch(elements: &[u32], layout: &BufferLayout) -> GbKmvRecordSketch {
+        let record = Record::new(elements.to_vec());
+        let hasher = Hasher64::new(9);
+        GbKmvRecordSketch {
+            buffer: layout.build_buffer(&record),
+            gkmv: GKmvSketch::from_record_excluding(
+                &record,
+                &hasher,
+                GlobalThreshold::keep_all(),
+                |e| layout.contains(e),
+            ),
+            record_size: record.len(),
+        }
+    }
+
+    #[test]
+    fn store_round_trips_sketches() {
+        let layout = BufferLayout::new(vec![1, 2, 3]);
+        let sketches = vec![
+            sketch(&[1, 2, 10, 20], &layout),
+            sketch(&[3, 30], &layout),
+            sketch(&[40, 50, 60], &layout),
+        ];
+        let store = SketchStore::from_sketches(layout.words(), &sketches);
+        assert_eq!(store.len(), 3);
+        for (id, s) in sketches.iter().enumerate() {
+            assert_eq!(
+                &store.record_sketch(id),
+                s,
+                "record {id} did not round-trip"
+            );
+            assert_eq!(store.hashes(id), s.gkmv.hashes());
+            assert_eq!(store.gkmv_len(id), s.gkmv.len());
+            assert_eq!(store.record_size(id), s.record_size);
+            assert_eq!(
+                store.max_hash(id),
+                s.gkmv.hashes().last().copied().unwrap_or(0)
+            );
+            assert_eq!(store.is_saturated(id), s.gkmv.is_saturated());
+        }
+        assert_eq!(
+            store.total_hashes(),
+            sketches.iter().map(|s| s.gkmv.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn pair_estimate_matches_sketch_pair_estimate() {
+        let layout = BufferLayout::new(vec![1, 2]);
+        let a = sketch(&[1, 2, 10, 20, 30], &layout);
+        let b = sketch(&[2, 20, 30, 40], &layout);
+        let store = SketchStore::from_sketches(layout.words(), [&a, &b]);
+        let via_store = store.gkmv_pair_estimate(
+            a.gkmv.hashes(),
+            a.gkmv.hashes().last().copied().unwrap_or(0),
+            a.gkmv.is_saturated(),
+            1,
+        );
+        let direct = a.gkmv.pair_estimate(&b.gkmv);
+        assert_eq!(via_store, direct);
+        assert_eq!(
+            store.buffer_intersection_count(a.buffer.words(), 1),
+            a.buffer.intersection_count(&b.buffer)
+        );
+    }
+
+    #[test]
+    fn default_store_upholds_offset_invariant() {
+        let layout = BufferLayout::empty();
+        let mut store = SketchStore::default();
+        let id = store.push(&sketch(&[5, 6, 7], &layout));
+        assert_eq!(store.hashes(id).len(), 3);
+        assert_eq!(store.gkmv_len(id), 3);
+    }
+
+    #[test]
+    fn zero_width_buffer_store() {
+        let layout = BufferLayout::empty();
+        let a = sketch(&[5, 6], &layout);
+        let store = SketchStore::from_sketches(0, [&a]);
+        assert_eq!(store.buffer_words(0), &[] as &[u64]);
+        assert_eq!(store.buffer_intersection_count(&[], 0), 0);
+    }
+
+    #[test]
+    fn scratch_accumulates_and_resets_by_epoch() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(5);
+        scratch.add_signature_hit(3);
+        scratch.add_signature_hit(3);
+        scratch.add_candidate(3);
+        scratch.add_candidate(1);
+        assert_eq!(scratch.candidates(), &[3, 1]);
+        assert_eq!(scratch.k_intersection(3), 2);
+        assert_eq!(scratch.k_intersection(1), 0);
+
+        // Next query: previous accumulations must be invisible.
+        scratch.begin(5);
+        assert!(scratch.candidates().is_empty());
+        scratch.add_signature_hit(3);
+        assert_eq!(
+            scratch.k_intersection(3),
+            1,
+            "stale K∩ leaked across epochs"
+        );
+    }
+
+    #[test]
+    fn scratch_epoch_wraparound_does_not_leak() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(4);
+        scratch.add_signature_hit(2);
+        // Force the epoch to the wrap point: the next begin() overflows to 0
+        // and must wipe the stamps instead of treating stale ones as live.
+        scratch.epoch = u32::MAX;
+        scratch.stamp[2] = u32::MAX; // make record 2's stamp look "current"
+        scratch.k_int[2] = 99;
+        scratch.begin(4);
+        assert_eq!(scratch.epoch, 1);
+        assert!(scratch.candidates().is_empty());
+        scratch.add_signature_hit(2);
+        assert_eq!(
+            scratch.k_intersection(2),
+            1,
+            "epoch wrap leaked a stale accumulator"
+        );
+    }
+
+    #[test]
+    fn scratch_grows_with_index() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(2);
+        scratch.add_candidate(1);
+        scratch.begin(10);
+        scratch.add_signature_hit(9);
+        assert_eq!(scratch.candidates(), &[9]);
+        assert_eq!(scratch.k_intersection(9), 1);
+    }
+}

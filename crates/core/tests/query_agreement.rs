@@ -1,0 +1,129 @@
+//! Property tests pinning the accumulator query engine to the reference
+//! paths: across random datasets, space budgets, buffer sizes and thresholds,
+//! `search_filtered` (term-at-a-time accumulator over the CSR store) and
+//! `search_filtered_baseline` (hash-set candidates + sorted merges) must
+//! return **bit-identical** hits — same record ids, same `f64` estimates — as
+//! the full-scan reference `search_scan`, and the bounded-heap top-k must
+//! match a sort-everything reference.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gbkmv_core::dataset::Dataset;
+use gbkmv_core::index::{BufferSizing, GbKmvConfig, GbKmvIndex, SearchHit};
+use gbkmv_core::store::QueryScratch;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    vec(vec(0u32..3_000, 1..120), 4..48).prop_map(Dataset::from_records)
+}
+
+/// Maps a raw generated buffer knob onto the three sizing modes.
+fn buffer_sizing(knob: usize) -> BufferSizing {
+    match knob {
+        0 => BufferSizing::Fixed(0), // plain G-KMV
+        k if k < 20 => BufferSizing::Fixed(k),
+        _ => BufferSizing::Auto,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filtered_and_baseline_are_bit_identical_to_scan(
+        dataset in dataset_strategy(),
+        budget_fraction in 0.03f64..1.2,
+        t_star in 0.0f64..1.0,
+        buffer_knob in 0usize..24,
+        seed in 0u64..1_000_000,
+        query_pick in 0usize..1_000,
+    ) {
+        let mut config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1);
+        config.buffer = buffer_sizing(buffer_knob);
+        let index = GbKmvIndex::build(&dataset, config);
+        let query = dataset.record(query_pick % dataset.len()).clone();
+
+        let scan = index.search_scan(&query, t_star);
+        let filtered = index.search_filtered(&query, t_star);
+        let baseline = index.search_filtered_baseline(&query, t_star);
+
+        // Bit-identical: SearchHit's PartialEq compares the f64 estimates
+        // exactly, not approximately.
+        prop_assert_eq!(&scan, &filtered,
+            "accumulator diverged from scan (t*={}, budget={})", t_star, budget_fraction);
+        prop_assert_eq!(&scan, &baseline,
+            "baseline diverged from scan (t*={}, budget={})", t_star, budget_fraction);
+
+        // The ContainmentIndex ordering contract: ascending record id.
+        prop_assert!(scan.windows(2).all(|w| w[0].record_id < w[1].record_id));
+
+        // Reusing one scratch for a second pass over the same query changes
+        // nothing (epoch reset works under arbitrary configurations).
+        let mut scratch = QueryScratch::new();
+        let first = index.search_filtered_with(&query, t_star, &mut scratch);
+        let second = index.search_filtered_with(&query, t_star, &mut scratch);
+        prop_assert_eq!(&first, &second, "scratch reuse leaked state");
+        prop_assert_eq!(&first, &scan, "explicit-scratch path diverged from scan");
+    }
+
+    #[test]
+    fn filtered_topk_matches_positive_score_reference(
+        dataset in dataset_strategy(),
+        budget_fraction in 0.05f64..1.0,
+        k in 1usize..20,
+        seed in 0u64..1_000_000,
+        query_pick in 0usize..1_000,
+    ) {
+        // Candidate-filtered top-k ranks exactly the records sharing a
+        // posting with the query, which are exactly the records with a
+        // strictly positive estimate. The reference is therefore the
+        // sort-everything ranking of `search_scan` restricted to
+        // positive-score hits.
+        let config = GbKmvConfig::with_space_fraction(budget_fraction).hash_seed(seed | 1);
+        let index = GbKmvIndex::build(&dataset, config);
+        let query = dataset.record(query_pick % dataset.len()).clone();
+
+        let top = index.search_topk(&query, k);
+
+        let mut reference: Vec<SearchHit> = index.search_scan(&query, 0.0);
+        reference.sort_by(|a, b| {
+            b.estimated_containment
+                .total_cmp(&a.estimated_containment)
+                .then_with(|| a.record_id.cmp(&b.record_id))
+        });
+        reference.retain(|h| h.estimated_overlap > 0.0);
+        reference.truncate(k);
+        prop_assert_eq!(top, reference, "filtered heap top-k diverged from reference");
+    }
+
+    #[test]
+    fn heap_topk_matches_sort_everything_reference(
+        dataset in dataset_strategy(),
+        budget_fraction in 0.05f64..1.0,
+        k in 1usize..20,
+        seed in 0u64..1_000_000,
+        query_pick in 0usize..1_000,
+    ) {
+        // Scan mode ranks *every* record, so the reference is unambiguous.
+        let config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .candidate_filter(false);
+        let index = GbKmvIndex::build(&dataset, config);
+        let qid = query_pick % dataset.len();
+        let query = dataset.record(qid).clone();
+
+        let top = index.search_topk(&query, k);
+
+        // Reference: estimate every record (threshold 0 returns all), sort by
+        // (containment desc, record id asc), truncate.
+        let mut reference: Vec<SearchHit> = index.search_scan(&query, 0.0);
+        reference.sort_by(|a, b| {
+            b.estimated_containment
+                .total_cmp(&a.estimated_containment)
+                .then_with(|| a.record_id.cmp(&b.record_id))
+        });
+        reference.truncate(k);
+        prop_assert_eq!(top, reference, "heap top-k diverged from sort reference");
+    }
+}

@@ -18,6 +18,51 @@ use gbkmv_core::index::ContainmentIndex;
 use crate::ground_truth::GroundTruth;
 use crate::metrics::{AccuracySummary, ConfusionCounts};
 
+/// Workload-level knobs of an experiment run, shared by the benchmark
+/// binaries: the containment threshold, the number of sampled queries and the
+/// thread count used for the exact ground-truth scans (the dominant setup
+/// cost). Index-build threading is configured separately on the index's own
+/// config (e.g. `GbKmvConfig::threads`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Containment similarity threshold `t*`.
+    pub threshold: f64,
+    /// Number of queries sampled from the dataset.
+    pub num_queries: usize,
+    /// Threads for the exact ground-truth scans (`0` = all cores).
+    pub threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            threshold: 0.5,
+            num_queries: 60,
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Overrides the containment threshold.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Overrides the workload size.
+    pub fn num_queries(mut self, num_queries: usize) -> Self {
+        self.num_queries = num_queries;
+        self
+    }
+
+    /// Overrides the thread count (`0` = all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
 /// Accuracy and timing of one query.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueryEvaluation {

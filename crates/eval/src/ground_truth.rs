@@ -22,11 +22,23 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Computes the ground truth of every query at the given threshold.
     pub fn compute(dataset: &Dataset, queries: &[Record], threshold: f64) -> Self {
+        Self::compute_with_threads(dataset, queries, threshold, 1)
+    }
+
+    /// Like [`GroundTruth::compute`], but fans the (embarrassingly parallel)
+    /// per-query brute-force scans out over `threads` scoped threads
+    /// (`0` = all available cores). Results are identical to the sequential
+    /// path for every thread count: queries are chunked contiguously and the
+    /// chunks are concatenated in workload order.
+    pub fn compute_with_threads(
+        dataset: &Dataset,
+        queries: &[Record],
+        threshold: f64,
+        threads: usize,
+    ) -> Self {
         let oracle = BruteForceIndex::build(dataset);
-        let results = queries
-            .iter()
-            .map(|q| oracle.ground_truth(q, threshold))
-            .collect();
+        let results =
+            gbkmv_core::parallel::par_map(queries, threads, |q| oracle.ground_truth(q, threshold));
         GroundTruth { threshold, results }
     }
 
@@ -94,6 +106,20 @@ mod tests {
         let truth = GroundTruth::compute(&d, &queries, 1.0);
         for (i, t) in truth.results.iter().enumerate() {
             assert!(t.contains(&i), "query {i} should match its own record");
+        }
+    }
+
+    #[test]
+    fn parallel_ground_truth_matches_sequential() {
+        let records: Vec<Vec<u32>> = (0..60u32)
+            .map(|i| ((i * 3)..(i * 3 + 40)).collect())
+            .collect();
+        let d = Dataset::from_records(records);
+        let queries: Vec<Record> = (0..20).map(|i| d.record(i * 3).clone()).collect();
+        let sequential = GroundTruth::compute(&d, &queries, 0.5);
+        for threads in [0, 2, 5, 64] {
+            let parallel = GroundTruth::compute_with_threads(&d, &queries, 0.5, threads);
+            assert_eq!(sequential.results, parallel.results, "threads={threads}");
         }
     }
 

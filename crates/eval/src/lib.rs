@@ -23,7 +23,9 @@ pub mod ground_truth;
 pub mod metrics;
 pub mod report;
 
-pub use experiment::{evaluate_index, ConstructionReport, MethodReport, QueryEvaluation};
+pub use experiment::{
+    evaluate_index, ConstructionReport, ExperimentConfig, MethodReport, QueryEvaluation,
+};
 pub use ground_truth::GroundTruth;
 pub use metrics::{f_score, precision_recall, AccuracySummary, ConfusionCounts};
 pub use report::{format_table, write_json_report};

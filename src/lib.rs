@@ -39,6 +39,7 @@ pub mod prelude {
     pub use gbkmv_core::index::{ContainmentIndex, GbKmvConfig, GbKmvIndex, SearchHit};
     pub use gbkmv_core::sim::{containment, jaccard};
     pub use gbkmv_core::stats::DatasetStats;
+    pub use gbkmv_core::store::{QueryScratch, SketchStore};
     pub use gbkmv_datagen::profiles::DatasetProfile;
     pub use gbkmv_datagen::queries::QueryWorkload;
     pub use gbkmv_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
