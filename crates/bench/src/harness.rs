@@ -13,7 +13,9 @@ use gbkmv_core::stats::DatasetStats;
 use gbkmv_core::variants::{KmvConfig, KmvIndex};
 use gbkmv_datagen::profiles::DatasetProfile;
 use gbkmv_datagen::queries::QueryWorkload;
-use gbkmv_eval::experiment::{evaluate_index, ExperimentConfig, MethodReport};
+use gbkmv_eval::experiment::{
+    evaluate_index, evaluate_index_batch, ExperimentConfig, MethodReport,
+};
 use gbkmv_eval::ground_truth::GroundTruth;
 use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
 
@@ -92,6 +94,9 @@ pub struct ExperimentEnv {
     pub ground_truth: GroundTruth,
     /// The containment threshold of the cached ground truth.
     pub threshold: f64,
+    /// Whether [`ExperimentEnv::evaluate`] submits the workload as one
+    /// batch (`ContainmentIndex::search_batch`) instead of query-at-a-time.
+    pub batch: bool,
 }
 
 impl ExperimentEnv {
@@ -128,6 +133,7 @@ impl ExperimentEnv {
             queries: workload.queries,
             ground_truth,
             threshold: config.threshold,
+            batch: config.batch,
         }
     }
 
@@ -147,9 +153,15 @@ impl ExperimentEnv {
         self.stats.total_elements
     }
 
-    /// Evaluates an already-built index against the cached workload.
+    /// Evaluates an already-built index against the cached workload,
+    /// submitting it as one batch when the environment's `batch` knob is on.
     pub fn evaluate(&self, index: &dyn ContainmentIndex) -> MethodReport {
-        evaluate_index(
+        let run = if self.batch {
+            evaluate_index_batch
+        } else {
+            evaluate_index
+        };
+        run(
             index,
             &self.queries,
             &self.ground_truth,
@@ -252,6 +264,19 @@ mod tests {
             assert!(report.space_elements > 0.0);
             assert!(report.accuracy.recall >= 0.0 && report.accuracy.recall <= 1.0);
         }
+    }
+
+    #[test]
+    fn batch_environment_reports_identical_accuracy() {
+        let config = ExperimentConfig::default().num_queries(8);
+        let single = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config);
+        let batch = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config.batch(true));
+        assert!(batch.batch && !single.batch);
+        // Same profile/scale/seed ⇒ same dataset and workload; the batch
+        // submission path must report the same accuracy.
+        let a = evaluate_on_profile(&single, MethodUnderTest::GbKmv, 0.2, 32);
+        let b = evaluate_on_profile(&batch, MethodUnderTest::GbKmv, 0.2, 32);
+        assert_eq!(a.accuracy, b.accuracy);
     }
 
     #[test]

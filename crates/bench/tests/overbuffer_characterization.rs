@@ -1,0 +1,53 @@
+//! Characterization test for the known 5%-budget over-buffering (ROADMAP
+//! open item "Cost model fidelity at extreme budgets").
+//!
+//! At a 5% space budget the buffer grid search can over-buffer: the
+//! Equation-11 variance model underestimates the error of the starved G-KMV
+//! remainder, so the chosen `r` spends budget on the bitmap that the
+//! signature needed more, and GB-KMV falls *below* plain G-KMV on some
+//! profiles (the paper's Figure 6 expects GB-KMV ≥ G-KMV everywhere).
+//!
+//! The test asserts the **desired** property and is marked `#[should_panic]`
+//! with the current failure message: today it panics (bug present, test
+//! green). When the cost model is fixed — an empirical correction or a
+//! skew-dependent floor — the assert stops panicking, this test turns red,
+//! and the fixer deletes the `#[should_panic]` to lock the fix in. A
+//! regression to a *different* failure (e.g. the cost model stops buffering
+//! at all) changes the panic message and also turns the test red.
+
+use gbkmv_bench::harness::{evaluate_on_profile, ExperimentEnv, MethodUnderTest};
+use gbkmv_core::index::{GbKmvConfig, GbKmvIndex};
+use gbkmv_datagen::profiles::DatasetProfile;
+
+#[test]
+#[should_panic(expected = "over-buffering")]
+fn gbkmv_should_not_fall_below_gkmv_at_5_percent_budget_on_netflix() {
+    // Scale 8 keeps the run in CI-smoke territory while preserving the
+    // skew that triggers the bug (the full-scale NETFLIX/REUTERS 5% cells
+    // of `fig06_kmv_variants` show the same inversion).
+    let env = ExperimentEnv::new(DatasetProfile::Netflix, 8, 0.5, 60);
+
+    // Pin the cause, not just the symptom: the cost model *does* buy a
+    // buffer at 5% (r > 0). If this ever trips instead, the failure mode
+    // changed — the model stopped buffering rather than over-buffering.
+    let index = GbKmvIndex::build(&env.dataset, GbKmvConfig::with_space_fraction(0.05));
+    // (This message must NOT contain the `should_panic` substring, so a
+    // model that stops buffering entirely turns the test red instead of
+    // matching the expected panic.)
+    assert!(
+        index.summary().buffer_size > 0,
+        "cost model no longer buys a buffer at 5% on NETFLIX; this \
+         characterization is stale (buffering stopped entirely)"
+    );
+
+    let gkmv = evaluate_on_profile(&env, MethodUnderTest::GKmv, 0.05, 0);
+    let gbkmv = evaluate_on_profile(&env, MethodUnderTest::GbKmv, 0.05, 0);
+    assert!(
+        gbkmv.accuracy.f1 + 0.02 >= gkmv.accuracy.f1,
+        "over-buffering: GB-KMV F1 {:.3} fell below G-KMV F1 {:.3} at the 5% \
+         budget (buffer r = {}) — the known cost-model fidelity gap",
+        gbkmv.accuracy.f1,
+        gkmv.accuracy.f1,
+        index.summary().buffer_size
+    );
+}

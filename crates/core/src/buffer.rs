@@ -174,25 +174,35 @@ impl ElementBuffer {
     /// `trailing_zeros`); callers that need a materialised list can
     /// `collect()`.
     pub fn set_positions(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            std::iter::from_fn({
-                let mut w = word;
-                move || {
-                    if w == 0 {
-                        return None;
-                    }
-                    let bit = w.trailing_zeros();
-                    w &= w - 1;
-                    Some(wi as u32 * 64 + bit)
-                }
-            })
-        })
+        set_positions_in(&self.words)
     }
 
     /// The underlying words (for size accounting and serialisation).
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+}
+
+/// The positions of the set bits of a raw bitmap word slice, in increasing
+/// order — the free-function form of [`ElementBuffer::set_positions`], used
+/// by callers that hold borrowed words from the flattened
+/// [`crate::store::SketchStore`] arena instead of an [`ElementBuffer`].
+///
+/// Non-allocating: each word is drained with `trailing_zeros`.
+pub fn set_positions_in(words: &[u64]) -> impl Iterator<Item = u32> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        std::iter::from_fn({
+            let mut w = word;
+            move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                Some(wi as u32 * 64 + bit)
+            }
+        })
+    })
 }
 
 #[cfg(test)]

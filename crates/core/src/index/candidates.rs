@@ -1,0 +1,101 @@
+//! **Candidates** stage of the query pipeline: posting traversal plus
+//! signature accumulation.
+//!
+//! Given a query sketch and one [`Shard`], the stage walks the query's
+//! signature-hash postings (accumulating `K∩` per touched slot) and its
+//! buffer-bit postings (registering the remaining candidates) into a
+//! [`QueryScratch`]. Each posting list is truncated at the prune stage's
+//! live-prefix cutoff *before* traversal — a candidate below the size
+//! threshold is never touched, let alone finished.
+
+use crate::buffer::ElementBuffer;
+use crate::gbkmv::GbKmvRecordSketch;
+use crate::index::sharded::Shard;
+use crate::scratch::QueryScratch;
+
+/// Borrowed scalar view of a query sketch, so the inner loops never touch
+/// the `GbKmvRecordSketch` struct.
+pub(crate) struct QuerySketchView<'a> {
+    pub(crate) hashes: &'a [u64],
+    pub(crate) max_hash: u64,
+    pub(crate) saturated: bool,
+    pub(crate) buffer: &'a ElementBuffer,
+}
+
+impl<'a> QuerySketchView<'a> {
+    pub(crate) fn new(sketch: &'a GbKmvRecordSketch) -> Self {
+        let hashes = sketch.gkmv.hashes();
+        QuerySketchView {
+            hashes,
+            max_hash: hashes.last().copied().unwrap_or(0),
+            saturated: sketch.gkmv.is_saturated(),
+            buffer: &sketch.buffer,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn buffer_words(&self) -> &'a [u64] {
+        self.buffer.words()
+    }
+}
+
+/// Truncates an ascending slot list at the live-prefix cutoff: because slots
+/// are size-ordered, the surviving prefix is exactly the entries whose
+/// record size meets the threshold.
+#[inline]
+fn live(list: &[u32], live_slots: usize) -> &[u32] {
+    match list.last() {
+        // Only search for the cutoff when the list actually extends past
+        // it; otherwise (common case: pruning disabled, or a low threshold)
+        // the whole list survives and the binary search is skipped.
+        Some(&last) if (last as usize) >= live_slots => {
+            &list[..list.partition_point(|&slot| (slot as usize) < live_slots)]
+        }
+        _ => list,
+    }
+}
+
+/// Walks the query's signature and buffer postings over one shard,
+/// accumulating into `scratch` (begins a fresh epoch for the shard).
+/// `live_slots` is the prune stage's cutoff; pass `shard.len()` to disable
+/// pruning (the top-k path, which ranks every candidate).
+pub(crate) fn accumulate(
+    shard: &Shard,
+    view: &QuerySketchView<'_>,
+    live_slots: usize,
+    scratch: &mut QueryScratch,
+) {
+    scratch.begin(shard.len());
+    for &h in view.hashes {
+        if let Some(postings) = shard.signature_postings(h) {
+            for &slot in live(postings, live_slots) {
+                scratch.add_signature_hit(slot);
+            }
+        }
+    }
+    // The buffer walk only contributes candidate *membership*: the overlap
+    // itself is recomputed at finish time as a popcount over the store's
+    // fixed-stride words, which is cheaper than one counter increment per
+    // posting entry.
+    for pos in view.buffer.set_positions() {
+        for &slot in live(shard.buffer_postings(pos), live_slots) {
+            scratch.add_candidate(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_truncates_by_slot_number() {
+        let list = [0u32, 2, 5, 9];
+        assert_eq!(live(&list, 6), &[0, 2, 5]);
+        assert_eq!(live(&list, 10), &list);
+        assert_eq!(live(&list, 0), &[] as &[u32]);
+        // A cutoff past the maximum possible slot takes the fast path.
+        assert_eq!(live(&list, usize::MAX), &list);
+        assert_eq!(live(&[], 3), &[] as &[u32]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The staged query pipeline: **candidates → prune → finish → rank**.
+//!
+//! [`QueryPipeline`] owns the per-stage state (the epoch-stamped
+//! [`QueryScratch`] of the candidate stage and the prune toggle) and
+//! composes the stage modules into the two search variants; the batch path
+//! runs one pipeline per worker thread over its query slab. The free
+//! functions taking an explicit scratch back the `*_with` entry points of
+//! [`GbKmvIndex`], which predate the pipeline type and stay supported.
+//!
+//! Stage composition for a thresholded search, per shard:
+//!
+//! 1. **prune** ([`crate::index::prune`]) — one binary search over the
+//!    size-ordered slots gives the live prefix `0..live`; smaller records
+//!    cannot reach the overlap threshold.
+//! 2. **candidates** ([`crate::index::candidates`]) — walk the query's
+//!    signature and buffer postings, each truncated at `live`, accumulating
+//!    `K∩` and membership into the scratch.
+//! 3. **finish** ([`crate::index::finish`]) — O(1) Equation-27 estimate per
+//!    surviving candidate.
+//! 4. **rank** ([`crate::index::rank`]) — collect qualifying hits, sort by
+//!    ascending global record id (or keep the best `k` in a bounded heap).
+
+use crate::dataset::ElementId;
+use crate::index::candidates::{self, QuerySketchView};
+use crate::index::finish;
+use crate::index::prune::PruneStage;
+use crate::index::rank::{ThresholdCollector, TopK};
+use crate::index::reference;
+use crate::index::{GbKmvIndex, SearchHit};
+use crate::scratch::QueryScratch;
+use crate::sim::OverlapThreshold;
+
+/// A reusable query executor: the staged pipeline plus its per-stage state.
+///
+/// Query loops create one pipeline (per thread) and reuse it, paying zero
+/// allocation per query after the first; the convenience entry points on
+/// [`GbKmvIndex`] use a thread-local pipeline instead.
+#[derive(Debug, Default)]
+pub struct QueryPipeline {
+    scratch: QueryScratch,
+    prune: bool,
+}
+
+impl QueryPipeline {
+    /// A pipeline with pruning enabled (the default engine).
+    pub fn new() -> Self {
+        QueryPipeline {
+            scratch: QueryScratch::new(),
+            prune: true,
+        }
+    }
+
+    /// Enables or disables the prune stage. Disabling never changes any
+    /// answer — the size filter then runs per candidate at finish time, as
+    /// the pre-pruning engine did — and exists for the ablation benchmark.
+    pub fn pruning(mut self, enabled: bool) -> Self {
+        self.prune = enabled;
+        self
+    }
+
+    /// Thresholded containment search over a borrowed element slice
+    /// (canonicalised if not sorted/deduplicated), equivalent to
+    /// [`GbKmvIndex::search_elements`].
+    pub fn search(
+        &mut self,
+        index: &GbKmvIndex,
+        query: &[ElementId],
+        t_star: f64,
+    ) -> Vec<SearchHit> {
+        crate::index::with_canonical_query(query, |q| self.search_sorted(index, q, t_star))
+    }
+
+    /// [`QueryPipeline::search`] for a slice known to be sorted and
+    /// deduplicated (every [`crate::dataset::Record`]'s invariant).
+    pub fn search_sorted(
+        &mut self,
+        index: &GbKmvIndex,
+        query: &[ElementId],
+        t_star: f64,
+    ) -> Vec<SearchHit> {
+        filtered_sorted(
+            index,
+            query,
+            t_star,
+            PruneStage::new(self.prune),
+            &mut self.scratch,
+        )
+    }
+
+    /// Top-k containment search, equivalent to [`GbKmvIndex::search_topk`].
+    pub fn topk(&mut self, index: &GbKmvIndex, query: &[ElementId], k: usize) -> Vec<SearchHit> {
+        crate::index::with_canonical_query(query, |q| topk_sorted(index, q, k, &mut self.scratch))
+    }
+}
+
+/// Thresholded search, composed from the four stages (sorted query slice).
+///
+/// Falls back to the reference scan when the threshold is (effectively)
+/// zero — every record then qualifies, including ones sharing no posting
+/// with the query — or when the index was built without the candidate
+/// filter, in which case no postings exist at all.
+pub(crate) fn filtered_sorted(
+    index: &GbKmvIndex,
+    query: &[ElementId],
+    t_star: f64,
+    prune: PruneStage,
+    scratch: &mut QueryScratch,
+) -> Vec<SearchHit> {
+    let q = query.len();
+    let threshold = OverlapThreshold::new(q, t_star);
+    if threshold.raw <= 1e-9 || !index.config.use_candidate_filter {
+        return reference::scan_sorted(index, query, t_star);
+    }
+    let q_sketch = index.sketcher.sketch_elements(query);
+    let view = QuerySketchView::new(&q_sketch);
+
+    let mut collector = ThresholdCollector::default();
+    for shard in index.sharded.shards() {
+        let live = prune.live_slots(shard, threshold);
+        if live == 0 {
+            // Every record in the shard is smaller than the required
+            // overlap; nothing to traverse.
+            continue;
+        }
+        candidates::accumulate(shard, &view, live, scratch);
+        let store = shard.store();
+        for &slot in scratch.candidates() {
+            if !prune.enabled() && store.record_size(slot as usize) < threshold.exact {
+                // Pruning disabled (ablation): the size filter runs here,
+                // per candidate, exactly as the pre-pruning engine did.
+                continue;
+            }
+            let overlap = finish::accumulated_overlap(store, &view, scratch, slot);
+            if let Some(hit) =
+                finish::hit_if_qualifies(shard.global_id(slot as usize), overlap, q, threshold.raw)
+            {
+                collector.push(hit);
+            }
+        }
+    }
+    collector.into_sorted()
+}
+
+/// Top-k search: candidates (no pruning — ranking has no overlap threshold,
+/// so every touched candidate competes) → finish → bounded-heap rank.
+///
+/// Without the candidate filter the index has no postings, so every slot is
+/// finished with the reference sorted merge instead.
+pub(crate) fn topk_sorted(
+    index: &GbKmvIndex,
+    query: &[ElementId],
+    k: usize,
+    scratch: &mut QueryScratch,
+) -> Vec<SearchHit> {
+    if k == 0 || query.is_empty() {
+        return Vec::new();
+    }
+    let q = query.len();
+    let q_sketch = index.sketcher.sketch_elements(query);
+    let view = QuerySketchView::new(&q_sketch);
+
+    let mut topk = TopK::new(k);
+    for shard in index.sharded.shards() {
+        let store = shard.store();
+        if index.config.use_candidate_filter {
+            candidates::accumulate(shard, &view, shard.len(), scratch);
+            for &slot in scratch.candidates() {
+                let overlap = finish::accumulated_overlap(store, &view, scratch, slot);
+                topk.consider(shard.global_id(slot as usize), overlap, q);
+            }
+        } else {
+            for slot in 0..store.len() {
+                let overlap = finish::merge_overlap(store, &view, slot);
+                topk.consider(shard.global_id(slot), overlap, q);
+            }
+        }
+    }
+    topk.into_hits()
+}

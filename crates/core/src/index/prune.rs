@@ -1,0 +1,50 @@
+//! **Prune** stage of the query pipeline: size-threshold pruning over the
+//! size-ordered slots.
+//!
+//! A containment query `(Q, t*)` can only be matched by records holding at
+//! least `θ = ⌈t*·|Q|⌉` of the query's elements — and a record can never
+//! hold more elements than it has, so any record with `|X| < θ` is out
+//! regardless of its sketch. This is exactly the size filter the reference
+//! scan applies per record (making the pruned pipeline bit-identical to it
+//! by construction); the prune stage turns it from a per-candidate check
+//! into a *structural* cutoff: slots are ordered by descending record size,
+//! so the qualifying records are precisely the slots `0..live`, computed
+//! with one binary search per shard, and the candidate stage truncates every
+//! posting list at that slot number. Pruned candidates are never
+//! accumulated, never finished — they die before the finish, not after.
+
+use crate::index::sharded::Shard;
+use crate::sim::OverlapThreshold;
+
+/// The per-query pruning decision, applied per shard.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PruneStage {
+    /// Whether pruning is enabled (disabled for the ablation benchmark; the
+    /// size filter then runs per candidate at finish time instead, exactly
+    /// as the pre-pruning engine did).
+    enabled: bool,
+}
+
+impl PruneStage {
+    pub(crate) fn new(enabled: bool) -> Self {
+        PruneStage { enabled }
+    }
+
+    /// Whether structural pruning is active.
+    #[inline]
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The number of leading slots of `shard` that survive the overlap
+    /// threshold — the candidate stage's posting-list cutoff. With pruning
+    /// disabled every slot is live.
+    #[inline]
+    pub(crate) fn live_slots(&self, shard: &Shard, threshold: OverlapThreshold) -> usize {
+        if self.enabled {
+            shard.store().live_prefix(threshold.exact)
+        } else {
+            shard.len()
+        }
+    }
+}

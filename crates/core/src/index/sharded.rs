@@ -1,0 +1,383 @@
+//! The sharded storage layer behind [`crate::index::GbKmvIndex`].
+//!
+//! A [`Shard`] bundles one size-ordered [`SketchStore`] with the inverted
+//! posting lists over its slots; a [`ShardedIndex`] is an ordered sequence of
+//! shards covering contiguous, ascending record-id ranges. Every
+//! [`crate::index::GbKmvIndex`] owns a `ShardedIndex` — an unsharded index is
+//! simply the one-shard case — so the single-query, batch and dynamic-insert
+//! paths all go through the same storage code.
+//!
+//! **Why shards?** The sketcher (hash function, buffer layout, global
+//! threshold `τ`) is always chosen over the whole dataset, so shard
+//! boundaries never change any estimate: a query's hits are the concatenation
+//! of its per-shard hits, and because the ranges are contiguous and
+//! ascending, concatenating per-shard results (each sorted by record id)
+//! yields the globally sorted result with no merge. Shards therefore give
+//! the engine independent units of work — for parallel builds, for the batch
+//! query path, and for bounding the O(shard) cost of a dynamic insert — at
+//! zero accuracy cost.
+
+use std::collections::HashMap;
+
+use crate::buffer::set_positions_in;
+use crate::gbkmv::GbKmvRecordSketch;
+use crate::parallel;
+use crate::store::{SketchStore, SketchView};
+
+/// One storage shard: a size-ordered sketch store plus the inverted posting
+/// lists over its slots.
+///
+/// Posting lists hold ascending **slot** numbers. Because slots are ordered
+/// by descending record size (the [`SketchStore`] invariant), every posting
+/// list is simultaneously size-sorted: the prune stage truncates each list
+/// at the query's live-prefix cutoff with one binary search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// First global record id owned by this shard.
+    base: usize,
+    /// The shard's flattened sketch storage.
+    store: SketchStore,
+    /// Inverted postings from G-KMV signature hash value to slots
+    /// (ascending within each list). Empty when the candidate filter is
+    /// disabled.
+    signature_postings: HashMap<u64, Vec<u32>>,
+    /// Inverted postings from buffer bit position to slots (ascending).
+    buffer_postings: Vec<Vec<u32>>,
+}
+
+impl Shard {
+    /// Builds a shard over `sketches` (the records `base..base +
+    /// sketches.len()`), fanning posting construction over `threads` scoped
+    /// threads. The shard is identical for every thread count: slots are
+    /// chunked contiguously and the per-chunk posting fragments are merged
+    /// in chunk order, so every list stays ascending.
+    pub(crate) fn build(
+        base: usize,
+        sketches: &[GbKmvRecordSketch],
+        words_per_record: usize,
+        buffer_len: usize,
+        build_postings: bool,
+        threads: usize,
+    ) -> Self {
+        let store = SketchStore::from_sketches(words_per_record, sketches);
+        let mut signature_postings: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut buffer_postings: Vec<Vec<u32>> = vec![Vec::new(); buffer_len];
+        if build_postings {
+            let slots: Vec<u32> = (0..store.len() as u32).collect();
+            let chunked = parallel::map_chunks(&slots, threads, |_, chunk| {
+                let mut sig: HashMap<u64, Vec<u32>> = HashMap::new();
+                let mut buf: Vec<Vec<u32>> = vec![Vec::new(); buffer_len];
+                for &slot in chunk {
+                    let view = store.view(slot as usize);
+                    for &h in view.hashes {
+                        sig.entry(h).or_default().push(slot);
+                    }
+                    for pos in set_positions_in(view.buffer_words) {
+                        buf[pos as usize].push(slot);
+                    }
+                }
+                (sig, buf)
+            });
+            for (sig, buf) in chunked {
+                for (h, slots) in sig {
+                    signature_postings.entry(h).or_default().extend(slots);
+                }
+                for (pos, slots) in buf.into_iter().enumerate() {
+                    buffer_postings[pos].extend(slots);
+                }
+            }
+        }
+        Shard {
+            base,
+            store,
+            signature_postings,
+            buffer_postings,
+        }
+    }
+
+    /// Appends one record to the shard, keeping the store size-ordered and
+    /// every posting list sorted. Returns the record's **global** id.
+    ///
+    /// The store splice renumbers every slot at or above the insertion
+    /// point, so the existing posting entries are renumbered to match before
+    /// the new record's own postings are spliced in at their sorted
+    /// positions. This is O(shard postings) — the price of keeping the
+    /// pruned query path exact under dynamic inserts; bulk loads go through
+    /// [`Shard::build`].
+    pub(crate) fn insert(&mut self, sketch: &GbKmvRecordSketch, build_postings: bool) -> usize {
+        let (local_id, slot) = self.store.insert(sketch);
+        if build_postings {
+            let slot = slot as u32;
+            for list in self.signature_postings.values_mut() {
+                for s in list.iter_mut() {
+                    if *s >= slot {
+                        *s += 1;
+                    }
+                }
+            }
+            for list in &mut self.buffer_postings {
+                for s in list.iter_mut() {
+                    if *s >= slot {
+                        *s += 1;
+                    }
+                }
+            }
+            let view = self.store.view(slot as usize);
+            for &h in view.hashes {
+                let list = self.signature_postings.entry(h).or_default();
+                let at = list.partition_point(|&s| s < slot);
+                list.insert(at, slot);
+            }
+            for pos in set_positions_in(view.buffer_words) {
+                let list = &mut self.buffer_postings[pos as usize];
+                let at = list.partition_point(|&s| s < slot);
+                list.insert(at, slot);
+            }
+        }
+        self.base + local_id
+    }
+
+    /// First global record id owned by this shard.
+    #[inline]
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of records in this shard.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the shard holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The shard's sketch store.
+    #[inline]
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// The global record id held in `slot`.
+    #[inline]
+    pub fn global_id(&self, slot: usize) -> usize {
+        self.base + self.store.record_id(slot)
+    }
+
+    /// The signature posting list (ascending slots) of a hash value, if any.
+    #[inline]
+    pub(crate) fn signature_postings(&self, hash: u64) -> Option<&[u32]> {
+        self.signature_postings.get(&hash).map(Vec::as_slice)
+    }
+
+    /// The buffer posting list (ascending slots) of a bit position.
+    #[inline]
+    pub(crate) fn buffer_postings(&self, position: u32) -> &[u32] {
+        &self.buffer_postings[position as usize]
+    }
+}
+
+/// An ordered sequence of [`Shard`]s covering contiguous, ascending record-id
+/// ranges (shard `i + 1`'s base is shard `i`'s base plus its length).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+}
+
+impl ShardedIndex {
+    /// Builds `num_shards` shards (`0` is clamped to 1) over the dataset's
+    /// sketches. The sketches are split into contiguous chunks, so the
+    /// record-id ranges are ascending by construction.
+    ///
+    /// With one shard, posting construction fans out over `threads` inside
+    /// the shard; with several, whole shards build in parallel. Either way
+    /// the result is identical for every thread count.
+    pub(crate) fn build(
+        sketches: &[GbKmvRecordSketch],
+        num_shards: usize,
+        words_per_record: usize,
+        buffer_len: usize,
+        build_postings: bool,
+        threads: usize,
+    ) -> Self {
+        let num_shards = num_shards.max(1);
+        if num_shards == 1 || sketches.len() <= 1 {
+            return ShardedIndex {
+                shards: vec![Shard::build(
+                    0,
+                    sketches,
+                    words_per_record,
+                    buffer_len,
+                    build_postings,
+                    threads,
+                )],
+            };
+        }
+        let chunk = sketches.len().div_ceil(num_shards);
+        let bounds: Vec<usize> = (0..sketches.len()).step_by(chunk).collect();
+        let shards = parallel::par_map(&bounds, threads, |&lo| {
+            let hi = (lo + chunk).min(sketches.len());
+            Shard::build(
+                lo,
+                &sketches[lo..hi],
+                words_per_record,
+                buffer_len,
+                build_postings,
+                1,
+            )
+        });
+        ShardedIndex { shards }
+    }
+
+    /// The shards, in ascending record-id order.
+    #[inline]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Total number of records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether the index holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Shard::is_empty)
+    }
+
+    /// Total number of stored hash values (space accounting).
+    pub fn total_hashes(&self) -> usize {
+        self.shards.iter().map(|s| s.store.total_hashes()).sum()
+    }
+
+    /// The shard owning a global record id, plus the id local to its store.
+    pub fn locate(&self, record_id: usize) -> (&Shard, usize) {
+        let i = self
+            .shards
+            .partition_point(|s| s.base <= record_id)
+            .saturating_sub(1);
+        let shard = &self.shards[i];
+        (shard, record_id - shard.base)
+    }
+
+    /// Borrowed view of a global record's sketch.
+    pub fn view_of_record(&self, record_id: usize) -> SketchView<'_> {
+        let (shard, local) = self.locate(record_id);
+        shard.store.view_of_record(local)
+    }
+
+    /// Appends one record to the tail shard (the one owning the highest id
+    /// range, keeping the ranges contiguous) and returns its global id.
+    pub(crate) fn insert(&mut self, sketch: &GbKmvRecordSketch, build_postings: bool) -> usize {
+        self.shards
+            .last_mut()
+            .expect("a ShardedIndex always has at least one shard")
+            .insert(sketch, build_postings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferLayout;
+    use crate::dataset::Record;
+    use crate::gkmv::{GKmvSketch, GlobalThreshold};
+    use crate::hash::Hasher64;
+
+    fn sketches(n: usize) -> Vec<GbKmvRecordSketch> {
+        let layout = BufferLayout::new(vec![0, 1]);
+        let hasher = Hasher64::new(3);
+        (0..n)
+            .map(|i| {
+                let record =
+                    Record::new((0..(2 + i as u32 % 5)).map(|j| j * 7 + i as u32).collect());
+                GbKmvRecordSketch {
+                    buffer: layout.build_buffer(&record),
+                    gkmv: GKmvSketch::from_record_excluding(
+                        &record,
+                        &hasher,
+                        GlobalThreshold::keep_all(),
+                        |e| layout.contains(e),
+                    ),
+                    record_size: record.len(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_cover_all_records() {
+        let sk = sketches(23);
+        for num_shards in [1, 2, 3, 5, 40] {
+            let index = ShardedIndex::build(&sk, num_shards, 1, 2, true, 1);
+            assert_eq!(index.len(), 23, "{num_shards} shards lost records");
+            let mut next = 0usize;
+            for shard in index.shards() {
+                assert_eq!(shard.base(), next, "ranges must be contiguous");
+                next += shard.len();
+            }
+            for (rid, sketch) in sk.iter().enumerate() {
+                let (shard, local) = index.locate(rid);
+                assert_eq!(shard.base() + local, rid);
+                assert_eq!(
+                    index.view_of_record(rid).meta.record_size as usize,
+                    sketch.record_size
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn posting_lists_are_ascending_and_size_sorted() {
+        let sk = sketches(30);
+        let index = ShardedIndex::build(&sk, 3, 1, 2, true, 2);
+        for shard in index.shards() {
+            let lists = shard
+                .signature_postings
+                .values()
+                .chain(shard.buffer_postings.iter());
+            for list in lists {
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "list not ascending");
+                assert!(
+                    list.windows(2).all(|w| {
+                        shard.store.record_size(w[0] as usize)
+                            >= shard.store.record_size(w[1] as usize)
+                    }),
+                    "list not size-sorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let sk = sketches(37);
+        for num_shards in [1, 4] {
+            let a = ShardedIndex::build(&sk, num_shards, 1, 2, true, 1);
+            let b = ShardedIndex::build(&sk, num_shards, 1, 2, true, 4);
+            assert_eq!(a, b, "{num_shards}-shard build varies with threads");
+        }
+    }
+
+    #[test]
+    fn insert_appends_to_tail_shard_and_matches_rebuild() {
+        let sk = sketches(12);
+        let mut grown = ShardedIndex::build(&sk[..9], 1, 1, 2, true, 1);
+        for (i, s) in sk[9..].iter().enumerate() {
+            assert_eq!(grown.insert(s, true), 9 + i);
+        }
+        let scratch_built = ShardedIndex::build(&sk, 1, 1, 2, true, 1);
+        assert_eq!(grown, scratch_built, "insert diverged from rebuild");
+    }
+
+    #[test]
+    fn empty_dataset_builds_one_empty_shard() {
+        let index = ShardedIndex::build(&[], 4, 0, 0, true, 0);
+        assert_eq!(index.shards().len(), 1);
+        assert!(index.is_empty());
+        assert_eq!(index.len(), 0);
+    }
+}

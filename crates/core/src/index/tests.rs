@@ -1,0 +1,489 @@
+//! Unit tests of the staged query pipeline, the sharded storage layer and
+//! the public index API.
+
+use super::*;
+use crate::dataset::Dataset;
+use crate::sim::containment;
+
+fn paper_dataset() -> Dataset {
+    Dataset::from_records(vec![
+        vec![1, 2, 3, 4, 7],
+        vec![2, 3, 5],
+        vec![2, 4, 5],
+        vec![1, 2, 6, 10],
+    ])
+}
+
+/// Synthetic skewed dataset large enough for approximate behaviour.
+fn skewed_dataset(records: usize) -> Dataset {
+    let recs: Vec<Vec<u32>> = (0..records)
+        .map(|i| {
+            let mut v: Vec<u32> = (0..8).collect();
+            let start = (i as u32 * 37) % 4000;
+            v.extend((0..80u32).map(|j| 8 + (start + j * 5) % 4000));
+            v
+        })
+        .collect();
+    Dataset::from_records(recs)
+}
+
+/// Skewed dataset with *varying* record sizes, so size-ordered slots differ
+/// from record-id order and pruning actually cuts.
+fn varied_dataset(records: usize) -> Dataset {
+    let recs: Vec<Vec<u32>> = (0..records)
+        .map(|i| {
+            let len = 4 + (i * 13) % 90;
+            let mut v: Vec<u32> = (0..4).collect();
+            let start = (i as u32 * 37) % 3000;
+            v.extend((0..len as u32).map(|j| 4 + (start + j * 5) % 3000));
+            v
+        })
+        .collect();
+    Dataset::from_records(recs)
+}
+
+#[test]
+fn full_budget_reproduces_exact_answers_on_paper_example() {
+    let dataset = paper_dataset();
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(2.0));
+    let query = vec![1u32, 2, 3, 5, 7, 9];
+    let hits = index.search(&query, 0.5);
+    let ids: Vec<usize> = hits.iter().map(|h| h.record_id).collect();
+    // Example 1: X1 (0.67) and X2 (0.5) qualify at t* = 0.5.
+    assert!(ids.contains(&0));
+    assert!(ids.contains(&1));
+    assert!(!ids.contains(&2));
+    assert!(!ids.contains(&3));
+}
+
+#[test]
+fn summary_reports_space_within_budget() {
+    let dataset = skewed_dataset(150);
+    let config = GbKmvConfig::with_space_fraction(0.10);
+    let index = GbKmvIndex::build(&dataset, config);
+    let summary = index.summary();
+    assert!(summary.space_used_elements > 0.0);
+    // The G-KMV threshold is chosen so the hash-value part respects the
+    // budget; the bitmap part is included in the budget split, so total
+    // space stays within a small tolerance of the budget.
+    assert!(
+        summary.space_used_elements <= summary.budget_elements as f64 * 1.05 + 8.0,
+        "space {} exceeds budget {}",
+        summary.space_used_elements,
+        summary.budget_elements
+    );
+    assert_eq!(summary.num_records, 150);
+    assert!(summary.tau > 0.0 && summary.tau <= 1.0);
+}
+
+#[test]
+fn filtered_scan_and_baseline_agree_bitwise() {
+    let dataset = varied_dataset(120);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+    for qid in [0usize, 17, 63, 99] {
+        let query = dataset.record(qid).clone();
+        for t_star in [0.0, 0.2, 0.4, 0.8] {
+            let scan = index.search_scan(&query, t_star);
+            let filt = index.search_filtered(&query, t_star);
+            let base = index.search_filtered_baseline(&query, t_star);
+            assert_eq!(
+                scan, filt,
+                "query {qid} at t*={t_star}: pipeline diverged from scan"
+            );
+            assert_eq!(
+                scan, base,
+                "query {qid} at t*={t_star}: baseline diverged from scan"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_ablation_is_bit_identical() {
+    let dataset = varied_dataset(140);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+    let mut pruned = QueryPipeline::new();
+    let mut unpruned = QueryPipeline::new().pruning(false);
+    for qid in (0..140).step_by(11) {
+        let query = dataset.record(qid);
+        for t_star in [0.0, 0.3, 0.6, 0.9] {
+            assert_eq!(
+                pruned.search(&index, query.elements(), t_star),
+                unpruned.search(&index, query.elements(), t_star),
+                "query {qid} at t*={t_star}: pruning changed the answer"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_index_answers_are_bit_identical_to_unsharded() {
+    let dataset = varied_dataset(130);
+    let unsharded = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+    for shards in [2usize, 3, 7] {
+        let sharded = GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.25).shards(shards),
+        );
+        assert_eq!(sharded.sharded().shards().len(), shards);
+        for qid in (0..130).step_by(17) {
+            let query = dataset.record(qid);
+            for t_star in [0.0, 0.4, 0.8] {
+                assert_eq!(
+                    unsharded.search_filtered(query, t_star),
+                    sharded.search_filtered(query, t_star),
+                    "query {qid} at t*={t_star}: {shards}-shard answer diverged"
+                );
+            }
+            assert_eq!(
+                unsharded.search_topk(query, 7),
+                sharded.search_topk(query, 7),
+                "query {qid}: {shards}-shard top-k diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_search_matches_single_queries_for_any_thread_count() {
+    let dataset = varied_dataset(90);
+    for shards in [1usize, 3] {
+        let index = GbKmvIndex::build(
+            &dataset,
+            GbKmvConfig::with_space_fraction(0.25).shards(shards),
+        );
+        let queries: Vec<Record> = (0..40).map(|i| dataset.record(i * 2).clone()).collect();
+        let expected: Vec<Vec<SearchHit>> = queries
+            .iter()
+            .map(|q| index.search_record(q, 0.5))
+            .collect();
+        for threads in [1usize, 2, 5] {
+            assert_eq!(
+                index.search_batch_threads(&queries, 0.5, threads),
+                expected,
+                "batch with {threads} threads / {shards} shards diverged"
+            );
+        }
+        // The trait route (default-overriding impl) answers identically.
+        let boxed: &dyn ContainmentIndex = &index;
+        assert_eq!(boxed.search_batch(&queries, 0.5), expected);
+    }
+}
+
+#[test]
+fn filtered_paths_fall_back_to_scan_without_candidate_filter() {
+    // With the candidate filter disabled no postings are built; the
+    // public filtered entry points must answer via the scan instead of
+    // an empty candidate set.
+    let dataset = skewed_dataset(60);
+    let index = GbKmvIndex::build(
+        &dataset,
+        GbKmvConfig::with_space_fraction(0.25).candidate_filter(false),
+    );
+    let query = dataset.record(9);
+    let scan = index.search_scan(query, 0.5);
+    assert!(!scan.is_empty());
+    assert_eq!(index.search_filtered(query, 0.5), scan);
+    assert_eq!(index.search_filtered_baseline(query, 0.5), scan);
+    let mut scratch = QueryScratch::new();
+    assert_eq!(index.search_filtered_with(query, 0.5, &mut scratch), scan);
+    assert_eq!(
+        index.search_batch(std::slice::from_ref(query), 0.5),
+        vec![scan]
+    );
+}
+
+#[test]
+fn results_are_sorted_by_record_id() {
+    let dataset = varied_dataset(100);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25).shards(3));
+    for qid in [3usize, 42, 77] {
+        let query = dataset.record(qid);
+        for hits in [
+            index.search_scan(query, 0.3),
+            index.search_filtered(query, 0.3),
+            index.search_filtered_baseline(query, 0.3),
+        ] {
+            assert!(
+                hits.windows(2).all(|w| w[0].record_id < w[1].record_id),
+                "hits not sorted by ascending record id"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_build_is_identical_to_sequential() {
+    let dataset = varied_dataset(90);
+    for shards in [1usize, 4] {
+        let config = GbKmvConfig::with_space_fraction(0.2).shards(shards);
+        let seq = GbKmvIndex::build(&dataset, config.threads(1));
+        let par = GbKmvIndex::build(&dataset, config.threads(4));
+        assert_eq!(seq.sharded, par.sharded, "{shards}-shard build varies");
+        assert_eq!(seq.summary, par.summary);
+        let query = dataset.record(11);
+        assert_eq!(seq.search_record(query, 0.4), par.search_record(query, 0.4));
+    }
+}
+
+#[test]
+fn scratch_reuse_across_queries_matches_fresh_scratch() {
+    let dataset = varied_dataset(100);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+    let mut reused = QueryScratch::new();
+    for qid in 0..100 {
+        let query = dataset.record(qid);
+        let with_reuse = index.search_filtered_with(query, 0.4, &mut reused);
+        let mut fresh = QueryScratch::new();
+        let with_fresh = index.search_filtered_with(query, 0.4, &mut fresh);
+        assert_eq!(
+            with_reuse, with_fresh,
+            "query {qid}: reused scratch leaked state from earlier queries"
+        );
+    }
+}
+
+#[test]
+fn search_elements_handles_unsorted_and_duplicated_input() {
+    let dataset = skewed_dataset(60);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+    let sorted: Vec<u32> = dataset.record(5).elements().to_vec();
+    let mut shuffled = sorted.clone();
+    shuffled.reverse();
+    shuffled.push(sorted[0]); // duplicate
+    assert_eq!(
+        index.search_elements(&sorted, 0.5),
+        index.search_elements(&shuffled, 0.5)
+    );
+}
+
+#[test]
+fn self_query_is_always_found() {
+    let dataset = skewed_dataset(100);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));
+    for qid in (0..100).step_by(13) {
+        let hits = index.search_record(dataset.record(qid), 0.5);
+        assert!(
+            hits.iter().any(|h| h.record_id == qid),
+            "record {qid} should match itself at t*=0.5 (true containment is 1.0)"
+        );
+    }
+}
+
+#[test]
+fn zero_threshold_returns_everything() {
+    let dataset = skewed_dataset(40);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.2));
+    let hits = index.search_record(dataset.record(0), 0.0);
+    assert_eq!(hits.len(), 40);
+}
+
+#[test]
+fn estimates_track_exact_containment() {
+    let dataset = skewed_dataset(100);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+    let mut total_err = 0.0;
+    let mut count = 0;
+    for qid in (0..100).step_by(9) {
+        let query = dataset.record(qid);
+        for rid in (0..100).step_by(11) {
+            let est = index.estimate_containment(query, rid);
+            let exact = containment(query, dataset.record(rid));
+            total_err += (est - exact).abs();
+            count += 1;
+        }
+    }
+    let mae = total_err / count as f64;
+    assert!(mae < 0.12, "mean absolute error {mae} too large");
+}
+
+#[test]
+fn fixed_buffer_config_is_respected() {
+    let dataset = skewed_dataset(80);
+    let index = GbKmvIndex::build(
+        &dataset,
+        GbKmvConfig::with_space_fraction(0.2).buffer_size(16),
+    );
+    assert_eq!(index.summary().buffer_size, 16);
+    assert_eq!(index.sketcher().layout().size(), 16);
+    let gkmv_only = GbKmvIndex::build(
+        &dataset,
+        GbKmvConfig::with_space_fraction(0.2).buffer_size(0),
+    );
+    assert_eq!(gkmv_only.summary().buffer_size, 0);
+}
+
+#[test]
+fn insert_extends_index_and_is_searchable() {
+    let dataset = skewed_dataset(60);
+    let mut index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+    let new_record = Record::new((0..50u32).map(|i| i * 3).collect());
+    let id = index.insert(&new_record);
+    assert_eq!(id, 60);
+    assert_eq!(index.num_records(), 61);
+    let hits = index.search_record(&new_record, 0.8);
+    assert!(hits.iter().any(|h| h.record_id == id));
+}
+
+#[test]
+fn insert_then_search_equals_build_from_scratch() {
+    // With a saturating budget and no buffer, the sketcher parameters
+    // (hash function, empty layout, τ = keep-all) are independent of the
+    // dataset, so the grown index must be *identical* — storage layer and
+    // all — to a from-scratch build over the grown dataset.
+    let base = varied_dataset(70);
+    let extra: Vec<Record> = (0..12)
+        .map(|i| {
+            Record::new(
+                (0..(5 + (i * 19) % 60))
+                    .map(|j| ((i * 211 + j * 7) % 3100) as u32)
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut grown_records: Vec<Vec<u32>> = base
+        .records()
+        .iter()
+        .map(|r| r.elements().to_vec())
+        .collect();
+    grown_records.extend(extra.iter().map(|r| r.elements().to_vec()));
+    let grown_dataset = Dataset::from_records(grown_records);
+
+    let config = GbKmvConfig::with_budget_elements(1_000_000).buffer_size(0);
+    let mut grown = GbKmvIndex::build(&base, config);
+    for record in &extra {
+        grown.insert(record);
+    }
+    let from_scratch = GbKmvIndex::build(&grown_dataset, config);
+
+    assert_eq!(
+        grown.sharded, from_scratch.sharded,
+        "insert path built a different storage layer than a rebuild"
+    );
+    for qid in (0..grown_dataset.len()).step_by(7) {
+        let query = grown_dataset.record(qid);
+        for t_star in [0.2, 0.5, 0.9] {
+            assert_eq!(
+                grown.search_record(query, t_star),
+                from_scratch.search_record(query, t_star),
+                "query {qid} at t*={t_star}: insert-then-search != build-from-scratch"
+            );
+        }
+        assert_eq!(
+            grown.search_topk(query, 5),
+            from_scratch.search_topk(query, 5)
+        );
+    }
+}
+
+#[test]
+fn insert_keeps_sharded_answers_consistent() {
+    // Under a *constrained* budget the sketcher differs between the grown
+    // and rebuilt datasets, so exact equality is not expected — but the
+    // grown index must stay internally consistent: pipeline == scan on the
+    // grown index, across shard counts.
+    let base = varied_dataset(80);
+    let extra: Vec<Record> = (0..10)
+        .map(|i| {
+            Record::new(
+                (0..(8 + i * 9))
+                    .map(|j| ((i * 97 + j * 5) % 2900) as u32)
+                    .collect(),
+            )
+        })
+        .collect();
+    for shards in [1usize, 3] {
+        let mut index =
+            GbKmvIndex::build(&base, GbKmvConfig::with_space_fraction(0.25).shards(shards));
+        for record in &extra {
+            index.insert(record);
+        }
+        assert_eq!(index.num_records(), 90);
+        for qid in (0..80).step_by(13) {
+            let query = base.record(qid);
+            for t_star in [0.3, 0.7] {
+                assert_eq!(
+                    index.search_filtered(query, t_star),
+                    index.search_scan(query, t_star),
+                    "{shards}-shard grown index: pipeline diverged from scan"
+                );
+            }
+        }
+        for record in &extra {
+            assert_eq!(
+                index.search_filtered(record, 0.6),
+                index.search_scan(record, 0.6),
+                "{shards}-shard grown index: inserted-record query diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn sketch_view_matches_materialised_sketch() {
+    let dataset = varied_dataset(50);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3).shards(2));
+    for rid in (0..50).step_by(7) {
+        let view = index.sketch_view(rid);
+        let materialised = index.record_sketch(rid);
+        assert_eq!(view.hashes, materialised.gkmv.hashes());
+        assert_eq!(view.buffer_words, materialised.buffer.words());
+        assert_eq!(view.meta.record_size as usize, materialised.record_size);
+        assert_eq!(view.meta.saturated, materialised.gkmv.is_saturated());
+        assert_eq!(view.meta.record_size as usize, dataset.record(rid).len());
+    }
+}
+
+#[test]
+fn topk_returns_best_records_in_order() {
+    let dataset = skewed_dataset(100);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3));
+    let query = dataset.record(10);
+    let top = index.search_topk(query, 5);
+    assert_eq!(top.len(), 5);
+    // The query's own record has true containment 1.0 and must rank first.
+    assert_eq!(top[0].record_id, 10);
+    // Scores are non-increasing.
+    assert!(top
+        .windows(2)
+        .all(|w| w[0].estimated_containment >= w[1].estimated_containment));
+    // Equal scores are tie-broken by ascending record id.
+    assert!(top.windows(2).all(|w| {
+        w[0].estimated_containment != w[1].estimated_containment || w[0].record_id < w[1].record_id
+    }));
+    // k larger than the candidate set is clamped, k = 0 is empty.
+    assert!(index.search_topk(query, 10_000).len() <= 100);
+    assert!(index.search_topk(query, 0).is_empty());
+}
+
+#[test]
+fn topk_matches_between_filtered_and_scan_modes() {
+    let dataset = skewed_dataset(80);
+    let filtered = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.4));
+    let scan = GbKmvIndex::build(
+        &dataset,
+        GbKmvConfig::with_space_fraction(0.4).candidate_filter(false),
+    );
+    let query = dataset.record(7);
+    let a: Vec<usize> = filtered
+        .search_topk(query, 10)
+        .iter()
+        .map(|h| h.record_id)
+        .collect();
+    let b: Vec<usize> = scan
+        .search_topk(query, 10)
+        .iter()
+        .map(|h| h.record_id)
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trait_object_usage() {
+    let dataset = paper_dataset();
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(1.0));
+    let boxed: Box<dyn ContainmentIndex> = Box::new(index);
+    assert_eq!(boxed.name(), "GB-KMV");
+    assert!(boxed.space_elements() > 0.0);
+    assert!(!boxed.search(&[1, 2, 3, 5, 7, 9], 0.5).is_empty());
+}

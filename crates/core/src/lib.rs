@@ -77,6 +77,7 @@ pub mod kmv;
 pub mod parallel;
 pub mod partition;
 pub mod powerlaw;
+pub mod scratch;
 pub mod sim;
 pub mod stats;
 pub mod store;
@@ -88,8 +89,10 @@ pub use error::{Error, Result};
 pub use gbkmv::{GbKmvRecordSketch, GbKmvSketcher};
 pub use gkmv::{GKmvSketch, GlobalThreshold};
 pub use hash::{unit_hash, HashFamily, Hasher64};
-pub use index::{GbKmvConfig, GbKmvIndex, SearchHit};
+pub use index::{
+    ContainmentIndex, GbKmvConfig, GbKmvIndex, QueryPipeline, SearchHit, ShardedIndex,
+};
 pub use kmv::KmvSketch;
 pub use sim::{containment, jaccard, overlap, SimilarityTransform};
 pub use stats::DatasetStats;
-pub use store::{QueryScratch, SketchStore};
+pub use store::{QueryScratch, RecordMeta, SketchStore, SketchView};

@@ -1,0 +1,155 @@
+//! Reusable per-query accumulator state for the staged query pipeline.
+//!
+//! [`QueryScratch`] holds the dense, epoch-stamped arrays the candidate stage
+//! accumulates into. It lived in [`crate::store`] when the accumulator engine
+//! was introduced and is re-exported from there for compatibility; it now has
+//! its own module because the pipeline treats it as the *per-stage state* of
+//! a [`crate::index::QueryPipeline`] rather than part of the storage layer.
+
+/// Reusable per-query accumulator state for the term-at-a-time query engine.
+///
+/// The dense arrays (`stamp`, `k_int`) are indexed by sketch-store slot. A
+/// candidate is "live" for the current query iff its stamp equals the current
+/// epoch, so starting a new query is one epoch increment — no O(m) clear, no
+/// per-query hash map. Slots touched by the current query are tracked in
+/// `touched` (insertion order; callers sort as their output contract
+/// requires). Only `K∩` is accumulated: the buffer overlap is cheaper to
+/// recompute at finish time as a popcount over the
+/// [`crate::store::SketchStore`] words, so buffer postings contribute
+/// candidate membership only ([`QueryScratch::add_candidate`]).
+///
+/// When an index is sharded, the same scratch is reused across the shards of
+/// one query: each shard's candidate stage calls [`QueryScratch::begin`]
+/// before accumulating, and the arrays grow to the largest shard.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    pub(crate) epoch: u32,
+    pub(crate) stamp: Vec<u32>,
+    pub(crate) k_int: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; it grows to the index size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts accumulation for a new query (or a new shard of the current
+    /// query) over `num_records` slots: bumps the epoch (handling
+    /// wrap-around) and grows the arrays if the store has grown since the
+    /// last query.
+    pub fn begin(&mut self, num_records: usize) {
+        if self.stamp.len() < num_records {
+            self.stamp.resize(num_records, 0);
+            self.k_int.resize(num_records, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // The 32-bit epoch wrapped: stale stamps could collide with the
+            // new epoch, so wipe them once every 2^32 queries.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+
+    /// Registers `slot` as touched by the current query, zeroing its
+    /// accumulators on first touch.
+    #[inline]
+    fn activate(&mut self, slot: u32) {
+        let i = slot as usize;
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.k_int[i] = 0;
+            self.touched.push(slot);
+        }
+    }
+
+    /// Accumulates one shared G-KMV signature hash for `slot` (one posting).
+    #[inline]
+    pub fn add_signature_hit(&mut self, slot: u32) {
+        self.activate(slot);
+        self.k_int[slot as usize] += 1;
+    }
+
+    /// Registers `slot` as a candidate without accumulating any overlap —
+    /// used by the buffer-posting walk, whose overlap is cheaper to recompute
+    /// at finish time as a 1–2 word popcount over the CSR store.
+    #[inline]
+    pub fn add_candidate(&mut self, slot: u32) {
+        self.activate(slot);
+    }
+
+    /// The slots touched by the current query, in first-touch order.
+    #[inline]
+    pub fn candidates(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// `K∩` accumulated for `slot` in the current query.
+    #[inline]
+    pub fn k_intersection(&self, slot: u32) -> usize {
+        self.k_int[slot as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_accumulates_and_resets_by_epoch() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(5);
+        scratch.add_signature_hit(3);
+        scratch.add_signature_hit(3);
+        scratch.add_candidate(3);
+        scratch.add_candidate(1);
+        assert_eq!(scratch.candidates(), &[3, 1]);
+        assert_eq!(scratch.k_intersection(3), 2);
+        assert_eq!(scratch.k_intersection(1), 0);
+
+        // Next query: previous accumulations must be invisible.
+        scratch.begin(5);
+        assert!(scratch.candidates().is_empty());
+        scratch.add_signature_hit(3);
+        assert_eq!(
+            scratch.k_intersection(3),
+            1,
+            "stale K∩ leaked across epochs"
+        );
+    }
+
+    #[test]
+    fn scratch_epoch_wraparound_does_not_leak() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(4);
+        scratch.add_signature_hit(2);
+        // Force the epoch to the wrap point: the next begin() overflows to 0
+        // and must wipe the stamps instead of treating stale ones as live.
+        scratch.epoch = u32::MAX;
+        scratch.stamp[2] = u32::MAX; // make slot 2's stamp look "current"
+        scratch.k_int[2] = 99;
+        scratch.begin(4);
+        assert_eq!(scratch.epoch, 1);
+        assert!(scratch.candidates().is_empty());
+        scratch.add_signature_hit(2);
+        assert_eq!(
+            scratch.k_intersection(2),
+            1,
+            "epoch wrap leaked a stale accumulator"
+        );
+    }
+
+    #[test]
+    fn scratch_grows_with_index() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(2);
+        scratch.add_candidate(1);
+        scratch.begin(10);
+        scratch.add_signature_hit(9);
+        assert_eq!(scratch.candidates(), &[9]);
+        assert_eq!(scratch.k_intersection(9), 1);
+    }
+}

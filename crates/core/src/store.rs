@@ -1,22 +1,40 @@
-//! Flattened, cache-dense storage for the per-record GB-KMV sketches.
+//! Flattened, cache-dense, **size-ordered** storage for the per-record
+//! GB-KMV sketches.
 //!
 //! The first version of the index kept a `Vec<GbKmvRecordSketch>`: every
 //! record owned two heap allocations (its G-KMV hash vector and its buffer
 //! bitmap), so a query touching thousands of candidates chased thousands of
 //! pointers. [`SketchStore`] replaces that with a CSR-style layout:
 //!
-//! * one contiguous arena of sorted `u64` hash values with per-record
-//!   offsets (`hashes(id)` is a plain subslice),
-//! * one contiguous arena of buffer bitmap words with a fixed per-record
+//! * one contiguous arena of sorted `u64` hash values with per-slot offsets
+//!   (`hashes(slot)` is a plain subslice),
+//! * one contiguous arena of buffer bitmap words with a fixed per-slot
 //!   stride (the buffer layout is shared by the whole index),
-//! * a parallel array of per-record scalars (`record_size` / `gkmv_len` /
-//!   `max_hash` / `saturated`, packed into one `RecordMeta` per record) so
+//! * a parallel array of per-slot scalars (`record_size` / `gkmv_len` /
+//!   `max_hash` / `saturated`, packed into one [`RecordMeta`] per slot) so
 //!   the O(1) per-candidate estimate of the accumulator query engine reads
 //!   one cache line and never touches the arenas at all.
 //!
-//! [`QueryScratch`] is the reusable per-query accumulator state: dense
-//! epoch-stamped arrays over record ids, so clearing between queries is a
-//! single epoch increment instead of an O(m) wipe or a fresh hash map.
+//! # Slots vs. record ids
+//!
+//! Internally, records occupy **slots** ordered by *descending record size*
+//! (ties broken by ascending record id), not by record id. Because the
+//! inverted posting lists of the query engine store ascending slot numbers,
+//! every posting list is automatically size-sorted, and the prune stage of
+//! the query pipeline ([`crate::index`]) can cut a whole posting-list suffix
+//! with one binary search: a containment query at threshold `t*` can only be
+//! matched by records of size at least `⌈t*·|Q|⌉`, i.e. by a *prefix* of the
+//! slots ([`SketchStore::live_prefix`]).
+//!
+//! The old↔new id permutation is kept right here in the store:
+//! [`SketchStore::record_id`] maps a slot back to the record id it holds and
+//! [`SketchStore::slot_of`] maps a record id to its slot. Record ids are
+//! *local* to the store — a sharded index adds its shard's base offset.
+//!
+//! [`SketchView`] is the borrowed, non-allocating view of one stored sketch
+//! (arena subslices plus the [`RecordMeta`] scalars); materialising a
+//! [`GbKmvRecordSketch`] via [`SketchStore::record_sketch`] clones both
+//! arenas' slices and is only meant for diagnostics and serialisation.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,35 +43,55 @@ use crate::gbkmv::GbKmvRecordSketch;
 use crate::gkmv::{GKmvPairEstimate, GKmvSketch};
 use crate::kmv::sorted_intersection_count;
 
-/// CSR-style flattened sketch storage (one entry per record).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SketchStore {
-    /// Concatenated, per-record-sorted G-KMV hash values.
-    hash_arena: Vec<u64>,
-    /// `hash_offsets[i]..hash_offsets[i + 1]` is record `i`'s hash range.
-    hash_offsets: Vec<usize>,
-    /// Concatenated buffer bitmap words, `words_per_record` per record.
-    buffer_arena: Vec<u64>,
-    /// Fixed per-record stride of `buffer_arena` (the shared layout's word
-    /// count; 0 when the buffer is disabled).
-    words_per_record: usize,
-    /// Per-record scalar summaries, packed into one struct per record so the
-    /// O(1) candidate finish of the accumulator engine touches a single cache
-    /// line instead of four parallel arrays.
-    meta: Vec<RecordMeta>,
+pub use crate::scratch::QueryScratch;
+
+/// Per-slot scalar summary: everything the accumulator's O(1) finish needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordMeta {
+    /// Largest stored hash value (0 for an empty signature).
+    pub max_hash: u64,
+    /// True record size `|X|` (the search size filter needs it).
+    pub record_size: u32,
+    /// Number of stored hash values, `|L_X|`.
+    pub gkmv_len: u32,
+    /// Whether the global threshold admitted every element of the record.
+    pub saturated: bool,
 }
 
-/// Per-record scalar summary: everything the accumulator's O(1) finish needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct RecordMeta {
-    /// Largest stored hash value (0 for an empty signature).
-    max_hash: u64,
-    /// True record size `|X|` (the search size filter needs it).
-    record_size: u32,
-    /// Number of stored hash values, `|L_X|`.
-    gkmv_len: u32,
-    /// Whether the global threshold admitted every element of the record.
-    saturated: bool,
+/// Borrowed, non-allocating view of one stored sketch: the two arena
+/// subslices plus the per-slot scalars. This is what internal callers use
+/// instead of the allocating [`SketchStore::record_sketch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchView<'a> {
+    /// The slot's sorted G-KMV hash values (borrowed from the hash arena).
+    pub hashes: &'a [u64],
+    /// The slot's buffer bitmap words (borrowed from the buffer arena).
+    pub buffer_words: &'a [u64],
+    /// The slot's scalar summary.
+    pub meta: RecordMeta,
+}
+
+/// CSR-style flattened sketch storage, one slot per record, slots ordered by
+/// descending record size (see the module docs for the slot/record-id
+/// distinction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchStore {
+    /// Concatenated, per-slot-sorted G-KMV hash values.
+    hash_arena: Vec<u64>,
+    /// `hash_offsets[s]..hash_offsets[s + 1]` is slot `s`'s hash range.
+    hash_offsets: Vec<usize>,
+    /// Concatenated buffer bitmap words, `words_per_record` per slot.
+    buffer_arena: Vec<u64>,
+    /// Fixed per-slot stride of `buffer_arena` (the shared layout's word
+    /// count; 0 when the buffer is disabled).
+    words_per_record: usize,
+    /// Per-slot scalar summaries. `meta[s].record_size` is non-increasing in
+    /// `s` — the invariant behind [`SketchStore::live_prefix`].
+    meta: Vec<RecordMeta>,
+    /// Slot → the (store-local) record id held in that slot.
+    record_ids: Vec<u32>,
+    /// (Store-local) record id → the slot holding it.
+    slots: Vec<u32>,
 }
 
 impl Default for SketchStore {
@@ -74,50 +112,123 @@ impl SketchStore {
             buffer_arena: Vec::new(),
             words_per_record,
             meta: Vec::new(),
+            record_ids: Vec::new(),
+            slots: Vec::new(),
         }
     }
 
-    /// Builds the store from materialised per-record sketches (the parallel
-    /// build produces sketches in chunks; appending here is a memcpy per
-    /// arena, so it is not worth parallelising).
+    /// Builds the store from materialised per-record sketches in record-id
+    /// order; slot `0` receives the largest record. The parallel build
+    /// produces sketches in chunks; appending here is a memcpy per arena, so
+    /// it is not worth parallelising.
     pub fn from_sketches<'a, I>(words_per_record: usize, sketches: I) -> Self
     where
         I: IntoIterator<Item = &'a GbKmvRecordSketch>,
     {
+        let sketches: Vec<&GbKmvRecordSketch> = sketches.into_iter().collect();
+        let mut order: Vec<u32> = (0..sketches.len() as u32).collect();
+        // Stable sort by descending size keeps ascending record id within a
+        // size class, so the slot order is deterministic.
+        order.sort_by_key(|&i| std::cmp::Reverse(sketches[i as usize].record_size));
+
         let mut store = SketchStore::new(words_per_record);
-        for sketch in sketches {
-            store.push(sketch);
+        store.slots = vec![0; sketches.len()];
+        for &rid in &order {
+            let slot = store.meta.len() as u32;
+            store.append_slot(sketches[rid as usize], rid);
+            store.slots[rid as usize] = slot;
         }
         store
     }
 
-    /// Appends one record's sketch and returns its id.
-    pub fn push(&mut self, sketch: &GbKmvRecordSketch) -> usize {
-        let id = self.len();
+    /// Appends one sketch as the next slot, recording the record id it
+    /// holds. Callers maintain the size-order invariant and the `slots`
+    /// reverse map.
+    fn append_slot(&mut self, sketch: &GbKmvRecordSketch, record_id: u32) {
         let hashes = sketch.gkmv.hashes();
         self.hash_arena.extend_from_slice(hashes);
         self.hash_offsets.push(self.hash_arena.len());
+        let words = self.padded_words(sketch);
+        let pad = self.pad_len(sketch);
+        self.buffer_arena.extend_from_slice(words);
+        self.buffer_arena.extend(std::iter::repeat_n(0, pad));
+        self.meta.push(Self::meta_of(sketch));
+        self.record_ids.push(record_id);
+    }
+
+    /// The prefix of the sketch's buffer words that fits the stride.
+    ///
+    /// A real assert, not debug_assert: this is a build-time path, and
+    /// silently dropping set bits would make every later search undercount
+    /// the buffer overlap.
+    fn padded_words<'a>(&self, sketch: &'a GbKmvRecordSketch) -> &'a [u64] {
         let words = sketch.buffer.words();
         let copied = words.len().min(self.words_per_record);
-        // A real assert, not debug_assert: push is a build-time path, and
-        // silently dropping set bits would make every later search undercount
-        // the buffer overlap.
         assert!(
             words[copied..].iter().all(|&w| w == 0),
             "sketch buffer has set bits beyond the store's {} word stride \
              (was it built under a wider BufferLayout?)",
             self.words_per_record
         );
-        self.buffer_arena.extend_from_slice(&words[..copied]);
-        self.buffer_arena
-            .extend(std::iter::repeat_n(0, self.words_per_record - copied));
-        self.meta.push(RecordMeta {
+        &words[..copied]
+    }
+
+    fn pad_len(&self, sketch: &GbKmvRecordSketch) -> usize {
+        self.words_per_record - sketch.buffer.words().len().min(self.words_per_record)
+    }
+
+    fn meta_of(sketch: &GbKmvRecordSketch) -> RecordMeta {
+        let hashes = sketch.gkmv.hashes();
+        RecordMeta {
             max_hash: hashes.last().copied().unwrap_or(0),
             record_size: sketch.record_size as u32,
             gkmv_len: hashes.len() as u32,
             saturated: sketch.gkmv.is_saturated(),
-        });
-        id
+        }
+    }
+
+    /// Inserts one record's sketch with the next record id, splicing it into
+    /// the slot that keeps the size-order invariant, and returns
+    /// `(record_id, slot)`.
+    ///
+    /// This is the dynamic-maintenance path: the new record carries the
+    /// largest record id, so inserting *after* every slot of equal size
+    /// reproduces exactly the slot order a from-scratch
+    /// [`SketchStore::from_sketches`] build over the grown dataset would
+    /// choose. Arena splicing is O(store size); callers that bulk-load should
+    /// use `from_sketches`.
+    pub fn insert(&mut self, sketch: &GbKmvRecordSketch) -> (usize, usize) {
+        let record_id = self.len() as u32;
+        let size = sketch.record_size as u32;
+        let slot = self.meta.partition_point(|m| m.record_size >= size);
+
+        let hashes = sketch.gkmv.hashes();
+        let pos = self.hash_offsets[slot];
+        self.hash_arena.splice(pos..pos, hashes.iter().copied());
+        self.hash_offsets.insert(slot + 1, pos + hashes.len());
+        for offset in &mut self.hash_offsets[slot + 2..] {
+            *offset += hashes.len();
+        }
+
+        let wpos = slot * self.words_per_record;
+        let pad = self.pad_len(sketch);
+        let words: Vec<u64> = self
+            .padded_words(sketch)
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(0, pad))
+            .collect();
+        self.buffer_arena.splice(wpos..wpos, words);
+
+        self.meta.insert(slot, Self::meta_of(sketch));
+        self.record_ids.insert(slot, record_id);
+        for s in &mut self.slots {
+            if *s >= slot as u32 {
+                *s += 1;
+            }
+        }
+        self.slots.push(slot as u32);
+        (record_id as usize, slot)
     }
 
     /// Number of stored records.
@@ -132,41 +243,80 @@ impl SketchStore {
         self.meta.is_empty()
     }
 
-    /// Record `id`'s sorted G-KMV hash values.
+    /// The (store-local) record id held in `slot`.
     #[inline]
-    pub fn hashes(&self, id: usize) -> &[u64] {
-        &self.hash_arena[self.hash_offsets[id]..self.hash_offsets[id + 1]]
+    pub fn record_id(&self, slot: usize) -> usize {
+        self.record_ids[slot] as usize
     }
 
-    /// Record `id`'s buffer bitmap words (`words_per_record` of them).
+    /// The slot holding (store-local) `record_id`.
     #[inline]
-    pub fn buffer_words(&self, id: usize) -> &[u64] {
-        let start = id * self.words_per_record;
+    pub fn slot_of(&self, record_id: usize) -> usize {
+        self.slots[record_id] as usize
+    }
+
+    /// Number of leading slots whose record size is at least `min_size` —
+    /// the prune stage's cutoff. Slots `live_prefix(s)..` all hold records
+    /// strictly smaller than `min_size` (the size-order invariant), so the
+    /// candidate stage truncates every posting list at this slot number.
+    #[inline]
+    pub fn live_prefix(&self, min_size: usize) -> usize {
+        let min = min_size.min(u32::MAX as usize) as u32;
+        self.meta.partition_point(|m| m.record_size >= min)
+    }
+
+    /// Slot `slot`'s sorted G-KMV hash values.
+    #[inline]
+    pub fn hashes(&self, slot: usize) -> &[u64] {
+        &self.hash_arena[self.hash_offsets[slot]..self.hash_offsets[slot + 1]]
+    }
+
+    /// Slot `slot`'s buffer bitmap words (`words_per_record` of them).
+    #[inline]
+    pub fn buffer_words(&self, slot: usize) -> &[u64] {
+        let start = slot * self.words_per_record;
         &self.buffer_arena[start..start + self.words_per_record]
     }
 
-    /// Record `id`'s true size `|X|`.
+    /// The true record size `|X|` of the record in `slot`.
     #[inline]
-    pub fn record_size(&self, id: usize) -> usize {
-        self.meta[id].record_size as usize
+    pub fn record_size(&self, slot: usize) -> usize {
+        self.meta[slot].record_size as usize
     }
 
-    /// Number of hash values in record `id`'s signature, `|L_X|`.
+    /// Number of hash values in slot `slot`'s signature, `|L_X|`.
     #[inline]
-    pub fn gkmv_len(&self, id: usize) -> usize {
-        self.meta[id].gkmv_len as usize
+    pub fn gkmv_len(&self, slot: usize) -> usize {
+        self.meta[slot].gkmv_len as usize
     }
 
-    /// Largest hash value of record `id`'s signature (0 when empty).
+    /// Largest hash value of slot `slot`'s signature (0 when empty).
     #[inline]
-    pub fn max_hash(&self, id: usize) -> u64 {
-        self.meta[id].max_hash
+    pub fn max_hash(&self, slot: usize) -> u64 {
+        self.meta[slot].max_hash
     }
 
-    /// Whether record `id`'s signature kept every non-buffered element.
+    /// Whether slot `slot`'s signature kept every non-buffered element.
     #[inline]
-    pub fn is_saturated(&self, id: usize) -> bool {
-        self.meta[id].saturated
+    pub fn is_saturated(&self, slot: usize) -> bool {
+        self.meta[slot].saturated
+    }
+
+    /// Borrowed view of the sketch in `slot` — the non-allocating
+    /// counterpart of [`SketchStore::record_sketch`].
+    #[inline]
+    pub fn view(&self, slot: usize) -> SketchView<'_> {
+        SketchView {
+            hashes: self.hashes(slot),
+            buffer_words: self.buffer_words(slot),
+            meta: self.meta[slot],
+        }
+    }
+
+    /// Borrowed view of the sketch of (store-local) `record_id`.
+    #[inline]
+    pub fn view_of_record(&self, record_id: usize) -> SketchView<'_> {
+        self.view(self.slot_of(record_id))
     }
 
     /// Total number of hash values across all records (space accounting).
@@ -181,132 +331,52 @@ impl SketchStore {
         self.words_per_record
     }
 
-    /// `|H_Q ∩ H_X|` for a query bitmap against record `id`: popcount of the
-    /// word-wise AND, entirely over the flat arena.
+    /// `|H_Q ∩ H_X|` for a query bitmap against the record in `slot`:
+    /// popcount of the word-wise AND, entirely over the flat arena.
     #[inline]
-    pub fn buffer_intersection_count(&self, query_words: &[u64], id: usize) -> usize {
-        self.buffer_words(id)
+    pub fn buffer_intersection_count(&self, query_words: &[u64], slot: usize) -> usize {
+        self.buffer_words(slot)
             .iter()
             .zip(query_words.iter())
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
     }
 
-    /// Full pairwise estimate of a query signature against record `id` via a
-    /// sorted merge over the hash arena (the scan/reference query paths).
+    /// Full pairwise estimate of a query signature against the record in
+    /// `slot` via a sorted merge over the hash arena (the scan/reference
+    /// query paths).
     ///
     /// `query_max_hash` is the query signature's largest hash value (0 when
     /// empty) and `query_saturated` whether its threshold admitted every
-    /// element — the same scalars the store keeps per record.
+    /// element — the same scalars the store keeps per slot.
     pub fn gkmv_pair_estimate(
         &self,
         query_hashes: &[u64],
         query_max_hash: u64,
         query_saturated: bool,
-        id: usize,
+        slot: usize,
     ) -> GKmvPairEstimate {
-        let record_hashes = self.hashes(id);
+        let record_hashes = self.hashes(slot);
         let k_intersection = sorted_intersection_count(query_hashes, record_hashes);
         GKmvPairEstimate::from_parts(
             query_hashes.len(),
             record_hashes.len(),
             k_intersection,
-            query_max_hash.max(self.meta[id].max_hash),
-            query_saturated && self.meta[id].saturated,
+            query_max_hash.max(self.meta[slot].max_hash),
+            query_saturated && self.meta[slot].saturated,
         )
     }
 
-    /// Materialises record `id`'s sketch (diagnostics and serialisation; the
-    /// query paths never need this).
-    pub fn record_sketch(&self, id: usize) -> GbKmvRecordSketch {
+    /// Materialises the sketch of (store-local) `record_id` (diagnostics and
+    /// serialisation; the query paths use [`SketchStore::view`] and never
+    /// allocate).
+    pub fn record_sketch(&self, record_id: usize) -> GbKmvRecordSketch {
+        let view = self.view_of_record(record_id);
         GbKmvRecordSketch {
-            buffer: ElementBuffer::from_words(self.buffer_words(id).to_vec()),
-            gkmv: GKmvSketch::from_hashes(self.hashes(id).to_vec(), self.meta[id].saturated),
-            record_size: self.record_size(id),
+            buffer: ElementBuffer::from_words(view.buffer_words.to_vec()),
+            gkmv: GKmvSketch::from_hashes(view.hashes.to_vec(), view.meta.saturated),
+            record_size: view.meta.record_size as usize,
         }
-    }
-}
-
-/// Reusable per-query accumulator state for the term-at-a-time query engine.
-///
-/// The dense arrays (`stamp`, `k_int`) are indexed by record id. A candidate
-/// is "live" for the current query iff its stamp equals the current epoch,
-/// so starting a new query is one epoch increment — no O(m) clear, no
-/// per-query hash map. Records touched by the current query are tracked in
-/// `touched` (insertion order; callers sort as their output contract
-/// requires). Only `K∩` is accumulated: the buffer overlap is cheaper to
-/// recompute at finish time as a popcount over the [`SketchStore`] words, so
-/// buffer postings contribute candidate membership only
-/// ([`QueryScratch::add_candidate`]).
-#[derive(Debug, Clone, Default)]
-pub struct QueryScratch {
-    epoch: u32,
-    stamp: Vec<u32>,
-    k_int: Vec<u32>,
-    touched: Vec<u32>,
-}
-
-impl QueryScratch {
-    /// An empty scratch; it grows to the index size on first use.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Starts accumulation for a new query over `num_records` records:
-    /// bumps the epoch (handling wrap-around) and grows the arrays if the
-    /// index has grown since the last query.
-    pub fn begin(&mut self, num_records: usize) {
-        if self.stamp.len() < num_records {
-            self.stamp.resize(num_records, 0);
-            self.k_int.resize(num_records, 0);
-        }
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // The 32-bit epoch wrapped: stale stamps could collide with the
-            // new epoch, so wipe them once every 2^32 queries.
-            self.stamp.fill(0);
-            self.epoch = 1;
-        }
-        self.touched.clear();
-    }
-
-    /// Registers `rid` as touched by the current query, zeroing its
-    /// accumulators on first touch.
-    #[inline]
-    fn activate(&mut self, rid: u32) {
-        let i = rid as usize;
-        if self.stamp[i] != self.epoch {
-            self.stamp[i] = self.epoch;
-            self.k_int[i] = 0;
-            self.touched.push(rid);
-        }
-    }
-
-    /// Accumulates one shared G-KMV signature hash for `rid` (one posting).
-    #[inline]
-    pub fn add_signature_hit(&mut self, rid: u32) {
-        self.activate(rid);
-        self.k_int[rid as usize] += 1;
-    }
-
-    /// Registers `rid` as a candidate without accumulating any overlap — used
-    /// by the buffer-posting walk, whose overlap is cheaper to recompute at
-    /// finish time as a 1–2 word popcount over the CSR store.
-    #[inline]
-    pub fn add_candidate(&mut self, rid: u32) {
-        self.activate(rid);
-    }
-
-    /// The records touched by the current query, in first-touch order.
-    #[inline]
-    pub fn candidates(&self) -> &[u32] {
-        &self.touched
-    }
-
-    /// `K∩` accumulated for `rid` in the current query.
-    #[inline]
-    pub fn k_intersection(&self, rid: u32) -> usize {
-        self.k_int[rid as usize] as usize
     }
 }
 
@@ -343,24 +413,94 @@ mod tests {
         ];
         let store = SketchStore::from_sketches(layout.words(), &sketches);
         assert_eq!(store.len(), 3);
-        for (id, s) in sketches.iter().enumerate() {
+        for (rid, s) in sketches.iter().enumerate() {
             assert_eq!(
-                &store.record_sketch(id),
+                &store.record_sketch(rid),
                 s,
-                "record {id} did not round-trip"
+                "record {rid} did not round-trip"
             );
-            assert_eq!(store.hashes(id), s.gkmv.hashes());
-            assert_eq!(store.gkmv_len(id), s.gkmv.len());
-            assert_eq!(store.record_size(id), s.record_size);
+            let slot = store.slot_of(rid);
+            assert_eq!(store.record_id(slot), rid, "permutation is not inverse");
+            assert_eq!(store.hashes(slot), s.gkmv.hashes());
+            assert_eq!(store.gkmv_len(slot), s.gkmv.len());
+            assert_eq!(store.record_size(slot), s.record_size);
             assert_eq!(
-                store.max_hash(id),
+                store.max_hash(slot),
                 s.gkmv.hashes().last().copied().unwrap_or(0)
             );
-            assert_eq!(store.is_saturated(id), s.gkmv.is_saturated());
+            assert_eq!(store.is_saturated(slot), s.gkmv.is_saturated());
+            let view = store.view_of_record(rid);
+            assert_eq!(view.hashes, s.gkmv.hashes());
+            assert_eq!(view.buffer_words, store.buffer_words(slot));
+            assert_eq!(view.meta.record_size as usize, s.record_size);
         }
         assert_eq!(
             store.total_hashes(),
             sketches.iter().map(|s| s.gkmv.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn slots_are_ordered_by_descending_size_with_id_tiebreak() {
+        let layout = BufferLayout::empty();
+        let sketches = vec![
+            sketch(&[1, 2], &layout),           // record 0, size 2
+            sketch(&[10, 11, 12, 13], &layout), // record 1, size 4
+            sketch(&[20, 21], &layout),         // record 2, size 2 (ties record 0)
+            sketch(&[30, 31, 32], &layout),     // record 3, size 3
+        ];
+        let store = SketchStore::from_sketches(0, &sketches);
+        let slot_order: Vec<usize> = (0..store.len()).map(|s| store.record_id(s)).collect();
+        assert_eq!(slot_order, vec![1, 3, 0, 2]);
+        let sizes: Vec<usize> = (0..store.len()).map(|s| store.record_size(s)).collect();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn live_prefix_matches_linear_scan() {
+        let layout = BufferLayout::empty();
+        let sketches: Vec<GbKmvRecordSketch> = (0..20u32)
+            .map(|i| {
+                let elems: Vec<u32> = (0..=(i * 7) % 13).map(|j| 100 + i * 50 + j).collect();
+                sketch(&elems, &layout)
+            })
+            .collect();
+        let store = SketchStore::from_sketches(0, &sketches);
+        for min_size in 0..16 {
+            let expected = (0..store.len())
+                .filter(|&s| store.record_size(s) >= min_size)
+                .count();
+            assert_eq!(store.live_prefix(min_size), expected, "min_size {min_size}");
+            // All live slots form a prefix.
+            assert!((0..store.live_prefix(min_size)).all(|s| store.record_size(s) >= min_size));
+        }
+        assert_eq!(store.live_prefix(usize::MAX), 0);
+    }
+
+    #[test]
+    fn insert_matches_from_scratch_build() {
+        let layout = BufferLayout::new(vec![1, 2, 3]);
+        let sketches: Vec<GbKmvRecordSketch> = [
+            &[1u32, 2, 10, 20][..],
+            &[3, 30],
+            &[40, 50, 60, 70, 80],
+            &[2, 3],
+            &[5, 6, 7],
+        ]
+        .iter()
+        .map(|els| sketch(els, &layout))
+        .collect();
+
+        let from_scratch = SketchStore::from_sketches(layout.words(), &sketches);
+        let mut incremental = SketchStore::from_sketches(layout.words(), &sketches[..2]);
+        for (expected_id, s) in sketches.iter().enumerate().skip(2) {
+            let (rid, slot) = incremental.insert(s);
+            assert_eq!(rid, expected_id);
+            assert_eq!(incremental.record_id(slot), expected_id);
+        }
+        assert_eq!(
+            incremental, from_scratch,
+            "incremental inserts diverged from the from-scratch build"
         );
     }
 
@@ -370,16 +510,17 @@ mod tests {
         let a = sketch(&[1, 2, 10, 20, 30], &layout);
         let b = sketch(&[2, 20, 30, 40], &layout);
         let store = SketchStore::from_sketches(layout.words(), [&a, &b]);
+        let b_slot = store.slot_of(1);
         let via_store = store.gkmv_pair_estimate(
             a.gkmv.hashes(),
             a.gkmv.hashes().last().copied().unwrap_or(0),
             a.gkmv.is_saturated(),
-            1,
+            b_slot,
         );
         let direct = a.gkmv.pair_estimate(&b.gkmv);
         assert_eq!(via_store, direct);
         assert_eq!(
-            store.buffer_intersection_count(a.buffer.words(), 1),
+            store.buffer_intersection_count(a.buffer.words(), b_slot),
             a.buffer.intersection_count(&b.buffer)
         );
     }
@@ -388,9 +529,10 @@ mod tests {
     fn default_store_upholds_offset_invariant() {
         let layout = BufferLayout::empty();
         let mut store = SketchStore::default();
-        let id = store.push(&sketch(&[5, 6, 7], &layout));
-        assert_eq!(store.hashes(id).len(), 3);
-        assert_eq!(store.gkmv_len(id), 3);
+        let (rid, slot) = store.insert(&sketch(&[5, 6, 7], &layout));
+        assert_eq!(rid, 0);
+        assert_eq!(store.hashes(slot).len(), 3);
+        assert_eq!(store.gkmv_len(slot), 3);
     }
 
     #[test]
@@ -400,60 +542,5 @@ mod tests {
         let store = SketchStore::from_sketches(0, [&a]);
         assert_eq!(store.buffer_words(0), &[] as &[u64]);
         assert_eq!(store.buffer_intersection_count(&[], 0), 0);
-    }
-
-    #[test]
-    fn scratch_accumulates_and_resets_by_epoch() {
-        let mut scratch = QueryScratch::new();
-        scratch.begin(5);
-        scratch.add_signature_hit(3);
-        scratch.add_signature_hit(3);
-        scratch.add_candidate(3);
-        scratch.add_candidate(1);
-        assert_eq!(scratch.candidates(), &[3, 1]);
-        assert_eq!(scratch.k_intersection(3), 2);
-        assert_eq!(scratch.k_intersection(1), 0);
-
-        // Next query: previous accumulations must be invisible.
-        scratch.begin(5);
-        assert!(scratch.candidates().is_empty());
-        scratch.add_signature_hit(3);
-        assert_eq!(
-            scratch.k_intersection(3),
-            1,
-            "stale K∩ leaked across epochs"
-        );
-    }
-
-    #[test]
-    fn scratch_epoch_wraparound_does_not_leak() {
-        let mut scratch = QueryScratch::new();
-        scratch.begin(4);
-        scratch.add_signature_hit(2);
-        // Force the epoch to the wrap point: the next begin() overflows to 0
-        // and must wipe the stamps instead of treating stale ones as live.
-        scratch.epoch = u32::MAX;
-        scratch.stamp[2] = u32::MAX; // make record 2's stamp look "current"
-        scratch.k_int[2] = 99;
-        scratch.begin(4);
-        assert_eq!(scratch.epoch, 1);
-        assert!(scratch.candidates().is_empty());
-        scratch.add_signature_hit(2);
-        assert_eq!(
-            scratch.k_intersection(2),
-            1,
-            "epoch wrap leaked a stale accumulator"
-        );
-    }
-
-    #[test]
-    fn scratch_grows_with_index() {
-        let mut scratch = QueryScratch::new();
-        scratch.begin(2);
-        scratch.add_candidate(1);
-        scratch.begin(10);
-        scratch.add_signature_hit(9);
-        assert_eq!(scratch.candidates(), &[9]);
-        assert_eq!(scratch.k_intersection(9), 1);
     }
 }

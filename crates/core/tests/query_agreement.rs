@@ -1,16 +1,18 @@
-//! Property tests pinning the accumulator query engine to the reference
-//! paths: across random datasets, space budgets, buffer sizes and thresholds,
-//! `search_filtered` (term-at-a-time accumulator over the CSR store) and
-//! `search_filtered_baseline` (hash-set candidates + sorted merges) must
-//! return **bit-identical** hits — same record ids, same `f64` estimates — as
-//! the full-scan reference `search_scan`, and the bounded-heap top-k must
-//! match a sort-everything reference.
+//! Property tests pinning the staged query pipeline to the reference paths:
+//! across random datasets, space budgets, buffer sizes, shard counts and
+//! thresholds, the pruned pipeline (`search_filtered`), the pruning-disabled
+//! ablation, the sharded index, the parallel batch path and
+//! `search_filtered_baseline` (hash-set candidates + sorted merges) must all
+//! return **bit-identical** hits — same record ids, same `f64` estimates,
+//! same order — as the full-scan reference `search_scan`; and the
+//! bounded-heap top-k must match a sort-everything reference. Saturated
+//! sketches (budgets above 100%) and empty queries are exercised explicitly.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use gbkmv_core::dataset::Dataset;
-use gbkmv_core::index::{BufferSizing, GbKmvConfig, GbKmvIndex, SearchHit};
+use gbkmv_core::dataset::{Dataset, Record};
+use gbkmv_core::index::{BufferSizing, GbKmvConfig, GbKmvIndex, QueryPipeline, SearchHit};
 use gbkmv_core::store::QueryScratch;
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
@@ -30,11 +32,12 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn filtered_and_baseline_are_bit_identical_to_scan(
+    fn all_engine_paths_are_bit_identical_to_scan(
         dataset in dataset_strategy(),
         budget_fraction in 0.03f64..1.2,
         t_star in 0.0f64..1.0,
         buffer_knob in 0usize..24,
+        shards in 1usize..5,
         seed in 0u64..1_000_000,
         query_pick in 0usize..1_000,
     ) {
@@ -42,6 +45,7 @@ proptest! {
             .hash_seed(seed | 1);
         config.buffer = buffer_sizing(buffer_knob);
         let index = GbKmvIndex::build(&dataset, config);
+        let sharded = GbKmvIndex::build(&dataset, config.shards(shards));
         let query = dataset.record(query_pick % dataset.len()).clone();
 
         let scan = index.search_scan(&query, t_star);
@@ -51,9 +55,28 @@ proptest! {
         // Bit-identical: SearchHit's PartialEq compares the f64 estimates
         // exactly, not approximately.
         prop_assert_eq!(&scan, &filtered,
-            "accumulator diverged from scan (t*={}, budget={})", t_star, budget_fraction);
+            "pruned pipeline diverged from scan (t*={}, budget={})", t_star, budget_fraction);
         prop_assert_eq!(&scan, &baseline,
             "baseline diverged from scan (t*={}, budget={})", t_star, budget_fraction);
+
+        // Pruning is structural, never semantic: the ablation agrees.
+        let mut unpruned = QueryPipeline::new().pruning(false);
+        prop_assert_eq!(&scan, &unpruned.search(&index, query.elements(), t_star),
+            "disabling the prune stage changed the answer (t*={})", t_star);
+
+        // Sharding never changes an answer either, on the single-query or
+        // the parallel batch path, for any thread count.
+        prop_assert_eq!(&scan, &sharded.search_filtered(&query, t_star),
+            "{}-shard pipeline diverged from scan (t*={})", shards, t_star);
+        let batch_queries = [query.clone(), query.clone()];
+        for threads in [1usize, 3] {
+            let batch = sharded.search_batch_threads(&batch_queries, t_star, threads);
+            prop_assert_eq!(batch.len(), 2);
+            for hits in batch {
+                prop_assert_eq!(&scan, &hits,
+                    "batch on {} shards / {} threads diverged (t*={})", shards, threads, t_star);
+            }
+        }
 
         // The ContainmentIndex ordering contract: ascending record id.
         prop_assert!(scan.windows(2).all(|w| w[0].record_id < w[1].record_id));
@@ -68,10 +91,46 @@ proptest! {
     }
 
     #[test]
+    fn saturated_sketches_and_empty_queries_agree(
+        dataset in dataset_strategy(),
+        t_star in 0.0f64..1.0,
+        shards in 1usize..4,
+        seed in 0u64..1_000_000,
+        query_pick in 0usize..1_000,
+    ) {
+        // A budget above the dataset size saturates every sketch (τ admits
+        // everything), the edge where the estimator switches to exact
+        // counts — pruning and sharding must stay invisible there too.
+        let config = GbKmvConfig::with_space_fraction(2.0)
+            .hash_seed(seed | 1)
+            .shards(shards);
+        let index = GbKmvIndex::build(&dataset, config);
+        let query = dataset.record(query_pick % dataset.len()).clone();
+
+        let scan = index.search_scan(&query, t_star);
+        prop_assert_eq!(&scan, &index.search_filtered(&query, t_star),
+            "saturated: pruned pipeline diverged from scan (t*={})", t_star);
+        prop_assert_eq!(&scan, &index.search_filtered_baseline(&query, t_star),
+            "saturated: baseline diverged from scan (t*={})", t_star);
+
+        // Empty query: θ = t*·0 = 0, so every path must degenerate to the
+        // all-records answer with zero estimates, identically.
+        let empty_scan = index.search_scan(&Record::default(), t_star);
+        prop_assert_eq!(empty_scan.len(), dataset.len());
+        prop_assert!(empty_scan.iter().all(|h| h.estimated_containment == 0.0));
+        prop_assert_eq!(&empty_scan, &index.search_elements(&[], t_star));
+        prop_assert_eq!(&empty_scan, &index.search_filtered(&Record::default(), t_star));
+        let batch = index.search_batch(&[Record::default()], t_star);
+        prop_assert_eq!(&empty_scan, &batch[0],
+            "empty-query batch diverged (t*={})", t_star);
+    }
+
+    #[test]
     fn filtered_topk_matches_positive_score_reference(
         dataset in dataset_strategy(),
         budget_fraction in 0.05f64..1.0,
         k in 1usize..20,
+        shards in 1usize..4,
         seed in 0u64..1_000_000,
         query_pick in 0usize..1_000,
     ) {
@@ -80,7 +139,9 @@ proptest! {
         // strictly positive estimate. The reference is therefore the
         // sort-everything ranking of `search_scan` restricted to
         // positive-score hits.
-        let config = GbKmvConfig::with_space_fraction(budget_fraction).hash_seed(seed | 1);
+        let config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .shards(shards);
         let index = GbKmvIndex::build(&dataset, config);
         let query = dataset.record(query_pick % dataset.len()).clone();
 
@@ -125,5 +186,33 @@ proptest! {
         });
         reference.truncate(k);
         prop_assert_eq!(top, reference, "heap top-k diverged from sort reference");
+    }
+
+    #[test]
+    fn insert_then_search_matches_scan_on_grown_index(
+        dataset in dataset_strategy(),
+        extra in vec(vec(0u32..3_000, 1..80), 1..6),
+        budget_fraction in 0.05f64..1.1,
+        t_star in 0.0f64..1.0,
+        shards in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        // Dynamic inserts go through the same sharded, size-ordered path as
+        // the bulk build; the pruned pipeline must stay exact on the grown
+        // index (the scan recomputes from the stored sketches, so this
+        // cross-checks the posting renumbering).
+        let config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .shards(shards);
+        let mut index = GbKmvIndex::build(&dataset, config);
+        let inserted: Vec<Record> = extra.into_iter().map(Record::new).collect();
+        for record in &inserted {
+            index.insert(record);
+        }
+        for query in inserted.iter().chain(std::iter::once(dataset.record(0))) {
+            let scan = index.search_scan(query, t_star);
+            prop_assert_eq!(&scan, &index.search_filtered(query, t_star),
+                "grown {}-shard index: pipeline diverged from scan (t*={})", shards, t_star);
+        }
     }
 }

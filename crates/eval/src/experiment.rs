@@ -19,10 +19,11 @@ use crate::ground_truth::GroundTruth;
 use crate::metrics::{AccuracySummary, ConfusionCounts};
 
 /// Workload-level knobs of an experiment run, shared by the benchmark
-/// binaries: the containment threshold, the number of sampled queries and the
+/// binaries: the containment threshold, the number of sampled queries, the
 /// thread count used for the exact ground-truth scans (the dominant setup
-/// cost). Index-build threading is configured separately on the index's own
-/// config (e.g. `GbKmvConfig::threads`).
+/// cost), and whether queries are submitted as one batch. Index-build
+/// threading is configured separately on the index's own config
+/// (e.g. `GbKmvConfig::threads`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Containment similarity threshold `t*`.
@@ -31,6 +32,11 @@ pub struct ExperimentConfig {
     pub num_queries: usize,
     /// Threads for the exact ground-truth scans (`0` = all cores).
     pub threads: usize,
+    /// Submit the workload through `ContainmentIndex::search_batch` instead
+    /// of one `search` call per query. Answers are identical (the batch
+    /// contract); only the timing protocol changes — per-query latency is
+    /// then the amortised batch time.
+    pub batch: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -39,6 +45,7 @@ impl Default for ExperimentConfig {
             threshold: 0.5,
             num_queries: 60,
             threads: 0,
+            batch: false,
         }
     }
 }
@@ -59,6 +66,12 @@ impl ExperimentConfig {
     /// Overrides the thread count (`0` = all available cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables batch query submission.
+    pub fn batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 }
@@ -135,16 +148,77 @@ pub fn evaluate_index(
         ground_truth.len(),
         "workload and ground truth must cover the same queries"
     );
-    let mut per_query = Vec::with_capacity(queries.len());
-    let mut counts_per_query = Vec::with_capacity(queries.len());
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut latencies = Vec::with_capacity(queries.len());
     let mut total_time = Duration::ZERO;
-
-    for (i, query) in queries.iter().enumerate() {
+    for query in queries {
         let start = Instant::now();
-        let hits = index.search(query.elements(), threshold);
+        answers.push(index.search(query.elements(), threshold));
         let latency = start.elapsed();
         total_time += latency;
+        latencies.push(latency);
+    }
+    aggregate_report(
+        index,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
+        &answers,
+        &latencies,
+        total_time,
+    )
+}
 
+/// The batch counterpart of [`evaluate_index`]: the whole workload goes
+/// through one `ContainmentIndex::search_batch` call (the parallel path for
+/// indexes that provide one). The reported per-query latency is the
+/// amortised batch time — individual query latencies are not observable in
+/// batch mode.
+pub fn evaluate_index_batch(
+    index: &dyn ContainmentIndex,
+    queries: &[Record],
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+) -> MethodReport {
+    assert_eq!(
+        queries.len(),
+        ground_truth.len(),
+        "workload and ground truth must cover the same queries"
+    );
+    let start = Instant::now();
+    let answers = index.search_batch(queries, threshold);
+    let total_time = start.elapsed();
+    let amortised = if queries.is_empty() {
+        Duration::ZERO
+    } else {
+        total_time / queries.len() as u32
+    };
+    let latencies = vec![amortised; queries.len()];
+    aggregate_report(
+        index,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
+        &answers,
+        &latencies,
+        total_time,
+    )
+}
+
+/// Shared accuracy/timing aggregation of the per-query answer lists.
+fn aggregate_report(
+    index: &dyn ContainmentIndex,
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+    answers: &[Vec<gbkmv_core::index::SearchHit>],
+    latencies: &[Duration],
+    total_time: Duration,
+) -> MethodReport {
+    let mut per_query = Vec::with_capacity(answers.len());
+    let mut counts_per_query = Vec::with_capacity(answers.len());
+    for (i, (hits, &latency)) in answers.iter().zip(latencies).enumerate() {
         let answer: Vec<usize> = hits.iter().map(|h| h.record_id).collect();
         let truth = ground_truth.for_query(i);
         let counts = ConfusionCounts::from_sets(truth, &answer);
@@ -156,17 +230,16 @@ pub fn evaluate_index(
             truth_size: truth.len(),
         });
     }
-
     let accuracy = AccuracySummary::from_counts(&counts_per_query);
     let space_elements = index.space_elements();
     MethodReport {
         method: index.name().to_string(),
         threshold,
         accuracy,
-        avg_query_seconds: if queries.is_empty() {
+        avg_query_seconds: if answers.is_empty() {
             0.0
         } else {
-            total_time.as_secs_f64() / queries.len() as f64
+            total_time.as_secs_f64() / answers.len() as f64
         },
         total_query_seconds: total_time.as_secs_f64(),
         space_elements,
@@ -279,6 +352,33 @@ mod tests {
         let truth = GroundTruth::compute(&d, &workload.queries[..3], 0.5);
         let oracle = BruteForceIndex::build(&d);
         let _ = evaluate_index(&oracle, &workload.queries, &truth, 0.5, d.total_elements());
+    }
+
+    #[test]
+    fn batch_evaluation_matches_per_query_accuracy() {
+        let d = dataset();
+        let workload = QueryWorkload::sample_from_dataset(&d, 15, 4);
+        let truth = GroundTruth::compute(&d, &workload.queries, 0.5);
+        let index = GbKmvIndex::build(&d, GbKmvConfig::with_space_fraction(0.2));
+        let single = evaluate_index(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        let batch =
+            evaluate_index_batch(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        // Identical answers ⇒ identical confusion counts and accuracy; only
+        // the timing protocol differs.
+        assert_eq!(single.accuracy, batch.accuracy);
+        assert_eq!(single.per_query.len(), batch.per_query.len());
+        for (s, b) in single.per_query.iter().zip(&batch.per_query) {
+            assert_eq!(s.counts, b.counts);
+            assert_eq!(s.answer_size, b.answer_size);
+        }
+    }
+
+    #[test]
+    fn batch_config_knob_round_trips() {
+        let config = ExperimentConfig::default().batch(true).num_queries(7);
+        assert!(config.batch);
+        assert_eq!(config.num_queries, 7);
+        assert!(!ExperimentConfig::default().batch);
     }
 
     #[test]

@@ -36,14 +36,16 @@ pub use gbkmv_lsh as lsh;
 /// Commonly used items, re-exported for `use gbkmv::prelude::*`.
 pub mod prelude {
     pub use gbkmv_core::dataset::{Dataset, DatasetBuilder, Record};
-    pub use gbkmv_core::index::{ContainmentIndex, GbKmvConfig, GbKmvIndex, SearchHit};
+    pub use gbkmv_core::index::{
+        ContainmentIndex, GbKmvConfig, GbKmvIndex, QueryPipeline, SearchHit, ShardedIndex,
+    };
     pub use gbkmv_core::sim::{containment, jaccard};
     pub use gbkmv_core::stats::DatasetStats;
-    pub use gbkmv_core::store::{QueryScratch, SketchStore};
+    pub use gbkmv_core::store::{QueryScratch, SketchStore, SketchView};
     pub use gbkmv_datagen::profiles::DatasetProfile;
     pub use gbkmv_datagen::queries::QueryWorkload;
     pub use gbkmv_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
-    pub use gbkmv_eval::experiment::evaluate_index;
+    pub use gbkmv_eval::experiment::{evaluate_index, evaluate_index_batch};
     pub use gbkmv_eval::ground_truth::GroundTruth;
     pub use gbkmv_exact::brute::BruteForceIndex;
     pub use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
