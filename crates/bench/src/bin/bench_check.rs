@@ -1,0 +1,319 @@
+//! CI bench-regression gate over `BENCH_query_throughput*.json`.
+//!
+//! The throughput bench already asserts cross-path *agreement* while it
+//! runs; what nothing guarded until now is the report itself — a refactor
+//! could silently drop a measured path, or land an "accelerated" path that
+//! is slower than the scan it is supposed to beat. This binary re-reads the
+//! report (by default the smoke-scale one CI produces) and fails the build
+//! unless:
+//!
+//! * every required path entry is present (the grep in the workflow catches
+//!   a renamed key, this catches a *dropped* one),
+//! * all paths report the identical `total_hits` (agreement survived into
+//!   the serialised record),
+//! * every indexed path is at least as fast as the `scan` reference (with a
+//!   small tolerance for CI timer noise),
+//! * the parallel build speedup is sane — asserted only when more than one
+//!   core was available, because a single-core "speedup" is scheduler noise
+//!   (it reads 0.98x on the CI container and is *not* a regression).
+//!
+//! If the report file does not exist, the smoke-scale bench is run first via
+//! the sibling `query_throughput` binary, so `bench_check` is usable as a
+//! one-command local gate too.
+//!
+//! Usage: `bench_check [--report PATH]`
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use gbkmv_bench::harness::arg_value;
+use serde_json::Value;
+
+/// Every path the throughput report must contain. Extending the bench with
+/// a new path means extending this list — that is the point: the gate, not
+/// just the bench, documents the measured surface.
+const REQUIRED_PATHS: [&str; 9] = [
+    "scan",
+    "legacy_filtered",
+    "filtered_baseline",
+    "accumulator",
+    "accumulator_pruned",
+    "prefix_pruned",
+    "sharded_pruned",
+    "single_query_parallel",
+    "batch_parallel",
+];
+
+/// Multiplicative slack on the "indexed ≥ scan" comparison: CI runners
+/// time-share, and the smoke workload is microseconds per query, so a hard
+/// equality would flake. 10% is far below any real regression this gate
+/// exists to catch (the slowest indexed path is ~3x scan).
+const NOISE_TOLERANCE: f64 = 0.90;
+
+/// Minimum acceptable parallel build speedup when more than one core is
+/// available. Deliberately lenient — it catches "parallel build became
+/// serial", not scheduling jitter.
+const MIN_PARALLEL_BUILD_SPEEDUP: f64 = 0.8;
+
+/// Runs the smoke-scale throughput bench via the sibling binary, writing
+/// its report to `report`.
+fn run_smoke_bench(report: &Path) -> Result<(), String> {
+    let sibling = std::env::current_exe()
+        .map_err(|e| format!("cannot locate current executable: {e}"))?
+        .with_file_name("query_throughput");
+    if !sibling.exists() {
+        return Err(format!(
+            "report {} does not exist and sibling bench binary {} was not found \
+             (build with `cargo build --release -p gbkmv-bench`)",
+            report.display(),
+            sibling.display()
+        ));
+    }
+    eprintln!(
+        "bench_check: {} missing — running smoke bench via {}",
+        report.display(),
+        sibling.display()
+    );
+    let status = Command::new(&sibling)
+        .args([
+            "--records",
+            "800",
+            "--queries",
+            "30",
+            "--shards",
+            "3",
+            "--out",
+        ])
+        .arg(report)
+        .status()
+        .map_err(|e| format!("failed to spawn {}: {e}", sibling.display()))?;
+    if !status.success() {
+        return Err(format!("smoke bench exited with {status}"));
+    }
+    Ok(())
+}
+
+fn check(report_path: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(report_path)
+        .map_err(|e| format!("cannot read {}: {e}", report_path.display()))?;
+    let report = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", report_path.display()))?;
+    let mut summary = Vec::new();
+
+    let paths = report
+        .get("paths")
+        .and_then(Value::as_array)
+        .ok_or("report has no `paths` array")?;
+    let lookup = |name: &str| -> Option<&Value> {
+        paths
+            .iter()
+            .find(|p| p.get("name").and_then(Value::as_str) == Some(name))
+    };
+
+    // 1. Required entries.
+    for name in REQUIRED_PATHS {
+        if lookup(name).is_none() {
+            return Err(format!("required path entry `{name}` is missing"));
+        }
+    }
+    summary.push(format!(
+        "all {} required paths present",
+        REQUIRED_PATHS.len()
+    ));
+
+    // 2. Identical total_hits across every path (not just the required
+    // ones): a path that loses answers is a correctness regression no
+    // matter how fast it got.
+    let mut hits: Option<(i64, String)> = None;
+    for path in paths {
+        let name = path
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("path entry without a name")?;
+        let h = path
+            .get("total_hits")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| format!("path `{name}` has no integral total_hits"))?;
+        match &hits {
+            None => hits = Some((h, name.to_string())),
+            Some((expected, first)) if *expected != h => {
+                return Err(format!(
+                    "total_hits disagree: `{first}` reports {expected}, `{name}` reports {h}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    if let Some((h, _)) = hits {
+        summary.push(format!("total_hits identical across paths ({h})"));
+    }
+
+    // 3. Every indexed path at least as fast as the scan reference.
+    let qps = |name: &str| -> Result<f64, String> {
+        lookup(name)
+            .and_then(|p| p.get("queries_per_sec"))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("path `{name}` has no queries_per_sec"))
+    };
+    let scan_qps = qps("scan")?;
+    if scan_qps <= 0.0 {
+        return Err(format!("scan queries_per_sec is not positive ({scan_qps})"));
+    }
+    for name in REQUIRED_PATHS.iter().filter(|&&n| n != "scan") {
+        let path_qps = qps(name)?;
+        if path_qps < scan_qps * NOISE_TOLERANCE {
+            return Err(format!(
+                "indexed path `{name}` is slower than the scan reference: \
+                 {path_qps:.0} q/s vs {scan_qps:.0} q/s (tolerance {NOISE_TOLERANCE})"
+            ));
+        }
+    }
+    summary.push(format!(
+        "all indexed paths ≥ scan ({scan_qps:.0} q/s, tolerance {NOISE_TOLERANCE})"
+    ));
+
+    // 4. Parallel build speedup — only meaningful with real parallelism.
+    let build = report.get("build").ok_or("report has no `build` section")?;
+    let threads = build
+        .get("parallel_threads")
+        .and_then(Value::as_i64)
+        .ok_or("build section has no parallel_threads")?;
+    let speedup = build
+        .get("parallel_speedup")
+        .and_then(Value::as_f64)
+        .ok_or("build section has no parallel_speedup")?;
+    if threads > 1 {
+        if speedup < MIN_PARALLEL_BUILD_SPEEDUP {
+            return Err(format!(
+                "parallel build speedup {speedup:.2}x on {threads} threads is below \
+                 the {MIN_PARALLEL_BUILD_SPEEDUP}x floor"
+            ));
+        }
+        summary.push(format!(
+            "parallel build speedup {speedup:.2}x on {threads} threads"
+        ));
+    } else {
+        summary.push(format!(
+            "parallel build speedup assertion skipped (single core; measured \
+             {speedup:.2}x is scheduler noise, not a regression)"
+        ));
+    }
+
+    Ok(summary)
+}
+
+fn main() {
+    let report = PathBuf::from(
+        arg_value("--report")
+            .unwrap_or_else(|| "target/BENCH_query_throughput.smoke.json".to_string()),
+    );
+    if !report.exists() {
+        if let Err(message) = run_smoke_bench(&report) {
+            eprintln!("bench_check: FAIL: {message}");
+            std::process::exit(1);
+        }
+    }
+    match check(&report) {
+        Ok(summary) => {
+            println!("bench_check: PASS ({})", report.display());
+            for line in summary {
+                println!("  - {line}");
+            }
+        }
+        Err(message) => {
+            eprintln!("bench_check: FAIL ({}): {message}", report.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal well-formed report with the given per-path (name, qps,
+    /// hits) triples.
+    fn report_json(paths: &[(&str, f64, i64)], threads: i64, speedup: f64) -> String {
+        let entries: Vec<String> = paths
+            .iter()
+            .map(|(name, qps, hits)| {
+                format!(
+                    "{{\"name\": \"{name}\", \"queries_per_sec\": {qps}, \
+                     \"p50_latency_us\": 1.0, \"p99_latency_us\": 2.0, \
+                     \"total_hits\": {hits}}}"
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\": \"query_throughput\", \"build\": {{\"parallel_threads\": {threads}, \
+             \"parallel_speedup\": {speedup}}}, \"paths\": [{}]}}",
+            entries.join(", ")
+        )
+    }
+
+    fn write_report(content: &str) -> PathBuf {
+        // Tests run concurrently in one process: a per-call counter keeps
+        // the temp paths unique even for equal-length report bodies.
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("bench_check_test_{}_{n}.json", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn full_paths(scan_qps: f64, indexed_qps: f64, hits: i64) -> Vec<(&'static str, f64, i64)> {
+        REQUIRED_PATHS
+            .iter()
+            .map(|&n| (n, if n == "scan" { scan_qps } else { indexed_qps }, hits))
+            .collect()
+    }
+
+    #[test]
+    fn accepts_a_healthy_report() {
+        let path = write_report(&report_json(&full_paths(100.0, 500.0, 42), 1, 0.98));
+        let summary = check(&path).unwrap();
+        assert!(summary.iter().any(|l| l.contains("skipped")));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_entry_mismatched_hits_and_slow_paths() {
+        // Missing entry.
+        let mut paths = full_paths(100.0, 500.0, 42);
+        paths.retain(|(n, _, _)| *n != "prefix_pruned");
+        let p = write_report(&report_json(&paths, 1, 1.0));
+        assert!(check(&p).unwrap_err().contains("prefix_pruned"));
+        std::fs::remove_file(p).unwrap();
+
+        // Hit disagreement.
+        let mut paths = full_paths(100.0, 500.0, 42);
+        paths.last_mut().unwrap().2 = 41;
+        let p = write_report(&report_json(&paths, 1, 1.0));
+        assert!(check(&p).unwrap_err().contains("total_hits disagree"));
+        std::fs::remove_file(p).unwrap();
+
+        // An indexed path slower than scan.
+        let p = write_report(&report_json(&full_paths(100.0, 50.0, 42), 1, 1.0));
+        assert!(check(&p).unwrap_err().contains("slower than the scan"));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn parallel_speedup_gate_only_applies_on_multicore() {
+        // 0.5x on one core: skipped (scheduler noise, not a regression).
+        let p = write_report(&report_json(&full_paths(100.0, 500.0, 7), 1, 0.5));
+        assert!(check(&p).is_ok());
+        std::fs::remove_file(p).unwrap();
+
+        // 0.5x on four cores: a real regression.
+        let p = write_report(&report_json(&full_paths(100.0, 500.0, 7), 4, 0.5));
+        assert!(check(&p).unwrap_err().contains("below"));
+        std::fs::remove_file(p).unwrap();
+
+        // 1.9x on four cores: fine.
+        let p = write_report(&report_json(&full_paths(100.0, 500.0, 7), 4, 1.9));
+        assert!(check(&p).is_ok());
+        std::fs::remove_file(p).unwrap();
+    }
+}

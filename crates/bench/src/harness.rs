@@ -14,7 +14,7 @@ use gbkmv_core::variants::{KmvConfig, KmvIndex};
 use gbkmv_datagen::profiles::DatasetProfile;
 use gbkmv_datagen::queries::QueryWorkload;
 use gbkmv_eval::experiment::{
-    evaluate_index, evaluate_index_batch, ExperimentConfig, MethodReport,
+    evaluate_index, evaluate_index_batch, evaluate_index_parallel, ExperimentConfig, MethodReport,
 };
 use gbkmv_eval::ground_truth::GroundTruth;
 use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
@@ -50,6 +50,15 @@ impl MethodUnderTest {
             MethodUnderTest::LshE => "LSH-E",
         }
     }
+}
+
+/// Value of a space-separated `--name value` CLI flag, shared by the
+/// flag-taking bench binaries (`query_throughput`, `bench_check`).
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Reads the dataset scale factor for the experiment binaries.
@@ -97,6 +106,10 @@ pub struct ExperimentEnv {
     /// Whether [`ExperimentEnv::evaluate`] submits the workload as one
     /// batch (`ContainmentIndex::search_batch`) instead of query-at-a-time.
     pub batch: bool,
+    /// Whether [`ExperimentEnv::evaluate`] answers each query through the
+    /// intra-query parallel path (`ContainmentIndex::search_parallel`).
+    /// Ignored when `batch` is set — the batch path already owns all cores.
+    pub parallel_query: bool,
 }
 
 impl ExperimentEnv {
@@ -134,6 +147,7 @@ impl ExperimentEnv {
             ground_truth,
             threshold: config.threshold,
             batch: config.batch,
+            parallel_query: config.parallel_query,
         }
     }
 
@@ -154,10 +168,14 @@ impl ExperimentEnv {
     }
 
     /// Evaluates an already-built index against the cached workload,
-    /// submitting it as one batch when the environment's `batch` knob is on.
+    /// submitting it as one batch when the environment's `batch` knob is
+    /// on, or query-at-a-time through the intra-query parallel engine when
+    /// `parallel_query` is.
     pub fn evaluate(&self, index: &dyn ContainmentIndex) -> MethodReport {
         let run = if self.batch {
             evaluate_index_batch
+        } else if self.parallel_query {
+            evaluate_index_parallel
         } else {
             evaluate_index
         };
@@ -276,6 +294,18 @@ mod tests {
         // submission path must report the same accuracy.
         let a = evaluate_on_profile(&single, MethodUnderTest::GbKmv, 0.2, 32);
         let b = evaluate_on_profile(&batch, MethodUnderTest::GbKmv, 0.2, 32);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn parallel_environment_reports_identical_accuracy() {
+        let config = ExperimentConfig::default().num_queries(8);
+        let single = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config);
+        let parallel =
+            ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config.parallel_query(true));
+        assert!(parallel.parallel_query && !single.parallel_query);
+        let a = evaluate_on_profile(&single, MethodUnderTest::GbKmv, 0.2, 32);
+        let b = evaluate_on_profile(&parallel, MethodUnderTest::GbKmv, 0.2, 32);
         assert_eq!(a.accuracy, b.accuracy);
     }
 

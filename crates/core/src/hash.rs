@@ -101,7 +101,8 @@ pub(crate) fn mix64(mut z: u64) -> u64 {
 }
 
 /// Combines a band index and a slice of hash values into a single 64-bit
-/// bucket key (a simple multiply–xor fold finished with [`mix64`]).
+/// bucket key (a simple multiply–xor fold finished with the same
+/// `mix64` finaliser the hashers use).
 ///
 /// Used by the MinHash LSH banding index and the LSH Forest to address their
 /// per-band hash buckets; exposed here so every crate hashes bands the same

@@ -4,7 +4,7 @@
 //! size `r` with the cost model (unless fixed by the caller), selects the
 //! global threshold `τ` from the remaining budget, sketches every record —
 //! fanning the sketching out over `threads` scoped threads — and hands the
-//! sketches to [`crate::index::ShardedIndex::build`], which splits them into
+//! sketches to the sharded storage layer (`ShardedIndex::build`), which splits them into
 //! contiguous shards of size-ordered stores with size-sorted posting lists.
 //! [`GbKmvIndex::insert`] appends through the same sharded path.
 

@@ -1,17 +1,42 @@
 //! **Candidates** stage of the query pipeline: posting traversal plus
-//! signature accumulation.
+//! signature accumulation, with prefix-filtered minting.
 //!
 //! Given a query sketch and one [`Shard`], the stage walks the query's
 //! signature-hash postings (accumulating `K∩` per touched slot) and its
 //! buffer-bit postings (registering the remaining candidates) into a
-//! [`QueryScratch`]. Each posting list is truncated at the prune stage's
-//! live-prefix cutoff *before* traversal — a candidate below the size
-//! threshold is never touched, let alone finished.
+//! [`QueryScratch`]. Each posting list is truncated to the stage's slot
+//! range *before* traversal — the prune stage's live-prefix cutoff, and in
+//! the intra-query parallel path additionally the worker's slot sub-range —
+//! so a candidate outside the range is never touched, let alone finished.
+//!
+//! # Prefix-filtered minting
+//!
+//! When the prune stage grants fewer minting hashes than the query has
+//! (`minting < |L_Q|`, see [`crate::index::prune`] for the bound), the walk
+//! orders the query's signature hashes by **ascending document frequency**
+//! (rarest first — the df is maintained by the [`SketchStore`], where it
+//! equals the posting-list length) and runs in three passes:
+//!
+//! 1. the `minting` rarest hashes insert new candidates and accumulate,
+//! 2. the buffer-bit postings mint their candidates (buffered overlap is
+//!    exact, so these never go through the signature bound),
+//! 3. the remaining frequent hashes accumulate **lookup-only**: they score
+//!    candidates already minted but never insert — which is where the
+//!    filter wins, because the frequent hashes own the longest posting
+//!    lists and minting from them dominates the unfiltered walk.
+//!
+//! The per-slot results are independent of the pass structure: `K∩` counts
+//! every query hash shared with the slot either way, so surviving
+//! candidates score bit-identically to the unfiltered walk; the bound
+//! guarantees the skipped ones could never qualify.
+//!
+//! [`SketchStore`]: crate::store::SketchStore
 
 use crate::buffer::ElementBuffer;
 use crate::gbkmv::GbKmvRecordSketch;
 use crate::index::sharded::Shard;
 use crate::scratch::QueryScratch;
+use crate::store::SketchStore;
 
 /// Borrowed scalar view of a query sketch, so the inner loops never touch
 /// the `GbKmvRecordSketch` struct.
@@ -39,46 +64,154 @@ impl<'a> QuerySketchView<'a> {
     }
 }
 
-/// Truncates an ascending slot list at the live-prefix cutoff: because slots
-/// are size-ordered, the surviving prefix is exactly the entries whose
-/// record size meets the threshold.
+/// Truncates an ascending slot list to the slot range `lo..hi`: because
+/// slots are size-ordered, `hi` is the prune stage's live-prefix cutoff
+/// (optionally tightened to a parallel worker's sub-range) and `lo` is 0 on
+/// the sequential path.
 #[inline]
-fn live(list: &[u32], live_slots: usize) -> &[u32] {
-    match list.last() {
+fn in_range(list: &[u32], lo: usize, hi: usize) -> &[u32] {
+    let start = if lo == 0 {
+        // Common case (sequential path): skip the binary search.
+        0
+    } else {
+        list.partition_point(|&slot| (slot as usize) < lo)
+    };
+    let end = match list.last() {
         // Only search for the cutoff when the list actually extends past
         // it; otherwise (common case: pruning disabled, or a low threshold)
         // the whole list survives and the binary search is skipped.
-        Some(&last) if (last as usize) >= live_slots => {
-            &list[..list.partition_point(|&slot| (slot as usize) < live_slots)]
-        }
-        _ => list,
-    }
+        Some(&last) if (last as usize) >= hi => list.partition_point(|&slot| (slot as usize) < hi),
+        _ => list.len(),
+    };
+    &list[start..end.max(start)]
 }
 
-/// Walks the query's signature and buffer postings over one shard,
-/// accumulating into `scratch` (begins a fresh epoch for the shard).
-/// `live_slots` is the prune stage's cutoff; pass `shard.len()` to disable
-/// pruning (the top-k path, which ranks every candidate).
+/// Walks the query's signature and buffer postings over the slot range
+/// `lo..hi` of one shard, accumulating into `scratch` (begins a fresh epoch
+/// for the shard). `hi` is the prune stage's cutoff (pass `shard.len()` to
+/// disable pruning — the top-k path, which ranks every candidate); `lo` is
+/// non-zero only for the intra-query parallel workers, which partition the
+/// live range. `minting` is the number of df-ordered signature hashes
+/// allowed to mint new candidates; pass `view.hashes.len()` to disable the
+/// prefix filter.
 pub(crate) fn accumulate(
     shard: &Shard,
     view: &QuerySketchView<'_>,
-    live_slots: usize,
+    lo: usize,
+    hi: usize,
+    minting: usize,
     scratch: &mut QueryScratch,
 ) {
     scratch.begin(shard.len());
+    if minting >= view.hashes.len() {
+        walk_unfiltered(shard, view, lo, hi, scratch);
+        return;
+    }
+    // The ordering buffer lives in the scratch and is only moved out while
+    // borrowed alongside it.
+    let mut order = std::mem::take(&mut scratch.hash_order);
+    df_order(shard.store(), view, &mut order);
+    walk_prefixed(shard, view, lo, hi, minting, &order, scratch);
+    scratch.hash_order = order;
+}
+
+/// [`accumulate`] with a caller-provided df-ordering for the shard. The
+/// ordering depends only on (query, shard), so the intra-query parallel
+/// path computes it once per shard ([`df_order`]) and shares it across the
+/// shard's slot-sub-range tasks instead of re-sorting per task.
+pub(crate) fn accumulate_ordered(
+    shard: &Shard,
+    view: &QuerySketchView<'_>,
+    lo: usize,
+    hi: usize,
+    minting: usize,
+    order: &[(u32, u64)],
+    scratch: &mut QueryScratch,
+) {
+    scratch.begin(shard.len());
+    if minting >= view.hashes.len() {
+        walk_unfiltered(shard, view, lo, hi, scratch);
+    } else {
+        walk_prefixed(shard, view, lo, hi, minting, order, scratch);
+    }
+}
+
+/// Fills `order` with the query's signature hashes keyed by ascending
+/// `(document frequency, hash)` — the rarest-first minting order for one
+/// shard's store. The key is unique (per-query hashes are deduplicated),
+/// so the order — and with it every downstream artefact — is
+/// deterministic.
+pub(crate) fn df_order(
+    store: &SketchStore,
+    view: &QuerySketchView<'_>,
+    order: &mut Vec<(u32, u64)>,
+) {
+    order.clear();
+    order.extend(view.hashes.iter().map(|&h| (store.hash_df(h) as u32, h)));
+    order.sort_unstable();
+}
+
+/// The unfiltered walk: every signature hash mints.
+fn walk_unfiltered(
+    shard: &Shard,
+    view: &QuerySketchView<'_>,
+    lo: usize,
+    hi: usize,
+    scratch: &mut QueryScratch,
+) {
     for &h in view.hashes {
         if let Some(postings) = shard.signature_postings(h) {
-            for &slot in live(postings, live_slots) {
+            for &slot in in_range(postings, lo, hi) {
                 scratch.add_signature_hit(slot);
             }
         }
     }
-    // The buffer walk only contributes candidate *membership*: the overlap
-    // itself is recomputed at finish time as a popcount over the store's
-    // fixed-stride words, which is cheaper than one counter increment per
-    // posting entry.
+    walk_buffer(shard, view, lo, hi, scratch);
+}
+
+/// The prefix-filtered three-pass walk over a df-ordered hash list.
+fn walk_prefixed(
+    shard: &Shard,
+    view: &QuerySketchView<'_>,
+    lo: usize,
+    hi: usize,
+    minting: usize,
+    order: &[(u32, u64)],
+    scratch: &mut QueryScratch,
+) {
+    for &(_, h) in &order[..minting] {
+        if let Some(postings) = shard.signature_postings(h) {
+            for &slot in in_range(postings, lo, hi) {
+                scratch.add_signature_hit(slot);
+            }
+        }
+    }
+    // Buffer candidates must be minted BEFORE the lookup-only pass, or a
+    // buffer-only candidate would miss its frequent-hash accumulations.
+    walk_buffer(shard, view, lo, hi, scratch);
+    for &(_, h) in &order[minting..] {
+        if let Some(postings) = shard.signature_postings(h) {
+            for &slot in in_range(postings, lo, hi) {
+                scratch.add_signature_hit_if_candidate(slot);
+            }
+        }
+    }
+}
+
+/// The buffer-posting walk, shared by both minting modes. It only
+/// contributes candidate *membership*: the overlap itself is recomputed at
+/// finish time as a popcount over the store's fixed-stride words, which is
+/// cheaper than one counter increment per posting entry.
+#[inline]
+fn walk_buffer(
+    shard: &Shard,
+    view: &QuerySketchView<'_>,
+    lo: usize,
+    hi: usize,
+    scratch: &mut QueryScratch,
+) {
     for pos in view.buffer.set_positions() {
-        for &slot in live(shard.buffer_postings(pos), live_slots) {
+        for &slot in in_range(shard.buffer_postings(pos), lo, hi) {
             scratch.add_candidate(slot);
         }
     }
@@ -89,13 +222,20 @@ mod tests {
     use super::*;
 
     #[test]
-    fn live_truncates_by_slot_number() {
+    fn in_range_truncates_by_slot_number() {
         let list = [0u32, 2, 5, 9];
-        assert_eq!(live(&list, 6), &[0, 2, 5]);
-        assert_eq!(live(&list, 10), &list);
-        assert_eq!(live(&list, 0), &[] as &[u32]);
+        assert_eq!(in_range(&list, 0, 6), &[0, 2, 5]);
+        assert_eq!(in_range(&list, 0, 10), &list);
+        assert_eq!(in_range(&list, 0, 0), &[] as &[u32]);
         // A cutoff past the maximum possible slot takes the fast path.
-        assert_eq!(live(&list, usize::MAX), &list);
-        assert_eq!(live(&[], 3), &[] as &[u32]);
+        assert_eq!(in_range(&list, 0, usize::MAX), &list);
+        assert_eq!(in_range(&[], 0, 3), &[] as &[u32]);
+        // Sub-ranges of the parallel path.
+        assert_eq!(in_range(&list, 2, 6), &[2, 5]);
+        assert_eq!(in_range(&list, 3, 9), &[5]);
+        assert_eq!(in_range(&list, 9, 10), &[9]);
+        assert_eq!(in_range(&list, 10, 12), &[] as &[u32]);
+        // Degenerate range (lo ≥ hi) must stay empty, not panic.
+        assert_eq!(in_range(&list, 6, 2), &[] as &[u32]);
     }
 }

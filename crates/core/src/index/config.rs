@@ -27,8 +27,14 @@ pub struct GbKmvConfig {
     /// Seed of the sketch hash function.
     pub hash_seed: u64,
     /// Whether the inverted-signature candidate filter is used by
-    /// [`crate::index::GbKmvIndex::search`] (disable for the ablation).
+    /// [`crate::index::ContainmentIndex::search`] (disable for the ablation).
     pub use_candidate_filter: bool,
+    /// Whether the query pipeline's signature prefix filter is used by the
+    /// index's search entry points: only the rarest (lowest document
+    /// frequency) signature hashes of a query mint new candidates, the rest
+    /// accumulate lookup-only. Never changes any answer (see
+    /// [`crate::index::prune`] for the bound); disable for the ablation.
+    pub use_prefix_filter: bool,
     /// Number of threads used for sketching and posting construction at build
     /// time (`0` = all available cores). The built index is identical for
     /// every thread count.
@@ -51,6 +57,7 @@ impl Default for GbKmvConfig {
             buffer: BufferSizing::Auto,
             hash_seed: 0x6bb7_9e4b_1f2d_3c58,
             use_candidate_filter: true,
+            use_prefix_filter: true,
             threads: 0,
             shards: 1,
             cost_model: CostModelConfig::default(),
@@ -90,6 +97,13 @@ impl GbKmvConfig {
     /// Enables or disables the inverted-signature candidate filter.
     pub fn candidate_filter(mut self, enabled: bool) -> Self {
         self.use_candidate_filter = enabled;
+        self
+    }
+
+    /// Enables or disables the signature prefix filter of the query
+    /// pipeline (answers are identical either way).
+    pub fn prefix_filter(mut self, enabled: bool) -> Self {
+        self.use_prefix_filter = enabled;
         self
     }
 
@@ -153,11 +167,14 @@ mod tests {
             .buffer_size(8)
             .hash_seed(7)
             .candidate_filter(false)
+            .prefix_filter(false)
             .threads(2)
             .shards(4);
         assert_eq!(c.buffer, BufferSizing::Fixed(8));
         assert_eq!(c.hash_seed, 7);
         assert!(!c.use_candidate_filter);
+        assert!(!c.use_prefix_filter);
+        assert!(GbKmvConfig::default().use_prefix_filter);
         assert_eq!(c.threads, 2);
         assert_eq!(c.shards, 4);
     }

@@ -6,9 +6,9 @@
 //! single shared [`GKmvPairEstimate::from_parts`] arithmetic, so the
 //! accumulator and reference paths are bit-identical by construction:
 //!
-//! * [`accumulated_overlap`] — O(1) finish from the candidate stage's `K∩`
+//! * `accumulated_overlap` — O(1) finish from the candidate stage's `K∩`
 //!   counter and the store's per-slot scalars (the pipeline path),
-//! * [`merge_overlap`] — O(|L_Q| + |L_X|) sorted-merge finish straight off
+//! * `merge_overlap` — O(|L_Q| + |L_X|) sorted-merge finish straight off
 //!   the arenas (the scan and baseline reference paths).
 
 use crate::gkmv::GKmvPairEstimate;

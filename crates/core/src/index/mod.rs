@@ -13,20 +13,30 @@
 //! stage modules rather than a hand-fused loop:
 //!
 //! ```text
-//!                 ┌───────────────────────────── per shard ─────────────────────────────┐
-//! query ─ sketch ─┤ prune ──► candidates ─────────► finish ──────────► rank             ├─► hits
-//!                 │ (live     (posting traversal +  (O(1) Equation-27  (threshold       │
-//!                 │  prefix)   K∩ accumulation)      estimate)          collect / top-k) │
-//!                 └──────────────────────────────────────────────────────────────────────┘
+//!                 ┌────────────────────────────── per shard ──────────────────────────────┐
+//! query ─ sketch ─┤ prune ─────────► candidates ─────────► finish ──────────► rank        ├─► hits
+//!                 │ (live prefix +   (df-ordered minting   (O(1) Equation-27  (threshold  │
+//!                 │  sig. minting     prefix + lookup-only  estimate)          collect /  │
+//!                 │  prefix)          accumulation)                            top-k)     │
+//!                 └────────────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! * [`prune`] — records are stored in *size-descending slot order*, so the
-//!   records that can reach the overlap threshold are a slot **prefix**,
-//!   found with one binary search; posting-list suffixes below the cutoff
-//!   are never traversed. Candidates die before the finish, not after.
+//! * [`prune`] — two structural cuts, both answer-preserving by
+//!   construction. **Size:** records are stored in *size-descending slot
+//!   order*, so the records that can reach the overlap threshold are a slot
+//!   **prefix**, found with one binary search; posting-list suffixes below
+//!   the cutoff are never traversed. **Signature prefix:** of the query's
+//!   signature hashes, only the `|L_Q| − θ_sig + 1` rarest can mint a
+//!   qualifying candidate (the `u_Q`-corrected pigeonhole bound of the
+//!   module docs); the frequent rest — which own the longest posting
+//!   lists — need only score already-minted candidates.
 //! * [`candidates`] — term-at-a-time walk of the query's signature-hash and
 //!   buffer-bit postings, accumulating `K∩` and candidate membership into an
-//!   epoch-stamped [`QueryScratch`](crate::store::QueryScratch).
+//!   epoch-stamped [`QueryScratch`]: minting hashes are ordered by ascending
+//!   **document frequency** (maintained in the
+//!   [`SketchStore`](crate::store::SketchStore) through build and insert)
+//!   and walked first, then the buffer postings mint, then the frequent
+//!   hashes accumulate lookup-only.
 //! * [`finish`] — O(1) per-candidate estimate
 //!   ([`GKmvPairEstimate::from_parts`](crate::gkmv::GKmvPairEstimate::from_parts))
 //!   from the store's packed scalars plus a 1–2 word popcount.
@@ -35,13 +45,16 @@
 //!
 //! [`QueryPipeline`] owns the per-stage state and is the reusable executor;
 //! [`ShardedIndex`] is the storage layer of N independent shards covering
-//! contiguous record-id ranges, over which [`GbKmvIndex::search_batch`] fans
-//! a query slab with scoped threads. The unaccelerated
-//! [`GbKmvIndex::search_scan`] and [`GbKmvIndex::search_filtered_baseline`]
-//! reference paths are retained in [`reference`]: every path returns
-//! bit-identical hits, which the agreement tests and the `query_agreement`
-//! property suite enforce for all shard counts, thread counts and the
-//! pruning ablation.
+//! contiguous record-id ranges. Two parallel schedules run over it:
+//! [`GbKmvIndex::search_batch`] fans a query *slab* over scoped threads
+//! (throughput — one pipeline per worker), and
+//! [`GbKmvIndex::search_parallel`] fans a *single* query's live slot ranges
+//! over scoped threads (latency — per-worker scratches, merged by one
+//! record-id sort). The unaccelerated [`GbKmvIndex::search_scan`] and
+//! [`GbKmvIndex::search_filtered_baseline`] reference paths are retained in
+//! [`mod@reference`]: every path returns bit-identical hits, which the
+//! agreement tests and the `query_agreement` property suite enforce for all
+//! shard counts, thread counts and the pruning/prefix ablations.
 
 pub mod build;
 pub mod candidates;
@@ -103,6 +116,19 @@ pub trait ContainmentIndex {
             .iter()
             .map(|q| self.search(q.elements(), t_star))
             .collect()
+    }
+
+    /// Answers one query with the work of that *single* query fanned over
+    /// all available cores, returning exactly what
+    /// [`ContainmentIndex::search`] would return.
+    ///
+    /// The default implementation is the sequential search; indexes with an
+    /// intra-query parallel engine (e.g. [`GbKmvIndex::search_parallel`])
+    /// override it. Use this for latency-bound workloads (one expensive
+    /// query at a time); use [`ContainmentIndex::search_batch`] for
+    /// throughput-bound ones (many queries, one per core).
+    fn search_parallel(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        self.search(query, t_star)
     }
 
     /// Space consumed by the index, measured in elements (32-bit words), the
@@ -225,7 +251,11 @@ impl GbKmvIndex {
 
     fn search_sorted(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
         if self.config.use_candidate_filter {
-            QUERY_PIPELINE.with(|p| p.borrow_mut().search_sorted(self, query, t_star))
+            QUERY_PIPELINE.with(|p| {
+                let mut p = p.borrow_mut();
+                p.set_stages(true, self.config.use_prefix_filter);
+                p.search_sorted(self, query, t_star)
+            })
         } else {
             reference::scan_sorted(self, query, t_star)
         }
@@ -246,7 +276,11 @@ impl GbKmvIndex {
     /// [`GbKmvIndex::search_scan`] rather than answering from an empty
     /// candidate set.
     pub fn search_filtered(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
-        QUERY_PIPELINE.with(|p| p.borrow_mut().search_sorted(self, query.elements(), t_star))
+        QUERY_PIPELINE.with(|p| {
+            let mut p = p.borrow_mut();
+            p.set_stages(true, self.config.use_prefix_filter);
+            p.search_sorted(self, query.elements(), t_star)
+        })
     }
 
     /// [`GbKmvIndex::search_filtered`] with an explicit reusable scratch —
@@ -262,7 +296,7 @@ impl GbKmvIndex {
             self,
             query.elements(),
             t_star,
-            prune::PruneStage::new(true),
+            prune::PruneStage::new(true, self.config.use_prefix_filter),
             scratch,
         )
     }
@@ -301,6 +335,39 @@ impl GbKmvIndex {
         pipeline::topk_sorted(self, query.elements(), k, scratch)
     }
 
+    /// Intra-query parallel search: answers one query with its posting and
+    /// finish work partitioned into contiguous live-slot sub-ranges fanned
+    /// over all available cores (each worker owns a private scratch), then
+    /// merged with one record-id sort. Bit-identical to
+    /// [`GbKmvIndex::search_elements`] for every thread count; queries too
+    /// small to amortise the thread spawns (live range under
+    /// [`pipeline::PARALLEL_MIN_LIVE_SLOTS`]) run sequentially.
+    ///
+    /// This is the latency lever for very large shards; for many small
+    /// queries prefer [`GbKmvIndex::search_batch`], which parallelises
+    /// *across* queries instead.
+    pub fn search_parallel(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        self.search_parallel_threads(query, t_star, 0)
+    }
+
+    /// [`GbKmvIndex::search_parallel`] with an explicit thread count
+    /// (`0` = all available cores).
+    pub fn search_parallel_threads(
+        &self,
+        query: &[ElementId],
+        t_star: f64,
+        threads: usize,
+    ) -> Vec<SearchHit> {
+        if !self.config.use_candidate_filter {
+            return with_canonical_query(query, |q| reference::scan_sorted(self, q, t_star));
+        }
+        QUERY_PIPELINE.with(|p| {
+            let mut p = p.borrow_mut();
+            p.set_stages(true, self.config.use_prefix_filter);
+            p.search_parallel(self, query, t_star, threads)
+        })
+    }
+
     /// Parallel batch search: answers every query of the slab, fanning
     /// contiguous query chunks out over all available cores (one
     /// [`QueryPipeline`] per worker) across the index's shards, and returns
@@ -319,7 +386,9 @@ impl GbKmvIndex {
         threads: usize,
     ) -> Vec<Vec<SearchHit>> {
         parallel::map_chunks(queries, threads, |_, chunk| {
-            let mut pipeline = QueryPipeline::new();
+            // Honour the index's prefix-filter knob like every other entry
+            // point, so the config-level ablation also ablates this path.
+            let mut pipeline = QueryPipeline::new().prefix_filter(self.config.use_prefix_filter);
             chunk
                 .iter()
                 .map(|q| pipeline.search_sorted(self, q.elements(), t_star))
@@ -338,6 +407,10 @@ impl ContainmentIndex for GbKmvIndex {
 
     fn search_batch(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
         GbKmvIndex::search_batch(self, queries, t_star)
+    }
+
+    fn search_parallel(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        GbKmvIndex::search_parallel(self, query, t_star)
     }
 
     fn space_elements(&self) -> f64 {

@@ -2,11 +2,11 @@
 //!
 //! Two collectors close a query:
 //!
-//! * [`ThresholdCollector`] — gathers every qualifying hit and sorts once by
+//! * `ThresholdCollector` — gathers every qualifying hit and sorts once by
 //!   ascending global record id (the [`crate::index::ContainmentIndex`]
 //!   contract). The qualifying hits are a small subset of the touched
 //!   candidates, so one final sort beats pre-sorting the candidate list.
-//! * [`TopK`] — a bounded binary min-heap keeping the best `k` hits
+//! * `TopK` — a bounded binary min-heap keeping the best `k` hits
 //!   (O(n log k)); ties broken by ascending record id for determinism.
 
 use std::collections::BinaryHeap;
@@ -23,6 +23,13 @@ impl ThresholdCollector {
     #[inline]
     pub(crate) fn push(&mut self, hit: SearchHit) {
         self.hits.push(hit);
+    }
+
+    /// Merges another collector's hits (the intra-query parallel path
+    /// concatenates its workers' collectors before the final sort).
+    #[inline]
+    pub(crate) fn extend(&mut self, other: ThresholdCollector) {
+        self.hits.extend(other.hits);
     }
 
     /// The hits sorted by ascending global record id.

@@ -1,10 +1,10 @@
 //! Retained reference implementations the pipeline is pinned against.
 //!
-//! * [`scan_sorted`] — estimate every record (subject to the size filter)
+//! * `scan_sorted` — estimate every record (subject to the size filter)
 //!   with a per-record sorted merge; no postings, no accumulation. This is
 //!   the ground truth of the agreement tests: every accelerated path must
 //!   return **bit-identical** hits.
-//! * [`baseline_sorted`] — the pre-accumulator candidate-filtered design:
+//! * `baseline_sorted` — the pre-accumulator candidate-filtered design:
 //!   candidates deduplicated through a fresh hash map, then one
 //!   O(|L_Q| + |L_X|) sorted merge per candidate. Kept for the throughput
 //!   ablation benchmark.

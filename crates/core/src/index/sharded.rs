@@ -353,6 +353,26 @@ mod tests {
     }
 
     #[test]
+    fn store_df_equals_posting_list_length() {
+        // The invariant the prefix filter's df-ordering relies on: the
+        // store-maintained document frequency is exactly the posting-list
+        // length, through bulk build and dynamic insert alike.
+        let sk = sketches(30);
+        let mut index = ShardedIndex::build(&sk, 3, 1, 2, true, 2);
+        index.insert(&sketches(31)[30], true);
+        for shard in index.shards() {
+            for (&h, list) in &shard.signature_postings {
+                assert_eq!(
+                    shard.store().hash_df(h),
+                    list.len(),
+                    "store df diverged from posting length for hash {h:#x}"
+                );
+            }
+            assert_eq!(shard.store().hash_df(0xABAD_1DEA), 0);
+        }
+    }
+
+    #[test]
     fn build_is_thread_count_invariant() {
         let sk = sketches(37);
         for num_shards in [1, 4] {

@@ -117,6 +117,117 @@ fn pruning_ablation_is_bit_identical() {
 }
 
 #[test]
+fn prefix_filter_ablation_is_bit_identical() {
+    let dataset = varied_dataset(140);
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25).shards(2));
+    let mut with_prefix = QueryPipeline::new();
+    let mut without = QueryPipeline::new().prefix_filter(false);
+    for qid in (0..140).step_by(11) {
+        let query = dataset.record(qid);
+        for t_star in [0.0, 0.3, 0.6, 0.9] {
+            assert_eq!(
+                with_prefix.search(&index, query.elements(), t_star),
+                without.search(&index, query.elements(), t_star),
+                "query {qid} at t*={t_star}: prefix filter changed the answer"
+            );
+        }
+    }
+    // The config-level ablation routes the public entry points identically.
+    let unfiltered_index = GbKmvIndex::build(
+        &dataset,
+        GbKmvConfig::with_space_fraction(0.25)
+            .shards(2)
+            .prefix_filter(false),
+    );
+    let query = dataset.record(23);
+    assert_eq!(
+        index.search_filtered(query, 0.5),
+        unfiltered_index.search_filtered(query, 0.5)
+    );
+}
+
+#[test]
+fn prefix_filter_agrees_when_query_signature_is_absent_from_index() {
+    // A query sharing no element with the dataset: every signature hash has
+    // df 0 and no posting exists. All paths must agree (typically on an
+    // empty answer at a positive threshold).
+    let dataset = varied_dataset(100); // elements live in 0..3004
+    let index = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.3).shards(2));
+    let absent = Record::new((10_000u32..10_040).collect());
+    let mut pipeline = QueryPipeline::new();
+    for t_star in [0.0, 0.1, 0.5, 1.0] {
+        let scan = index.search_scan(&absent, t_star);
+        assert_eq!(
+            pipeline.search(&index, absent.elements(), t_star),
+            scan,
+            "absent query at t*={t_star}: prefix pipeline diverged from scan"
+        );
+        assert_eq!(
+            index.search_parallel(absent.elements(), t_star),
+            scan,
+            "absent query at t*={t_star}: parallel path diverged from scan"
+        );
+        if t_star > 0.0 {
+            assert!(
+                scan.is_empty(),
+                "absent query matched records at t*={t_star}"
+            );
+        }
+    }
+}
+
+#[test]
+fn search_parallel_matches_sequential_for_any_thread_count() {
+    // Large enough that the live range exceeds PARALLEL_MIN_LIVE_SLOTS and
+    // the worker-spawning path genuinely runs (also exercised at small
+    // scale below, where the sequential degrade kicks in).
+    let big = varied_dataset(6000);
+    let small = varied_dataset(80);
+    for (dataset, shards) in [(&big, 1usize), (&big, 3), (&small, 2)] {
+        let index = GbKmvIndex::build(
+            dataset,
+            GbKmvConfig::with_space_fraction(0.2).shards(shards),
+        );
+        for qid in (0..dataset.len()).step_by(dataset.len() / 4 + 1) {
+            let query = dataset.record(qid);
+            for t_star in [0.0, 0.1, 0.5, 0.9] {
+                let expected = index.search_record(query, t_star);
+                for threads in [1usize, 2, 5] {
+                    assert_eq!(
+                        index.search_parallel_threads(query.elements(), t_star, threads),
+                        expected,
+                        "parallel search with {threads} threads / {shards} shards diverged \
+                         (query {qid}, t*={t_star}, {} records)",
+                        dataset.len()
+                    );
+                }
+            }
+        }
+        // The trait route (default-overriding impl) answers identically.
+        let boxed: &dyn ContainmentIndex = &index;
+        let query = dataset.record(1);
+        assert_eq!(
+            boxed.search_parallel(query.elements(), 0.5),
+            index.search_record(query, 0.5)
+        );
+    }
+}
+
+#[test]
+fn search_parallel_falls_back_to_scan_without_candidate_filter() {
+    let dataset = skewed_dataset(60);
+    let index = GbKmvIndex::build(
+        &dataset,
+        GbKmvConfig::with_space_fraction(0.25).candidate_filter(false),
+    );
+    let query = dataset.record(9);
+    assert_eq!(
+        index.search_parallel(query.elements(), 0.5),
+        index.search_scan(query, 0.5)
+    );
+}
+
+#[test]
 fn sharded_index_answers_are_bit_identical_to_unsharded() {
     let dataset = varied_dataset(130);
     let unsharded = GbKmvIndex::build(&dataset, GbKmvConfig::with_space_fraction(0.25));

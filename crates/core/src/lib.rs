@@ -23,7 +23,7 @@
 //!   which lets a record pair use `k = |L_Q ∪ L_X|` during estimation
 //!   (Theorem 2) and strictly reduces variance under realistic skew
 //!   (Theorem 3).
-//! * [`gbkmv::GbKmvSketch`] — the full *GB-KMV* sketch: a bitmap **buffer**
+//! * [`gbkmv::GbKmvRecordSketch`] — the full *GB-KMV* sketch: a bitmap **buffer**
 //!   stores the top-`r` most frequent elements exactly, and a G-KMV sketch
 //!   covers the remaining elements (Algorithm 1, Equation 27). The buffer size
 //!   is chosen by the cost model in [`cost`].

@@ -10,11 +10,22 @@
 
 /// Resolves a `threads` knob: `0` means all available cores, anything else is
 /// taken literally (and clamped to at least one).
+///
+/// The core count is probed once per process and cached:
+/// [`std::thread::available_parallelism`] is *not* cheap on Linux (it reads
+/// the cgroup filesystem to honour container CPU quotas, ~10µs), and the
+/// query paths resolve the knob on every call — uncached, the probe would
+/// dominate a microsecond-scale query. Changing the process CPU affinity
+/// mid-run is therefore not picked up; pass an explicit count if that
+/// matters.
 pub fn resolve_threads(threads: usize) -> usize {
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        *AVAILABLE.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     } else {
         threads
     }

@@ -27,6 +27,10 @@ pub struct QueryScratch {
     pub(crate) stamp: Vec<u32>,
     pub(crate) k_int: Vec<u32>,
     touched: Vec<u32>,
+    /// Reusable `(document frequency, hash)` buffer the prefix-filter stage
+    /// sorts the query's signature hashes into (rarest first); lives here so
+    /// the per-query ordering allocates nothing after the first query.
+    pub(crate) hash_order: Vec<(u32, u64)>,
 }
 
 impl QueryScratch {
@@ -81,6 +85,24 @@ impl QueryScratch {
         self.activate(slot);
     }
 
+    /// Lookup-only accumulation: counts one shared signature hash for `slot`
+    /// **only if** the slot is already a candidate of the current query.
+    ///
+    /// This is the non-minting walk of the prefix-filter stage: a query's
+    /// frequent hashes may score candidates the rare (prefix) hashes or the
+    /// buffer postings already minted, but can never introduce new ones — a
+    /// record reachable *only* through non-prefix hashes cannot reach the
+    /// overlap threshold (see [`crate::index::prune`]), so skipping the
+    /// insert changes no answer while avoiding the dominant cost of touching
+    /// the long posting lists' cold slots.
+    #[inline]
+    pub fn add_signature_hit_if_candidate(&mut self, slot: u32) {
+        let i = slot as usize;
+        if self.stamp[i] == self.epoch {
+            self.k_int[i] += 1;
+        }
+    }
+
     /// The slots touched by the current query, in first-touch order.
     #[inline]
     pub fn candidates(&self) -> &[u32] {
@@ -119,6 +141,29 @@ mod tests {
             1,
             "stale K∩ leaked across epochs"
         );
+    }
+
+    #[test]
+    fn lookup_only_hit_never_mints_a_candidate() {
+        let mut scratch = QueryScratch::new();
+        scratch.begin(6);
+        scratch.add_candidate(2);
+        // Slot 2 is a candidate: the lookup-only hit accumulates.
+        scratch.add_signature_hit_if_candidate(2);
+        scratch.add_signature_hit_if_candidate(2);
+        // Slot 4 is not: the lookup-only hit must be a no-op.
+        scratch.add_signature_hit_if_candidate(4);
+        assert_eq!(scratch.candidates(), &[2]);
+        assert_eq!(scratch.k_intersection(2), 2);
+        assert_eq!(scratch.k_intersection(4), 0);
+
+        // Next epoch: slot 2's stale stamp no longer admits lookups, and
+        // re-activating it starts from a zeroed accumulator.
+        scratch.begin(6);
+        scratch.add_signature_hit_if_candidate(2);
+        assert!(scratch.candidates().is_empty(), "stale-epoch lookup minted");
+        scratch.add_candidate(2);
+        assert_eq!(scratch.k_intersection(2), 0, "stale-epoch lookup leaked");
     }
 
     #[test]

@@ -31,10 +31,25 @@
 //! [`SketchStore::slot_of`] maps a record id to its slot. Record ids are
 //! *local* to the store — a sharded index adds its shard's base offset.
 //!
+//! # Document frequencies
+//!
+//! The store also tracks, for every signature hash value, the number of its
+//! records containing it ([`SketchStore::hash_df`]) — the *document
+//! frequency*. When the index builds inverted postings over the slots, a
+//! hash's df is by construction the length of its posting list, so the
+//! prefix-filter stage of the query pipeline ([`crate::index::candidates`])
+//! can order a query's hashes from rarest to most frequent without touching
+//! the posting lists themselves. The counts are maintained through every
+//! build path (bulk [`SketchStore::from_sketches`] and the dynamic
+//! [`SketchStore::insert`] splice), so the ordering stays exact under
+//! dynamic maintenance.
+//!
 //! [`SketchView`] is the borrowed, non-allocating view of one stored sketch
 //! (arena subslices plus the [`RecordMeta`] scalars); materialising a
 //! [`GbKmvRecordSketch`] via [`SketchStore::record_sketch`] clones both
 //! arenas' slices and is only meant for diagnostics and serialisation.
+
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +107,9 @@ pub struct SketchStore {
     record_ids: Vec<u32>,
     /// (Store-local) record id → the slot holding it.
     slots: Vec<u32>,
+    /// Signature hash value → number of records containing it (document
+    /// frequency). Equals the posting-list length when postings are built.
+    hash_df: HashMap<u64, u32>,
 }
 
 impl Default for SketchStore {
@@ -114,6 +132,7 @@ impl SketchStore {
             meta: Vec::new(),
             record_ids: Vec::new(),
             slots: Vec::new(),
+            hash_df: HashMap::new(),
         }
     }
 
@@ -146,6 +165,11 @@ impl SketchStore {
     /// reverse map.
     fn append_slot(&mut self, sketch: &GbKmvRecordSketch, record_id: u32) {
         let hashes = sketch.gkmv.hashes();
+        // Per-record hashes are deduplicated (the GKmvSketch invariant), so
+        // each occurrence is one more containing record.
+        for &h in hashes {
+            *self.hash_df.entry(h).or_insert(0) += 1;
+        }
         self.hash_arena.extend_from_slice(hashes);
         self.hash_offsets.push(self.hash_arena.len());
         let words = self.padded_words(sketch);
@@ -203,6 +227,9 @@ impl SketchStore {
         let slot = self.meta.partition_point(|m| m.record_size >= size);
 
         let hashes = sketch.gkmv.hashes();
+        for &h in hashes {
+            *self.hash_df.entry(h).or_insert(0) += 1;
+        }
         let pos = self.hash_offsets[slot];
         self.hash_arena.splice(pos..pos, hashes.iter().copied());
         self.hash_offsets.insert(slot + 1, pos + hashes.len());
@@ -253,6 +280,16 @@ impl SketchStore {
     #[inline]
     pub fn slot_of(&self, record_id: usize) -> usize {
         self.slots[record_id] as usize
+    }
+
+    /// Document frequency of a signature hash value: the number of stored
+    /// records whose signature contains `hash` (0 for an unseen hash). When
+    /// the index builds inverted postings this is exactly the posting-list
+    /// length, so the query pipeline's prefix filter orders a query's hashes
+    /// by rarity without touching the lists.
+    #[inline]
+    pub fn hash_df(&self, hash: u64) -> usize {
+        self.hash_df.get(&hash).map_or(0, |&df| df as usize)
     }
 
     /// Number of leading slots whose record size is at least `min_size` —
@@ -475,6 +512,30 @@ mod tests {
             assert!((0..store.live_prefix(min_size)).all(|s| store.record_size(s) >= min_size));
         }
         assert_eq!(store.live_prefix(usize::MAX), 0);
+    }
+
+    #[test]
+    fn hash_df_counts_containing_records_through_build_and_insert() {
+        let layout = BufferLayout::empty();
+        let sketches: Vec<GbKmvRecordSketch> =
+            [&[1u32, 2, 3][..], &[2, 3, 4], &[3, 4, 5, 6], &[7, 8]]
+                .iter()
+                .map(|els| sketch(els, &layout))
+                .collect();
+        let mut store = SketchStore::from_sketches(0, &sketches[..3]);
+        store.insert(&sketches[3]);
+
+        // Reference: count containing records straight off the sketches.
+        let mut expected: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for s in &sketches {
+            for &h in s.gkmv.hashes() {
+                *expected.entry(h).or_insert(0) += 1;
+            }
+        }
+        for (&h, &df) in &expected {
+            assert_eq!(store.hash_df(h), df, "df mismatch for hash {h:#x}");
+        }
+        assert_eq!(store.hash_df(0xDEAD_BEEF), 0, "unseen hash must have df 0");
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Property tests pinning the staged query pipeline to the reference paths:
 //! across random datasets, space budgets, buffer sizes, shard counts and
-//! thresholds, the pruned pipeline (`search_filtered`), the pruning-disabled
-//! ablation, the sharded index, the parallel batch path and
-//! `search_filtered_baseline` (hash-set candidates + sorted merges) must all
-//! return **bit-identical** hits — same record ids, same `f64` estimates,
-//! same order — as the full-scan reference `search_scan`; and the
-//! bounded-heap top-k must match a sort-everything reference. Saturated
-//! sketches (budgets above 100%) and empty queries are exercised explicitly.
+//! thresholds, the pruned pipeline (`search_filtered`, with its signature
+//! prefix filter on by default), the pruning- and prefix-disabled
+//! ablations, the sharded index, the parallel batch path, the intra-query
+//! parallel path (`search_parallel`) and `search_filtered_baseline`
+//! (hash-set candidates + sorted merges) must all return **bit-identical**
+//! hits — same record ids, same `f64` estimates, same order — as the
+//! full-scan reference `search_scan`; and the bounded-heap top-k must match
+//! a sort-everything reference. Saturated sketches (budgets above 100%),
+//! empty queries, (near-)zero thresholds (where no prefix exists and every
+//! hash mints) and queries whose signature is entirely absent from the
+//! index are exercised explicitly.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -59,13 +63,21 @@ proptest! {
         prop_assert_eq!(&scan, &baseline,
             "baseline diverged from scan (t*={}, budget={})", t_star, budget_fraction);
 
-        // Pruning is structural, never semantic: the ablation agrees.
+        // Pruning and prefix filtering are structural, never semantic: all
+        // four toggle combinations agree.
         let mut unpruned = QueryPipeline::new().pruning(false);
         prop_assert_eq!(&scan, &unpruned.search(&index, query.elements(), t_star),
             "disabling the prune stage changed the answer (t*={})", t_star);
+        let mut unprefixed = QueryPipeline::new().prefix_filter(false);
+        prop_assert_eq!(&scan, &unprefixed.search(&index, query.elements(), t_star),
+            "disabling the prefix filter changed the answer (t*={})", t_star);
+        let mut neither = QueryPipeline::new().pruning(false).prefix_filter(false);
+        prop_assert_eq!(&scan, &neither.search(&index, query.elements(), t_star),
+            "the PR-2 ablation (no prune, no prefix) diverged (t*={})", t_star);
 
-        // Sharding never changes an answer either, on the single-query or
-        // the parallel batch path, for any thread count.
+        // Sharding never changes an answer either, on the single-query, the
+        // parallel batch or the intra-query parallel path, for any thread
+        // count.
         prop_assert_eq!(&scan, &sharded.search_filtered(&query, t_star),
             "{}-shard pipeline diverged from scan (t*={})", shards, t_star);
         let batch_queries = [query.clone(), query.clone()];
@@ -76,6 +88,11 @@ proptest! {
                 prop_assert_eq!(&scan, &hits,
                     "batch on {} shards / {} threads diverged (t*={})", shards, threads, t_star);
             }
+            prop_assert_eq!(
+                &scan,
+                &sharded.search_parallel_threads(query.elements(), t_star, threads),
+                "intra-query parallel on {} shards / {} threads diverged (t*={})",
+                shards, threads, t_star);
         }
 
         // The ContainmentIndex ordering contract: ascending record id.
@@ -123,6 +140,53 @@ proptest! {
         let batch = index.search_batch(&[Record::default()], t_star);
         prop_assert_eq!(&empty_scan, &batch[0],
             "empty-query batch diverged (t*={})", t_star);
+    }
+
+    #[test]
+    fn prefix_filter_degenerate_cases_agree(
+        dataset in dataset_strategy(),
+        budget_fraction in 0.05f64..1.1,
+        tiny_t in 0.0005f64..0.05,
+        shards in 1usize..4,
+        seed in 0u64..1_000_000,
+        query_pick in 0usize..1_000,
+        absent_base in 5_000u32..50_000,
+    ) {
+        // The two degenerate regimes of the prefix filter, crossed with
+        // sharding, batching and the thread counts of both parallel paths:
+        //
+        // * t* = 0 (and tiny t* where θ_sig ≤ 1): no prefix exists — every
+        //   signature hash mints, and the walk must degrade to the plain
+        //   accumulator (t* = 0 itself short-circuits to the scan);
+        // * a query whose signature shares nothing with the index: every
+        //   hash has df 0, no posting exists, and every path must agree on
+        //   the (at positive thresholds, empty) answer.
+        let config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .shards(shards);
+        let index = GbKmvIndex::build(&dataset, config);
+        let in_dataset = dataset.record(query_pick % dataset.len()).clone();
+        // Dataset elements live in 0..3_000; this query shares none.
+        let absent = Record::new((absent_base..absent_base + 30).collect());
+
+        for (label, query) in [("sampled", &in_dataset), ("absent", &absent)] {
+            for &t_star in &[0.0, tiny_t, 0.6] {
+                let scan = index.search_scan(query, t_star);
+                prop_assert_eq!(&scan, &index.search_filtered(query, t_star),
+                    "{} query: pipeline diverged (t*={})", label, t_star);
+                prop_assert_eq!(
+                    &scan,
+                    &index.search_parallel_threads(query.elements(), t_star, 3),
+                    "{} query: intra-query parallel diverged (t*={})", label, t_star);
+                let batch = index.search_batch_threads(
+                    std::slice::from_ref(query), t_star, 2);
+                prop_assert_eq!(&scan, &batch[0],
+                    "{} query: batch diverged (t*={})", label, t_star);
+            }
+        }
+        let positive_absent = index.search_filtered(&absent, 0.6);
+        prop_assert!(positive_absent.is_empty(),
+            "absent-signature query matched records at a positive threshold");
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct ExperimentConfig {
     /// contract); only the timing protocol changes — per-query latency is
     /// then the amortised batch time.
     pub batch: bool,
+    /// Answer each query through `ContainmentIndex::search_parallel` (the
+    /// intra-query parallel path) instead of `search`. Answers are
+    /// identical (the trait contract); per-query latencies then measure the
+    /// parallel engine. Mutually exclusive with `batch` in spirit — `batch`
+    /// wins when both are set, since the batch path already owns all cores.
+    pub parallel_query: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -46,6 +52,7 @@ impl Default for ExperimentConfig {
             num_queries: 60,
             threads: 0,
             batch: false,
+            parallel_query: false,
         }
     }
 }
@@ -72,6 +79,12 @@ impl ExperimentConfig {
     /// Enables or disables batch query submission.
     pub fn batch(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Enables or disables intra-query parallel submission.
+    pub fn parallel_query(mut self, parallel_query: bool) -> Self {
+        self.parallel_query = parallel_query;
         self
     }
 }
@@ -143,6 +156,50 @@ pub fn evaluate_index(
     threshold: f64,
     dataset_total_elements: usize,
 ) -> MethodReport {
+    evaluate_each_with(
+        index,
+        queries,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
+        |query| index.search(query.elements(), threshold),
+    )
+}
+
+/// The intra-query parallel counterpart of [`evaluate_index`]: each query
+/// is answered through [`ContainmentIndex::search_parallel`], which fans a
+/// *single* query's work over all cores (for indexes that implement it —
+/// the trait default falls back to `search`). Answers are identical to
+/// [`evaluate_index`]; the per-query latencies measure the parallel engine.
+pub fn evaluate_index_parallel(
+    index: &dyn ContainmentIndex,
+    queries: &[Record],
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+) -> MethodReport {
+    evaluate_each_with(
+        index,
+        queries,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
+        |query| index.search_parallel(query.elements(), threshold),
+    )
+}
+
+/// The shared query-at-a-time protocol of [`evaluate_index`] and
+/// [`evaluate_index_parallel`]: time `search` on every query individually,
+/// then aggregate (the batch protocol differs — one timed call for the
+/// whole workload — and stays separate in [`evaluate_index_batch`]).
+fn evaluate_each_with(
+    index: &dyn ContainmentIndex,
+    queries: &[Record],
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+    mut search: impl FnMut(&Record) -> Vec<gbkmv_core::index::SearchHit>,
+) -> MethodReport {
     assert_eq!(
         queries.len(),
         ground_truth.len(),
@@ -153,7 +210,7 @@ pub fn evaluate_index(
     let mut total_time = Duration::ZERO;
     for query in queries {
         let start = Instant::now();
-        answers.push(index.search(query.elements(), threshold));
+        answers.push(search(query));
         let latency = start.elapsed();
         total_time += latency;
         latencies.push(latency);
@@ -379,6 +436,30 @@ mod tests {
         assert!(config.batch);
         assert_eq!(config.num_queries, 7);
         assert!(!ExperimentConfig::default().batch);
+        assert!(!ExperimentConfig::default().parallel_query);
+        assert!(
+            ExperimentConfig::default()
+                .parallel_query(true)
+                .parallel_query
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_per_query_answers() {
+        let d = dataset();
+        let workload = QueryWorkload::sample_from_dataset(&d, 12, 5);
+        let truth = GroundTruth::compute(&d, &workload.queries, 0.5);
+        let index = GbKmvIndex::build(&d, GbKmvConfig::with_space_fraction(0.2));
+        let single = evaluate_index(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        let parallel =
+            evaluate_index_parallel(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        // The search_parallel contract: identical answers, so identical
+        // confusion counts; only the engine schedule differs.
+        assert_eq!(single.accuracy, parallel.accuracy);
+        for (s, p) in single.per_query.iter().zip(&parallel.per_query) {
+            assert_eq!(s.counts, p.counts);
+            assert_eq!(s.answer_size, p.answer_size);
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Offline stand-in for `serde_json`, layered on the vendored `serde`
-//! stand-in's JSON [`Value`] tree. Only the serialisation entry points the
-//! workspace uses are provided.
+//! stand-in's JSON [`Value`] tree. Only the entry points the workspace uses
+//! are provided: the serialisers, plus a [`from_str`] parser into [`Value`]
+//! (the workspace never deserialises into typed structs, so the parser is
+//! value-tree based — use the `Value` accessors to walk the result).
 
 use std::fmt;
 
@@ -34,11 +36,322 @@ pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error>
     Ok(value.to_json_value())
 }
 
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Unlike real `serde_json::from_str` this is not generic over a
+/// `Deserialize` target — the stand-in's `Deserialize` is a marker trait —
+/// but it accepts the full JSON grammar (nested containers, escapes,
+/// exponent floats) and rejects trailing garbage.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+/// Minimal recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    /// Consumes a keyword literal (`null` / `true` / `false`).
+    fn expect_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            entries.push((key, self.parse_value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                // Exactly 4 hex digits: from_str_radix alone
+                                // would also accept a leading '+', which the
+                                // JSON grammar forbids.
+                                .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by any report
+                            // this workspace writes; map them to U+FFFD
+                            // instead of failing the whole parse.
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume the whole run up to the next quote or escape
+                    // (both ASCII, so the run ends on a char boundary) and
+                    // validate it once — re-validating per character would
+                    // make string parsing quadratic. The validation can only
+                    // fail if a position update ever lands mid-character —
+                    // worth a loud panic, not UB.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("parser position left a UTF-8 boundary");
+                    out.push_str(run);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part per the JSON grammar: a single 0, or a non-zero
+        // digit followed by any digits — "01" is two tokens, not a number.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn pretty_matches_serde_json_layout() {
         let out = super::to_string_pretty(&vec![1u32, 2, 3]).unwrap();
         assert_eq!(out, "[\n  1,\n  2,\n  3\n]");
+    }
+
+    #[test]
+    fn parse_round_trips_serialised_trees() {
+        let tree = Value::Object(vec![
+            (
+                "name".to_string(),
+                Value::String("q/s \"fast\"\n".to_string()),
+            ),
+            ("count".to_string(), Value::Int(-42)),
+            ("ratio".to_string(), Value::Float(0.125)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            (
+                "items".to_string(),
+                Value::Array(vec![Value::Int(1), Value::Float(2.5)]),
+            ),
+            ("empty_arr".to_string(), Value::Array(Vec::new())),
+            ("empty_obj".to_string(), Value::Object(Vec::new())),
+        ]);
+        for rendered in [tree.to_json(), tree.to_json_pretty()] {
+            assert_eq!(from_str(&rendered).unwrap(), tree, "input: {rendered}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_exponents_and_unicode() {
+        let v = from_str(r#"{"x": 1.5e3, "y": -2E-2, "s": "aéb"}"#).unwrap();
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(v.get("y").unwrap().as_f64(), Some(-0.02));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("aéb"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "1 2",
+            "tru",
+            "\"unterminated",
+            "\"\\u+041\"", // sign-prefixed hex is not a \u escape
+            "\"\\u12\"",   // too few hex digits
+            "01",          // leading zeros are not a JSON number
+            "[1.]",        // '.' requires a following digit
+            "[-.5]",       // '.' requires a preceding digit
+            "[1e]",        // exponent requires a digit
+            "-",           // sign alone
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+        assert_eq!(from_str("\"\\u0041\"").unwrap().as_str(), Some("A"));
+        assert_eq!(from_str("-0.5e2").unwrap().as_f64(), Some(-50.0));
+        assert_eq!(from_str("0").unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = from_str(r#"{"paths": [{"name": "scan", "qps": 10}], "n": 3}"#).unwrap();
+        let paths = v.get("paths").unwrap().as_array().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].get("name").unwrap().as_str(), Some("scan"));
+        assert_eq!(paths[0].get("qps").unwrap().as_i64(), Some(10));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(3.0));
+        assert!(v.get("missing").is_none());
+        assert!(v.get("n").unwrap().as_str().is_none());
     }
 }
