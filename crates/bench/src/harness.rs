@@ -14,7 +14,8 @@ use gbkmv_core::variants::{KmvConfig, KmvIndex};
 use gbkmv_datagen::profiles::DatasetProfile;
 use gbkmv_datagen::queries::QueryWorkload;
 use gbkmv_eval::experiment::{
-    evaluate_index, evaluate_index_batch, evaluate_index_parallel, ExperimentConfig, MethodReport,
+    evaluate_index, evaluate_index_auto, evaluate_index_batch, evaluate_index_parallel,
+    ExperimentConfig, MethodReport,
 };
 use gbkmv_eval::ground_truth::GroundTruth;
 use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
@@ -110,6 +111,11 @@ pub struct ExperimentEnv {
     /// intra-query parallel path (`ContainmentIndex::search_parallel`).
     /// Ignored when `batch` is set — the batch path already owns all cores.
     pub parallel_query: bool,
+    /// Whether [`ExperimentEnv::evaluate`] lets the index choose its own
+    /// schedule (`ContainmentIndex::search_auto`: sequential, batch, or
+    /// intra-query parallel from the workload shape and core count).
+    /// Takes precedence over `batch` and `parallel_query`.
+    pub auto: bool,
 }
 
 impl ExperimentEnv {
@@ -148,6 +154,7 @@ impl ExperimentEnv {
             threshold: config.threshold,
             batch: config.batch,
             parallel_query: config.parallel_query,
+            auto: config.auto,
         }
     }
 
@@ -172,7 +179,9 @@ impl ExperimentEnv {
     /// on, or query-at-a-time through the intra-query parallel engine when
     /// `parallel_query` is.
     pub fn evaluate(&self, index: &dyn ContainmentIndex) -> MethodReport {
-        let run = if self.batch {
+        let run = if self.auto {
+            evaluate_index_auto
+        } else if self.batch {
             evaluate_index_batch
         } else if self.parallel_query {
             evaluate_index_parallel
@@ -306,6 +315,17 @@ mod tests {
         assert!(parallel.parallel_query && !single.parallel_query);
         let a = evaluate_on_profile(&single, MethodUnderTest::GbKmv, 0.2, 32);
         let b = evaluate_on_profile(&parallel, MethodUnderTest::GbKmv, 0.2, 32);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn auto_environment_reports_identical_accuracy() {
+        let config = ExperimentConfig::default().num_queries(8);
+        let single = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config);
+        let auto = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config.auto(true));
+        assert!(auto.auto && !single.auto);
+        let a = evaluate_on_profile(&single, MethodUnderTest::GbKmv, 0.2, 32);
+        let b = evaluate_on_profile(&auto, MethodUnderTest::GbKmv, 0.2, 32);
         assert_eq!(a.accuracy, b.accuracy);
     }
 

@@ -45,6 +45,7 @@ impl GbKmvIndex {
             sketcher.layout().words(),
             sketcher.layout().size(),
             config.use_candidate_filter,
+            config.posting_format,
             config.threads,
         );
 

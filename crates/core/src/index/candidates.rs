@@ -8,6 +8,13 @@
 //! range *before* traversal — the prune stage's live-prefix cutoff, and in
 //! the intra-query parallel path additionally the worker's slot sub-range —
 //! so a candidate outside the range is never touched, let alone finished.
+//! Truncation and iteration go through
+//! [`PostingList::for_each_in_range`](crate::index::postings::PostingList::for_each_in_range):
+//! on the default block-compressed format, whole blocks die on their first
+//! slot and surviving blocks decode into the scratch's reusable
+//! block-decode buffer — the blocked substrate a future SIMD finish would
+//! consume — while the raw ablation format keeps the original
+//! binary-search slice cut. Both walk the identical slot sequence.
 //!
 //! # Prefix-filtered minting
 //!
@@ -62,28 +69,6 @@ impl<'a> QuerySketchView<'a> {
     pub(crate) fn buffer_words(&self) -> &'a [u64] {
         self.buffer.words()
     }
-}
-
-/// Truncates an ascending slot list to the slot range `lo..hi`: because
-/// slots are size-ordered, `hi` is the prune stage's live-prefix cutoff
-/// (optionally tightened to a parallel worker's sub-range) and `lo` is 0 on
-/// the sequential path.
-#[inline]
-fn in_range(list: &[u32], lo: usize, hi: usize) -> &[u32] {
-    let start = if lo == 0 {
-        // Common case (sequential path): skip the binary search.
-        0
-    } else {
-        list.partition_point(|&slot| (slot as usize) < lo)
-    };
-    let end = match list.last() {
-        // Only search for the cutoff when the list actually extends past
-        // it; otherwise (common case: pruning disabled, or a low threshold)
-        // the whole list survives and the binary search is skipped.
-        Some(&last) if (last as usize) >= hi => list.partition_point(|&slot| (slot as usize) < hi),
-        _ => list.len(),
-    };
-    &list[start..end.max(start)]
 }
 
 /// Walks the query's signature and buffer postings over the slot range
@@ -159,14 +144,16 @@ fn walk_unfiltered(
     hi: usize,
     scratch: &mut QueryScratch,
 ) {
+    let mut decode = std::mem::take(&mut scratch.block_decode);
     for &h in view.hashes {
         if let Some(postings) = shard.signature_postings(h) {
-            for &slot in in_range(postings, lo, hi) {
+            postings.for_each_in_range(lo, hi, &mut decode, |slot| {
                 scratch.add_signature_hit(slot);
-            }
+            });
         }
     }
-    walk_buffer(shard, view, lo, hi, scratch);
+    walk_buffer(shard, view, lo, hi, &mut decode, scratch);
+    scratch.block_decode = decode;
 }
 
 /// The prefix-filtered three-pass walk over a df-ordered hash list.
@@ -179,23 +166,25 @@ fn walk_prefixed(
     order: &[(u32, u64)],
     scratch: &mut QueryScratch,
 ) {
+    let mut decode = std::mem::take(&mut scratch.block_decode);
     for &(_, h) in &order[..minting] {
         if let Some(postings) = shard.signature_postings(h) {
-            for &slot in in_range(postings, lo, hi) {
+            postings.for_each_in_range(lo, hi, &mut decode, |slot| {
                 scratch.add_signature_hit(slot);
-            }
+            });
         }
     }
     // Buffer candidates must be minted BEFORE the lookup-only pass, or a
     // buffer-only candidate would miss its frequent-hash accumulations.
-    walk_buffer(shard, view, lo, hi, scratch);
+    walk_buffer(shard, view, lo, hi, &mut decode, scratch);
     for &(_, h) in &order[minting..] {
         if let Some(postings) = shard.signature_postings(h) {
-            for &slot in in_range(postings, lo, hi) {
+            postings.for_each_in_range(lo, hi, &mut decode, |slot| {
                 scratch.add_signature_hit_if_candidate(slot);
-            }
+            });
         }
     }
+    scratch.block_decode = decode;
 }
 
 /// The buffer-posting walk, shared by both minting modes. It only
@@ -208,34 +197,14 @@ fn walk_buffer(
     view: &QuerySketchView<'_>,
     lo: usize,
     hi: usize,
+    decode: &mut Vec<u32>,
     scratch: &mut QueryScratch,
 ) {
     for pos in view.buffer.set_positions() {
-        for &slot in in_range(shard.buffer_postings(pos), lo, hi) {
-            scratch.add_candidate(slot);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn in_range_truncates_by_slot_number() {
-        let list = [0u32, 2, 5, 9];
-        assert_eq!(in_range(&list, 0, 6), &[0, 2, 5]);
-        assert_eq!(in_range(&list, 0, 10), &list);
-        assert_eq!(in_range(&list, 0, 0), &[] as &[u32]);
-        // A cutoff past the maximum possible slot takes the fast path.
-        assert_eq!(in_range(&list, 0, usize::MAX), &list);
-        assert_eq!(in_range(&[], 0, 3), &[] as &[u32]);
-        // Sub-ranges of the parallel path.
-        assert_eq!(in_range(&list, 2, 6), &[2, 5]);
-        assert_eq!(in_range(&list, 3, 9), &[5]);
-        assert_eq!(in_range(&list, 9, 10), &[9]);
-        assert_eq!(in_range(&list, 10, 12), &[] as &[u32]);
-        // Degenerate range (lo ≥ hi) must stay empty, not panic.
-        assert_eq!(in_range(&list, 6, 2), &[] as &[u32]);
+        shard
+            .buffer_postings(pos)
+            .for_each_in_range(lo, hi, decode, |slot| {
+                scratch.add_candidate(slot);
+            });
     }
 }

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cost::CostModelConfig;
+use crate::index::postings::PostingFormat;
 
 /// How the buffer size is chosen at build time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -45,6 +46,12 @@ pub struct GbKmvConfig {
     /// count; sharding bounds per-shard arena sizes and gives the batch path
     /// independent units of work.
     pub shards: usize,
+    /// Storage format of the inverted posting lists (see
+    /// [`crate::index::postings`]): block-compressed delta/bit-packed by
+    /// default, raw `Vec<u32>` as the ablation and correctness oracle. The
+    /// format never changes any answer — every query path walks the
+    /// identical slot sequence — only the memory footprint.
+    pub posting_format: PostingFormat,
     /// Cost model configuration used when `buffer` is [`BufferSizing::Auto`].
     pub cost_model: CostModelConfig,
 }
@@ -60,6 +67,7 @@ impl Default for GbKmvConfig {
             use_prefix_filter: true,
             threads: 0,
             shards: 1,
+            posting_format: PostingFormat::default(),
             cost_model: CostModelConfig::default(),
         }
     }
@@ -119,6 +127,13 @@ impl GbKmvConfig {
         self
     }
 
+    /// Sets the posting-list storage format (answers are identical for
+    /// every format; only the memory footprint changes).
+    pub fn posting_format(mut self, format: PostingFormat) -> Self {
+        self.posting_format = format;
+        self
+    }
+
     /// Resolves the element budget for a dataset with `total_elements`
     /// occurrences.
     pub fn resolve_budget(&self, total_elements: usize) -> usize {
@@ -169,7 +184,8 @@ mod tests {
             .candidate_filter(false)
             .prefix_filter(false)
             .threads(2)
-            .shards(4);
+            .shards(4)
+            .posting_format(PostingFormat::Raw);
         assert_eq!(c.buffer, BufferSizing::Fixed(8));
         assert_eq!(c.hash_seed, 7);
         assert!(!c.use_candidate_filter);
@@ -177,5 +193,9 @@ mod tests {
         assert!(GbKmvConfig::default().use_prefix_filter);
         assert_eq!(c.threads, 2);
         assert_eq!(c.shards, 4);
+        assert_eq!(c.posting_format, PostingFormat::Raw);
+        // Packed is the default: the compressed subsystem is the engine,
+        // raw is the ablation.
+        assert_eq!(GbKmvConfig::default().posting_format, PostingFormat::Packed);
     }
 }

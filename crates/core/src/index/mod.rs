@@ -61,6 +61,7 @@ pub mod candidates;
 pub mod config;
 pub mod finish;
 pub mod pipeline;
+pub mod postings;
 pub mod prune;
 pub mod rank;
 pub mod reference;
@@ -75,6 +76,7 @@ use serde::{Deserialize, Serialize};
 
 pub use config::{BufferSizing, GbKmvConfig, IndexSummary};
 pub use pipeline::QueryPipeline;
+pub use postings::{PostingFormat, PostingList};
 pub use sharded::{Shard, ShardedIndex};
 
 use crate::dataset::{ElementId, Record, RecordId};
@@ -129,6 +131,19 @@ pub trait ContainmentIndex {
     /// throughput-bound ones (many queries, one per core).
     fn search_parallel(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
         self.search(query, t_star)
+    }
+
+    /// Answers a workload with the execution schedule — sequential,
+    /// parallel batch, or intra-query parallel — chosen by the index from
+    /// the workload shape and the machine, returning exactly what
+    /// [`ContainmentIndex::search`] would return per query.
+    ///
+    /// The default implementation delegates to
+    /// [`ContainmentIndex::search_batch`] (whose own default is the
+    /// sequential loop); indexes with several engines (e.g.
+    /// [`GbKmvIndex::search_auto`]) override it with a cost-based choice.
+    fn search_auto(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
+        self.search_batch(queries, t_star)
     }
 
     /// Space consumed by the index, measured in elements (32-bit words), the
@@ -200,6 +215,14 @@ impl GbKmvIndex {
     /// The sharded storage layer (exposed for diagnostics and benchmarks).
     pub fn sharded(&self) -> &ShardedIndex {
         &self.sharded
+    }
+
+    /// Heap bytes held by the index's inverted posting lists (payload
+    /// arenas plus block metadata, summed over shards) — the
+    /// memory-footprint number the `query_throughput` bench reports per
+    /// [`PostingFormat`].
+    pub fn posting_bytes(&self) -> usize {
+        self.sharded.posting_bytes()
     }
 
     /// Borrowed view of one record's stored sketch — the non-allocating
@@ -377,6 +400,43 @@ impl GbKmvIndex {
         self.search_batch_threads(queries, t_star, 0)
     }
 
+    /// Cost-based automatic schedule selection: answers the workload
+    /// through whichever engine the workload shape and the (cached) core
+    /// count favour, bit-identical to a per-query
+    /// [`GbKmvIndex::search_record`] loop.
+    ///
+    /// * several queries on a multi-core machine — the parallel **batch**
+    ///   path (one pipeline per core; parallelising *across* queries beats
+    ///   splitting any single one),
+    /// * a single query on a multi-core machine — the **intra-query
+    ///   parallel** path, which itself degrades to the sequential engine
+    ///   when the query's live-slot count is below
+    ///   [`pipeline::PARALLEL_MIN_LIVE_SLOTS`] (the same live-slot cost
+    ///   model, applied after the per-shard prune cutoffs are known),
+    /// * a single core — the plain **sequential** loop; no schedule can
+    ///   win without parallel hardware, so none pays spawn overhead.
+    ///
+    /// The core count comes from the process-wide cache of
+    /// [`parallel::resolve_threads`], so the choice itself costs
+    /// nanoseconds. `ExperimentConfig::auto(true)` routes the evaluation
+    /// harness through this entry point.
+    pub fn search_auto(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
+        let cores = parallel::resolve_threads(0);
+        if cores > 1 && queries.len() > 1 {
+            return self.search_batch(queries, t_star);
+        }
+        if cores > 1 {
+            return queries
+                .iter()
+                .map(|q| self.search_parallel(q.elements(), t_star))
+                .collect();
+        }
+        queries
+            .iter()
+            .map(|q| self.search_record(q, t_star))
+            .collect()
+    }
+
     /// [`GbKmvIndex::search_batch`] with an explicit thread count
     /// (`0` = all available cores).
     pub fn search_batch_threads(
@@ -411,6 +471,10 @@ impl ContainmentIndex for GbKmvIndex {
 
     fn search_parallel(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
         GbKmvIndex::search_parallel(self, query, t_star)
+    }
+
+    fn search_auto(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
+        GbKmvIndex::search_auto(self, queries, t_star)
     }
 
     fn space_elements(&self) -> f64 {

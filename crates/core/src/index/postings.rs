@@ -1,0 +1,882 @@
+//! Block-compressed posting lists: the storage substrate of the inverted
+//! index.
+//!
+//! Every posting list of the query engine is a strictly ascending sequence
+//! of **slot** numbers (see [`crate::store::SketchStore`] for the slot
+//! order). Until this module existed they were raw `Vec<u32>`s — 4 bytes
+//! per entry plus `Vec` growth slack — which made the posting layer, not
+//! the sketches the paper carefully budgets, the dominant memory consumer
+//! of the index. [`PostingList`] replaces that with a format chosen at
+//! build time by [`PostingFormat`] (a [`crate::index::GbKmvConfig`] knob):
+//!
+//! * [`PostingFormat::Packed`] (the default) — [`PackedList`]: fixed-size
+//!   blocks of up to [`BLOCK_LEN`] slots, each stored as a block-local
+//!   **delta encoding**: the block's first slot lives in its `BlockMeta`,
+//!   and the remaining `len − 1` entries are `(gap − 1)` values (gaps are
+//!   ≥ 1 because slots are strictly ascending) **bit-packed** at the
+//!   block's own width — the minimum number of bits that fits the block's
+//!   largest gap. A block of consecutive slots (a dense run) therefore has
+//!   width 0 and *no payload at all*; a block over a 10k-slot shard rarely
+//!   needs more than a byte per entry. Each block's payload starts on a
+//!   fresh `u64` word so blocks decode independently.
+//! * [`PostingFormat::Raw`] — the plain ascending `Vec<u32>`, kept as the
+//!   ablation benchmark (`query_throughput` reports both formats' bytes
+//!   and throughput) and as the correctness oracle the packed round-trip
+//!   and equivalence proptests pin against.
+//!
+//! # Traversal and block skipping
+//!
+//! The candidate stage never materialises a whole list: it walks a slot
+//! range `lo..hi` via [`PostingList::for_each_in_range`], which — on the
+//! packed representation — **skips whole blocks on their `first` slot**
+//! (blocks are ascending, so every block whose `first` is at or past the
+//! prune stage's `hi` cutoff dies with one comparison, and the first
+//! relevant block is found with one binary search over the metas), decodes
+//! each surviving block into a caller-provided reusable buffer (the
+//! [`crate::scratch::QueryScratch`] owns one per pipeline), and finishes
+//! the boundary blocks with one in-block binary search — bit-identical to
+//! the binary-search truncation the raw representation performs, which is
+//! what keeps every query path's answers independent of the format.
+//!
+//! # Dynamic maintenance
+//!
+//! Posting lists mutate on [`crate::index::GbKmvIndex::insert`] in two
+//! ways, both of which touch as few blocks as possible:
+//!
+//! * [`PostingList::renumber_from`] (every slot ≥ the splice point shifts
+//!   up by one): gaps are *shift-invariant*, so blocks entirely at or past
+//!   the splice point just bump their `first` — only the single block the
+//!   splice point lands inside is re-encoded (one gap grew by one).
+//! * [`PostingList::insert_sorted`]: appending past the current tail (the
+//!   common case — see the fast path in [`crate::index::sharded`])
+//!   re-encodes only the final block; a mid-list splice re-chunks the
+//!   decoded suffix from the affected block on.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of slots per packed block. 128 keeps a fully decoded
+/// block (512 bytes) inside a handful of cache lines and is the block
+/// granularity a future SIMD finish would operate on.
+pub const BLOCK_LEN: usize = 128;
+
+/// The posting-list storage format of an index, chosen at build time via
+/// [`crate::index::GbKmvConfig::posting_format`]. The format never changes
+/// any answer — every query path decodes to the identical ascending slot
+/// sequence — only the memory footprint and traversal cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PostingFormat {
+    /// Block-compressed delta/bit-packed lists ([`PackedList`]).
+    #[default]
+    Packed,
+    /// Plain ascending `Vec<u32>` lists (the ablation and oracle).
+    Raw,
+}
+
+/// Per-block metadata of a [`PackedList`].
+///
+/// The payload of a block is `len − 1` bit-packed `(gap − 1)` values of
+/// `width` bits each, starting at bit 0 of `words[word_offset]`. Values
+/// never straddle a word boundary: each `u64` holds `⌊64 / width⌋` values
+/// and the remaining high bits stay zero — a few wasted bits per word buys
+/// a branch-light decode loop (shift, mask, add — no straddle handling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BlockMeta {
+    /// The block's first slot (not part of the payload).
+    first: u32,
+    /// Index of the block's first payload word in [`PackedList::words`].
+    word_offset: u32,
+    /// Number of slots in the block, `1..=BLOCK_LEN`.
+    len: u8,
+    /// Bits per stored `(gap − 1)` value; 0 iff the block is a consecutive
+    /// run (every gap is exactly 1), in which case there is no payload.
+    width: u8,
+}
+
+impl BlockMeta {
+    /// Number of `u64` payload words the block occupies.
+    #[inline]
+    fn word_span(&self) -> usize {
+        if self.width == 0 {
+            0
+        } else {
+            (self.len as usize - 1).div_ceil(64 / self.width as usize)
+        }
+    }
+}
+
+/// Minimum bits needed to store `v` (0 for `v == 0`).
+#[inline]
+fn bits_for(v: u32) -> u8 {
+    (32 - v.leading_zeros()) as u8
+}
+
+/// A block-compressed ascending slot list; see the module docs for the
+/// layout.
+///
+/// Lists that fit a **single block** (`len ≤ BLOCK_LEN` — the vast
+/// majority under any realistic document-frequency distribution) keep
+/// their block metadata *inline* in this struct (`first` / `width`) and
+/// use `blocks` not at all: a one-slot list owns **zero heap bytes**, and
+/// a short list only its payload words. Multi-block lists carry one
+/// `BlockMeta` per block; every block except the last holds exactly
+/// [`BLOCK_LEN`] slots (the invariant that keeps incrementally grown lists
+/// bit-identical to bulk-encoded ones). Block `first`s are strictly
+/// ascending and every slot of block `i` is strictly below block `i + 1`'s
+/// `first`; `last` is the final slot when `len > 0`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PackedList {
+    /// Per-block metadata — **empty** for single-block lists, whose one
+    /// block is described by the inline `first` / `width` fields.
+    blocks: Vec<BlockMeta>,
+    /// Concatenated block payloads; each block starts on a word boundary.
+    words: Vec<u64>,
+    /// Total number of slots across all blocks.
+    len: u32,
+    /// The first (smallest) slot; meaningless when `len == 0`. Kept
+    /// coherent with `blocks[0].first` in the multi-block form too (every
+    /// mutation maintains it), so the derived `PartialEq` — and with it
+    /// the insert-equals-rebuild tests — compare list contents, not
+    /// representation history.
+    first: u32,
+    /// The final (largest) slot; meaningless when `len == 0`.
+    last: u32,
+    /// Bit width of the single inline block; unused (0) when `blocks` is
+    /// non-empty.
+    width: u8,
+}
+
+/// Encodes one ascending chunk (`1..=BLOCK_LEN` slots) as a block appended
+/// to `words`, returning its metadata.
+fn encode_block(slots: &[u32], words: &mut Vec<u64>) -> BlockMeta {
+    debug_assert!(!slots.is_empty() && slots.len() <= BLOCK_LEN);
+    debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+    let width = slots
+        .windows(2)
+        .map(|w| bits_for(w[1] - w[0] - 1))
+        .max()
+        .unwrap_or(0);
+    let word_offset = words.len() as u32;
+    if width > 0 {
+        let per_word = 64 / width as usize;
+        words.resize(words.len() + (slots.len() - 1).div_ceil(per_word), 0);
+        for (i, w) in slots.windows(2).enumerate() {
+            let v = (w[1] - w[0] - 1) as u64;
+            let word = word_offset as usize + i / per_word;
+            words[word] |= v << ((i % per_word) * width as usize);
+        }
+    }
+    BlockMeta {
+        first: slots[0],
+        word_offset,
+        len: slots.len() as u8,
+        width,
+    }
+}
+
+impl PackedList {
+    /// Builds a packed list from an ascending, deduplicated slot slice.
+    /// Both backing vectors are allocated exactly (no growth slack): the
+    /// bulk build is where nearly all lists come from, and the point of the
+    /// format is the footprint.
+    pub fn from_sorted(slots: &[u32]) -> Self {
+        let mut list = PackedList {
+            len: slots.len() as u32,
+            first: slots.first().copied().unwrap_or(0),
+            last: slots.last().copied().unwrap_or(0),
+            ..PackedList::default()
+        };
+        if slots.is_empty() {
+            return list;
+        }
+        if slots.len() <= BLOCK_LEN {
+            let meta = encode_block(slots, &mut list.words);
+            list.width = meta.width;
+        } else {
+            list.blocks = Vec::with_capacity(slots.len().div_ceil(BLOCK_LEN));
+            for chunk in slots.chunks(BLOCK_LEN) {
+                let meta = encode_block(chunk, &mut list.words);
+                list.blocks.push(meta);
+            }
+        }
+        list.words.shrink_to_fit();
+        list
+    }
+
+    /// Number of blocks (a non-empty single-block list counts as one).
+    #[inline]
+    fn num_blocks(&self) -> usize {
+        if self.blocks.is_empty() {
+            usize::from(self.len > 0)
+        } else {
+            self.blocks.len()
+        }
+    }
+
+    /// Metadata of block `idx`, synthesised from the inline fields for a
+    /// single-block list.
+    #[inline]
+    fn meta(&self, idx: usize) -> BlockMeta {
+        if self.blocks.is_empty() {
+            debug_assert!(idx == 0 && self.len > 0);
+            BlockMeta {
+                first: self.first,
+                word_offset: 0,
+                len: self.len as u8,
+                width: self.width,
+            }
+        } else {
+            self.blocks[idx]
+        }
+    }
+
+    /// Decodes block `idx` by appending its slots to `out`.
+    fn decode_block_into(&self, idx: usize, out: &mut Vec<u32>) {
+        self.decode_block(self.meta(idx), out);
+    }
+
+    /// Re-encodes block `idx` from `slots` (same or one-longer length),
+    /// splicing the payload words and shifting later blocks' offsets if the
+    /// payload span changed. The caller maintains the list-level `len` /
+    /// `last` fields.
+    fn rewrite_block(&mut self, idx: usize, slots: &[u32]) {
+        let old = self.meta(idx);
+        let old_span = old.word_span();
+        let mut fresh = Vec::new();
+        let mut meta = encode_block(slots, &mut fresh);
+        meta.word_offset = old.word_offset;
+        let new_span = fresh.len();
+        let start = old.word_offset as usize;
+        self.words.splice(start..start + old_span, fresh);
+        if self.blocks.is_empty() {
+            self.first = meta.first;
+            self.width = meta.width;
+        } else {
+            self.blocks[idx] = meta;
+            if new_span != old_span {
+                let diff = new_span as isize - old_span as isize;
+                for b in &mut self.blocks[idx + 1..] {
+                    b.word_offset = (b.word_offset as isize + diff) as u32;
+                }
+            }
+        }
+    }
+
+    /// Replaces the whole list with a fresh encoding of `slots` (the
+    /// single- to multi-block transition of a growing list).
+    fn rebuild(&mut self, slots: &[u32]) {
+        *self = PackedList::from_sorted(slots);
+    }
+
+    /// Index of the first block that can hold a slot ≥ `lo` (blocks before
+    /// it end strictly below the *following* block's `first` ≤ `lo`).
+    #[inline]
+    fn first_block_reaching(&self, lo: usize) -> usize {
+        if lo == 0 || self.blocks.is_empty() {
+            return 0;
+        }
+        self.blocks
+            .partition_point(|b| (b.first as usize) <= lo)
+            .saturating_sub(1)
+    }
+
+    /// Walks every slot in `lo..hi` in ascending order: whole blocks are
+    /// skipped on `first` alone; full interior blocks of a multi-block
+    /// list decode into `buf` and are streamed from it (the blocked-decode
+    /// substrate a SIMD finish would consume); short and boundary blocks
+    /// decode **fused** — the visitor runs inside the bit-extraction loop,
+    /// so a one-entry list costs a handful of instructions. Dense-run
+    /// blocks (width 0) are walked arithmetically without decoding at all.
+    fn for_each_in_range<F: FnMut(u32)>(&self, lo: usize, hi: usize, buf: &mut Vec<u32>, mut f: F) {
+        if self.len == 0 || lo >= hi || (self.last as usize) < lo {
+            return;
+        }
+        if self.blocks.is_empty() {
+            // Single inline block — the common case under any realistic df
+            // distribution; no metadata vector is touched at all.
+            if (self.first as usize) < hi {
+                let below_hi = (self.last as usize) < hi;
+                let b = self.meta(0);
+                self.walk_block(b, below_hi, lo, hi, buf, &mut f);
+            }
+            return;
+        }
+        let nblocks = self.blocks.len();
+        for idx in self.first_block_reaching(lo)..nblocks {
+            let b = self.blocks[idx];
+            if (b.first as usize) >= hi {
+                // Every later block starts even higher: done.
+                break;
+            }
+            // All of this block's slots are below `hi` iff the *next*
+            // block's first is (slots are strictly below it); the final
+            // block compares its exact `last`.
+            let below_hi = match self.blocks.get(idx + 1) {
+                Some(next) => (next.first as usize) <= hi,
+                None => (self.last as usize) < hi,
+            };
+            self.walk_block(b, below_hi, lo, hi, buf, &mut f);
+        }
+    }
+
+    /// Visits one block's slots within `lo..hi`. `below_hi` asserts that
+    /// every slot of the block is below `hi` (the caller derives it from
+    /// the next block's `first`), so fully-in-range blocks run check-free.
+    #[inline]
+    fn walk_block<F: FnMut(u32)>(
+        &self,
+        b: BlockMeta,
+        below_hi: bool,
+        lo: usize,
+        hi: usize,
+        buf: &mut Vec<u32>,
+        f: &mut F,
+    ) {
+        let first = b.first as usize;
+        let n = b.len as usize;
+        if b.width == 0 {
+            // Consecutive run `first..first + n`: the sub-range is pure
+            // arithmetic, no decode.
+            let s = lo.saturating_sub(first).min(n);
+            let e = n.min(hi - first);
+            for slot in first + s..first + e {
+                f(slot as u32);
+            }
+            return;
+        }
+        if first >= lo && below_hi {
+            if n == BLOCK_LEN {
+                // Full interior block of a long list: blocked decode into
+                // the reusable buffer, then stream it — the unit a SIMD
+                // finish would process whole.
+                buf.clear();
+                self.decode_block(b, buf);
+                for &slot in buf.iter() {
+                    f(slot);
+                }
+            } else {
+                // Short fully-in-range block: fused decode-and-visit.
+                self.walk_payload(b, |slot| {
+                    f(slot);
+                    true
+                });
+            }
+            return;
+        }
+        // Boundary block: fused decode with per-slot range checks, cutting
+        // off as soon as a slot reaches `hi` (slots ascend).
+        self.walk_payload(b, |slot| {
+            let p = slot as usize;
+            if p >= hi {
+                return false;
+            }
+            if p >= lo {
+                f(slot);
+            }
+            true
+        });
+    }
+
+    /// Fused decode of one `width > 0` block: reconstructs each slot from
+    /// the per-word packed gaps and hands it to `emit`; stops early when
+    /// `emit` returns false. The non-straddling layout makes the inner
+    /// loop a shift + mask + add per slot.
+    #[inline]
+    fn walk_payload<F: FnMut(u32) -> bool>(&self, b: BlockMeta, mut emit: F) {
+        debug_assert!(b.width > 0);
+        if !emit(b.first) {
+            return;
+        }
+        let width = b.width as usize;
+        let mask = (1u64 << width) - 1;
+        let per_word = 64 / width;
+        let words = &self.words[b.word_offset as usize..];
+        let mut prev = b.first;
+        let mut remaining = b.len as usize - 1;
+        let mut widx = 0usize;
+        while remaining > 0 {
+            let mut v = words[widx];
+            widx += 1;
+            let take = remaining.min(per_word);
+            for _ in 0..take {
+                prev += (v & mask) as u32 + 1;
+                if !emit(prev) {
+                    return;
+                }
+                v >>= width;
+            }
+            remaining -= take;
+        }
+    }
+
+    /// Decodes one block (by metadata) into `out` — the buffered half of
+    /// the walk, also backing [`PackedList::decode_block_into`].
+    fn decode_block(&self, b: BlockMeta, out: &mut Vec<u32>) {
+        let n = b.len as usize;
+        out.reserve(n);
+        if b.width == 0 {
+            // Consecutive run: no payload to read.
+            let mut prev = b.first;
+            out.push(prev);
+            for _ in 1..n {
+                prev += 1;
+                out.push(prev);
+            }
+            return;
+        }
+        self.walk_payload(b, |slot| {
+            out.push(slot);
+            true
+        });
+    }
+
+    /// Adds one to every stored slot ≥ `slot`. Gaps are shift-invariant, so
+    /// blocks entirely at or past the boundary only bump their `first`; at
+    /// most one block (the one the boundary lands inside) is re-encoded.
+    fn renumber_from(&mut self, slot: u32) {
+        if self.len == 0 || self.last < slot {
+            return;
+        }
+        self.last += 1;
+        if self.blocks.is_empty() {
+            // Single inline block.
+            if self.first >= slot {
+                // Wholesale shift: gaps are unchanged, only `first` moves.
+                self.first += 1;
+                return;
+            }
+            return self.renumber_straddling_block(0, slot);
+        }
+        let idx = self.blocks.partition_point(|b| b.first < slot);
+        for b in &mut self.blocks[idx..] {
+            b.first += 1;
+        }
+        if idx == 0 {
+            // Every block shifted wholesale, including the head: keep the
+            // list-level `first` mirror coherent (the derived `PartialEq`
+            // and the insert-equals-rebuild contract compare it).
+            self.first += 1;
+            return;
+        }
+        // The block before the wholesale-shifted suffix straddles the
+        // boundary iff its last slot reaches `slot`.
+        self.renumber_straddling_block(idx - 1, slot);
+    }
+
+    /// Decodes block `idx`, bumps its entries ≥ `slot` by one and
+    /// re-encodes it — the one block a renumber actually rewrites.
+    fn renumber_straddling_block(&mut self, idx: usize, slot: u32) {
+        let mut decoded = Vec::with_capacity(self.meta(idx).len as usize);
+        self.decode_block_into(idx, &mut decoded);
+        let at = decoded.partition_point(|&s| s < slot);
+        if at == decoded.len() {
+            return;
+        }
+        for s in &mut decoded[at..] {
+            *s += 1;
+        }
+        self.rewrite_block(idx, &decoded);
+    }
+
+    /// Splices `slot` (not currently present) into sorted position.
+    fn insert_sorted(&mut self, slot: u32) {
+        if self.len == 0 {
+            // A one-slot list is pure inline state: no heap at all.
+            self.first = slot;
+            self.last = slot;
+            self.width = 0;
+            self.len = 1;
+            return;
+        }
+        if slot > self.last {
+            // Append fast path: only the final block is touched.
+            let tail = self.num_blocks() - 1;
+            let tail_len = self.meta(tail).len as usize;
+            if tail_len < BLOCK_LEN {
+                let mut decoded = Vec::with_capacity(tail_len + 1);
+                self.decode_block_into(tail, &mut decoded);
+                decoded.push(slot);
+                self.rewrite_block(tail, &decoded);
+            } else if self.blocks.is_empty() {
+                // A full inline block spills into the multi-block form.
+                let mut decoded = Vec::with_capacity(BLOCK_LEN + 1);
+                self.decode_block_into(0, &mut decoded);
+                decoded.push(slot);
+                return self.rebuild(&decoded);
+            } else {
+                let meta = encode_block(&[slot], &mut self.words);
+                self.blocks.push(meta);
+            }
+            self.len += 1;
+            self.last = slot;
+            return;
+        }
+        if self.blocks.is_empty() {
+            // Single-block splice: decode, insert, re-encode (or spill).
+            let mut decoded = Vec::with_capacity(self.len as usize + 1);
+            self.decode_block_into(0, &mut decoded);
+            let at = decoded.partition_point(|&s| s < slot);
+            decoded.insert(at, slot);
+            if decoded.len() <= BLOCK_LEN {
+                self.rewrite_block(0, &decoded);
+                self.len += 1;
+            } else {
+                self.rebuild(&decoded);
+            }
+            return;
+        }
+        // Mid-list splice: decode the suffix from the affected block on,
+        // insert, and re-chunk it (all blocks but the last hold exactly
+        // BLOCK_LEN slots, so an in-place one-block rewrite cannot absorb
+        // the extra entry).
+        let idx = self
+            .blocks
+            .partition_point(|b| b.first <= slot)
+            .saturating_sub(1);
+        let mut suffix = Vec::new();
+        for i in idx..self.blocks.len() {
+            self.decode_block_into(i, &mut suffix);
+        }
+        let at = suffix.partition_point(|&s| s < slot);
+        suffix.insert(at, slot);
+        self.words.truncate(self.blocks[idx].word_offset as usize);
+        self.blocks.truncate(idx);
+        for chunk in suffix.chunks(BLOCK_LEN) {
+            let meta = encode_block(chunk, &mut self.words);
+            self.blocks.push(meta);
+        }
+        self.len += 1;
+        // A head splice (idx == 0, slot below the old head) changes the
+        // first block's `first`: keep the list-level mirror coherent.
+        self.first = self.blocks[0].first;
+    }
+
+    /// Heap bytes held by the list (payload words + block metadata).
+    fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+            + self.blocks.capacity() * std::mem::size_of::<BlockMeta>()
+    }
+}
+
+/// One inverted posting list: an ascending, deduplicated sequence of slot
+/// numbers behind a build-time [`PostingFormat`]. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PostingList {
+    /// Plain ascending `Vec<u32>` (the ablation and correctness oracle).
+    Raw(Vec<u32>),
+    /// Block-compressed delta/bit-packed representation.
+    Packed(PackedList),
+}
+
+impl PostingList {
+    /// An empty list of the given format.
+    pub fn new(format: PostingFormat) -> Self {
+        match format {
+            PostingFormat::Raw => PostingList::Raw(Vec::new()),
+            PostingFormat::Packed => PostingList::Packed(PackedList::default()),
+        }
+    }
+
+    /// Builds a list of the given format from an ascending, deduplicated
+    /// slot vector. The raw format takes the vector as-is (keeping its
+    /// capacity, exactly as the pre-subsystem build did); the packed format
+    /// encodes and drops it.
+    pub fn from_sorted(format: PostingFormat, slots: Vec<u32>) -> Self {
+        debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+        match format {
+            PostingFormat::Raw => PostingList::Raw(slots),
+            PostingFormat::Packed => PostingList::Packed(PackedList::from_sorted(&slots)),
+        }
+    }
+
+    /// Number of stored slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            PostingList::Raw(list) => list.len(),
+            PostingList::Packed(packed) => packed.len as usize,
+        }
+    }
+
+    /// Whether the list holds no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Calls `f` on every stored slot in `lo..hi`, in ascending order.
+    ///
+    /// `buf` is the caller's reusable block-decode scratch (unused by the
+    /// raw representation); its contents are clobbered. On the raw
+    /// representation the range is cut with the same binary searches (and
+    /// the same `lo == 0` / short-list fast paths) the candidates stage
+    /// used before this subsystem existed; the packed representation skips
+    /// whole blocks on `first` and finishes the boundary blocks with one
+    /// in-block search — same slots, same order, either way.
+    #[inline]
+    pub fn for_each_in_range<F: FnMut(u32)>(&self, lo: usize, hi: usize, buf: &mut Vec<u32>, f: F) {
+        match self {
+            PostingList::Raw(list) => {
+                let start = if lo == 0 {
+                    // Common case (sequential path): skip the binary search.
+                    0
+                } else {
+                    list.partition_point(|&slot| (slot as usize) < lo)
+                };
+                let end = match list.last() {
+                    // Only search for the cutoff when the list actually
+                    // extends past it; otherwise (pruning disabled, or a low
+                    // threshold) the whole list survives search-free.
+                    Some(&last) if (last as usize) >= hi => {
+                        list.partition_point(|&slot| (slot as usize) < hi)
+                    }
+                    _ => list.len(),
+                };
+                let mut f = f;
+                for &slot in &list[start..end.max(start)] {
+                    f(slot);
+                }
+            }
+            PostingList::Packed(packed) => packed.for_each_in_range(lo, hi, buf, f),
+        }
+    }
+
+    /// Calls `f` on every stored slot in ascending order (the whole-list
+    /// walk of the reference paths).
+    #[inline]
+    pub fn for_each<F: FnMut(u32)>(&self, buf: &mut Vec<u32>, f: F) {
+        self.for_each_in_range(0, usize::MAX, buf, f);
+    }
+
+    /// Adds one to every stored slot ≥ `slot` (the posting half of a store
+    /// splice: every store slot at or above the insertion point was
+    /// renumbered up by one).
+    pub fn renumber_from(&mut self, slot: u32) {
+        match self {
+            PostingList::Raw(list) => {
+                for s in list.iter_mut() {
+                    if *s >= slot {
+                        *s += 1;
+                    }
+                }
+            }
+            PostingList::Packed(packed) => packed.renumber_from(slot),
+        }
+    }
+
+    /// Splices `slot` into sorted position. The slot must not already be
+    /// present (posting lists are deduplicated by construction: a record
+    /// contributes each hash/bit at most once).
+    pub fn insert_sorted(&mut self, slot: u32) {
+        match self {
+            PostingList::Raw(list) => {
+                let at = list.partition_point(|&s| s < slot);
+                list.insert(at, slot);
+            }
+            PostingList::Packed(packed) => packed.insert_sorted(slot),
+        }
+    }
+
+    /// Heap bytes held by the list — the per-list contribution to the
+    /// index's posting-arena footprint (`Vec` capacities, i.e. what the
+    /// allocator actually handed out, not just the live length).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            PostingList::Raw(list) => list.capacity() * std::mem::size_of::<u32>(),
+            PostingList::Packed(packed) => packed.heap_bytes(),
+        }
+    }
+
+    /// Decodes the full list (tests and diagnostics; query paths stream
+    /// through [`PostingList::for_each_in_range`] instead).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut buf = Vec::new();
+        self.for_each(&mut buf, |slot| out.push(slot));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(slots: &[u32]) -> [PostingList; 2] {
+        [
+            PostingList::from_sorted(PostingFormat::Raw, slots.to_vec()),
+            PostingList::from_sorted(PostingFormat::Packed, slots.to_vec()),
+        ]
+    }
+
+    fn range_of(list: &PostingList, lo: usize, hi: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        list.for_each_in_range(lo, hi, &mut buf, |s| out.push(s));
+        out
+    }
+
+    #[test]
+    fn round_trips_representative_shapes() {
+        let shapes: [&[u32]; 8] = [
+            &[],
+            &[0],
+            &[7],
+            &[u32::MAX],
+            &[0, 1, 2, 3, 4, 5, 6, 7],         // dense run, width 0
+            &[0, u32::MAX],                    // maximal gap, width 32
+            &[3, 9, 10, 11, 500, 501, 70_000], // mixed gaps
+            &[0, 2, 4, 1_000_000, 1_000_001, u32::MAX], // mixed extremes
+        ];
+        for slots in shapes {
+            for list in both(slots) {
+                assert_eq!(list.to_vec(), slots, "{list:?} did not round-trip");
+                assert_eq!(list.len(), slots.len());
+                assert_eq!(list.is_empty(), slots.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_across_block_boundaries() {
+        for n in [BLOCK_LEN - 1, BLOCK_LEN, BLOCK_LEN + 1, 3 * BLOCK_LEN + 5] {
+            let slots: Vec<u32> = (0..n as u32).map(|i| i * 37 + (i % 3)).collect();
+            let list = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+            assert_eq!(list.to_vec(), slots, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn in_range_truncates_by_slot_number() {
+        // The contract the candidates stage relied on when it truncated raw
+        // slices directly, now pinned for both formats.
+        for list in both(&[0, 2, 5, 9]) {
+            assert_eq!(range_of(&list, 0, 6), &[0, 2, 5]);
+            assert_eq!(range_of(&list, 0, 10), &[0, 2, 5, 9]);
+            assert_eq!(range_of(&list, 0, 0), &[] as &[u32]);
+            assert_eq!(range_of(&list, 0, usize::MAX), &[0, 2, 5, 9]);
+            // Sub-ranges of the parallel path.
+            assert_eq!(range_of(&list, 2, 6), &[2, 5]);
+            assert_eq!(range_of(&list, 3, 9), &[5]);
+            assert_eq!(range_of(&list, 9, 10), &[9]);
+            assert_eq!(range_of(&list, 10, 12), &[] as &[u32]);
+            // Degenerate range (lo ≥ hi) must stay empty, not panic.
+            assert_eq!(range_of(&list, 6, 2), &[] as &[u32]);
+        }
+        for list in both(&[]) {
+            assert_eq!(range_of(&list, 0, 3), &[] as &[u32]);
+        }
+    }
+
+    #[test]
+    fn range_walks_agree_across_formats_and_block_boundaries() {
+        // Strictly ascending with mixed gap widths (1 and 4).
+        let slots: Vec<u32> = (0..400u32).map(|i| i * 3 + (i % 3)).collect();
+        let [raw, packed] = both(&slots);
+        let max = *slots.last().unwrap() as usize;
+        for lo in [0, 1, 127, 128, 129, 500, max, max + 1] {
+            for hi in [0, 1, 128, 384, 385, max, max + 1, usize::MAX] {
+                assert_eq!(
+                    range_of(&raw, lo, hi),
+                    range_of(&packed, lo, hi),
+                    "formats disagree on {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn renumber_matches_raw_oracle() {
+        let slots: Vec<u32> = (0..300u32).map(|i| i * 2).collect();
+        for boundary in [0u32, 1, 5, 127, 128, 256, 598, 599, 10_000] {
+            let [mut raw, mut packed] = both(&slots);
+            raw.renumber_from(boundary);
+            packed.renumber_from(boundary);
+            assert_eq!(raw.to_vec(), packed.to_vec(), "boundary {boundary}");
+        }
+    }
+
+    #[test]
+    fn renumber_rewrites_only_the_straddling_block_width() {
+        // A renumber whose boundary gap growth forces a wider bit width:
+        // the straddling block re-encodes, later blocks only shift `first`.
+        let mut slots: Vec<u32> = (0..200u32).collect(); // width-0 runs
+        let mut list = PackedList::from_sorted(&slots);
+        list.renumber_from(100);
+        for s in &mut slots {
+            if *s >= 100 {
+                *s += 1;
+            }
+        }
+        let as_list = PostingList::Packed(list);
+        assert_eq!(as_list.to_vec(), slots);
+    }
+
+    #[test]
+    fn insert_matches_raw_oracle_everywhere() {
+        let base: Vec<u32> = (0..260u32).map(|i| i * 4 + 2).collect();
+        // Head, in-block, block-boundary, tail-block and append positions
+        // (none of these values is in `base`, which holds `4i + 2`).
+        for slot in [0u32, 3, 500, 511, 512, 513, 700, 1037, 1039, 2_000] {
+            let [mut raw, mut packed] = both(&base);
+            raw.insert_sorted(slot);
+            packed.insert_sorted(slot);
+            assert_eq!(raw.to_vec(), packed.to_vec(), "insert {slot}");
+            assert_eq!(raw.len(), base.len() + 1);
+            assert_eq!(packed.len(), base.len() + 1);
+        }
+        // Insert into an empty list.
+        for mut list in both(&[]) {
+            list.insert_sorted(9);
+            assert_eq!(list.to_vec(), &[9]);
+        }
+    }
+
+    #[test]
+    fn multi_block_mutations_keep_structural_equality_with_rebuild() {
+        // Regression: a renumber or head splice on a multi-block list must
+        // leave the list *structurally* equal (derived PartialEq, which
+        // the shard insert-equals-rebuild tests rely on) to a fresh
+        // encoding of the mutated contents — including the inline `first`
+        // mirror, which earlier went stale when every block shifted.
+        let slots: Vec<u32> = (0..400u32).map(|i| i * 2 + 2).collect();
+        let mut renumbered = PackedList::from_sorted(&slots);
+        renumbered.renumber_from(0); // idx == 0: every block shifts
+        let expected: Vec<u32> = slots.iter().map(|&s| s + 1).collect();
+        assert_eq!(renumbered, PackedList::from_sorted(&expected));
+
+        let mut spliced = PackedList::from_sorted(&slots);
+        spliced.insert_sorted(0); // head splice re-chunks from block 0
+        let mut expected = slots.clone();
+        expected.insert(0, 0);
+        assert_eq!(spliced, PackedList::from_sorted(&expected));
+    }
+
+    #[test]
+    fn append_grows_one_block_at_a_time() {
+        let mut list = PostingList::new(PostingFormat::Packed);
+        let mut oracle = Vec::new();
+        for i in 0..(2 * BLOCK_LEN as u32 + 7) {
+            let slot = i * 3;
+            list.insert_sorted(slot);
+            oracle.push(slot);
+        }
+        assert_eq!(list.to_vec(), oracle);
+    }
+
+    #[test]
+    fn packed_is_smaller_than_raw_on_long_lists() {
+        // A long list over a realistically sized slot space: the packed
+        // representation must be well under half the raw bytes.
+        let slots: Vec<u32> = (0..2_000u32).map(|i| i * 5 + (i % 4)).collect();
+        let [raw, packed] = both(&slots);
+        assert!(
+            packed.heap_bytes() * 2 <= raw.heap_bytes(),
+            "packed {} bytes vs raw {} bytes",
+            packed.heap_bytes(),
+            raw.heap_bytes()
+        );
+        // Dense runs compress to (almost) nothing but block metadata.
+        let dense: Vec<u32> = (0..2_000u32).collect();
+        let dense_packed = PostingList::from_sorted(PostingFormat::Packed, dense);
+        assert!(dense_packed.heap_bytes() <= 16 * (2_000usize).div_ceil(BLOCK_LEN) + 64);
+    }
+}

@@ -56,6 +56,15 @@ use crate::index::candidates::QuerySketchView;
 use crate::index::sharded::Shard;
 use crate::sim::OverlapThreshold;
 
+/// Signature lengths at or below this skip the prefix filter entirely (every
+/// hash mints). The filter's win scales with the length of the posting lists
+/// it avoids minting from, but its cost — one df-keyed sort of all `|L_Q|`
+/// query hashes per (query, shard) — is paid up front; for a handful of
+/// hashes the sort is pure overhead over the plain accumulator walk, and the
+/// bound would rarely cut more than a hash or two anyway. Answers are
+/// identical either way (the filter is structural, not semantic).
+pub(crate) const SHORT_SIGNATURE_LEN: usize = 8;
+
 /// The per-query pruning decisions (size cutoff and prefix filter), applied
 /// per shard.
 #[derive(Debug, Clone, Copy)]
@@ -96,15 +105,18 @@ impl PruneStage {
     /// Number of the query's (df-ordered) signature hashes allowed to mint
     /// new candidates: `|L_Q| − θ_sig + 1` for the `u_Q`-corrected pigeonhole
     /// bound `θ_sig` of the module docs, clamped to `[0, |L_Q|]`. Returns
-    /// `|L_Q|` (all hashes mint — plain accumulation) when the filter is
-    /// disabled or the bound cannot cut anything.
+    /// `|L_Q|` (all hashes mint — plain accumulation, and the candidates
+    /// stage skips the df-ordering sort entirely) when the filter is
+    /// disabled, when the signature is at most [`SHORT_SIGNATURE_LEN`]
+    /// hashes (the sort costs more than the filter saves there), or when
+    /// the bound cannot cut anything (`θ_sig ≤ 1`).
     pub(crate) fn minting_hashes(
         &self,
         view: &QuerySketchView<'_>,
         threshold: OverlapThreshold,
     ) -> usize {
         let n = view.hashes.len();
-        if !self.prefix || n == 0 {
+        if !self.prefix || n <= SHORT_SIGNATURE_LEN {
             return n;
         }
         let u_q = unit_hash(view.max_hash);
@@ -138,32 +150,47 @@ mod tests {
         }
     }
 
+    /// Twelve hashes (past the short-signature skip) whose maximum is `top`.
+    fn twelve_hashes(top: u64) -> [u64; 12] {
+        let mut hashes = [0u64; 12];
+        for (i, h) in hashes.iter_mut().enumerate() {
+            *h = i as u64 + 1;
+        }
+        hashes[11] = top;
+        hashes
+    }
+
     #[test]
     fn minting_prefix_bounds() {
         let buffer = ElementBuffer::zeroed(0);
         // u_Q = 1.0 (max hash saturates the unit interval): θ_sig = ⌈t*·|Q|⌉.
-        let hashes = [1u64, 2, 3, u64::MAX];
+        let hashes = twelve_hashes(u64::MAX);
         let view = view_with(&hashes, &buffer);
         let stage = PruneStage::new(true, true);
         // θ = 0 ⇒ everything mints.
         assert_eq!(
             stage.minting_hashes(&view, OverlapThreshold::new(10, 0.0)),
-            4
+            12
         );
-        // θ_sig = 5 on a 4-hash signature ⇒ nothing mints.
+        // θ_sig = 5 ⇒ prefix of 12 + 1 − 5 = 8.
         assert_eq!(
             stage.minting_hashes(&view, OverlapThreshold::new(10, 0.5)),
-            0
+            8
         );
-        // θ_sig = 2 ⇒ prefix of 3.
+        // θ_sig = 2 ⇒ prefix of 11.
         assert_eq!(
             stage.minting_hashes(&view, OverlapThreshold::new(10, 0.2)),
-            3
+            11
+        );
+        // θ_sig = 14 exceeds the 12-hash signature ⇒ nothing mints.
+        assert_eq!(
+            stage.minting_hashes(&view, OverlapThreshold::new(20, 0.7)),
+            0
         );
         // Filter disabled ⇒ everything mints regardless.
         assert_eq!(
             PruneStage::new(true, false).minting_hashes(&view, OverlapThreshold::new(10, 0.5)),
-            4
+            12
         );
         // Empty signature ⇒ nothing to order.
         let empty = view_with(&[], &buffer);
@@ -174,18 +201,46 @@ mod tests {
     }
 
     #[test]
+    fn short_signatures_skip_the_filter_and_its_sort() {
+        let buffer = ElementBuffer::zeroed(0);
+        // At ≤ SHORT_SIGNATURE_LEN hashes every hash mints even where the
+        // bound could cut (θ_sig = 5 would leave a prefix of 0 on 4
+        // hashes): the df sort costs more than the filter saves, and
+        // returning `n` is what makes the candidates stage skip the sort.
+        let hashes = [1u64, 2, 3, u64::MAX];
+        let view = view_with(&hashes, &buffer);
+        let stage = PruneStage::new(true, true);
+        assert_eq!(
+            stage.minting_hashes(&view, OverlapThreshold::new(10, 0.5)),
+            4
+        );
+        // One past the constant, the filter engages again.
+        let mut nine = [0u64; 9];
+        for (i, h) in nine.iter_mut().enumerate() {
+            *h = i as u64 + 1;
+        }
+        nine[8] = u64::MAX;
+        let view = view_with(&nine, &buffer);
+        assert!(
+            stage.minting_hashes(&view, OverlapThreshold::new(10, 0.5)) < 9,
+            "a 9-hash signature must engage the prefix filter"
+        );
+        assert_eq!(SHORT_SIGNATURE_LEN, 8, "test constants track the knob");
+    }
+
+    #[test]
     fn low_hash_query_lengthens_the_prefix() {
         let buffer = ElementBuffer::zeroed(0);
         // All hashes in the lowest ~3% of the hash space: u_Q ≈ 0.03, so the
         // estimator can qualify a candidate from very few shared hashes and
         // θ_sig must collapse — here to ≤ 1, i.e. every hash mints, even
-        // though the naive ⌈t*·|L_Q|⌉ = 2 bound would have cut the prefix.
-        let hashes = [1u64, 2, 3, u64::MAX / 32];
+        // though the naive ⌈t*·|L_Q|⌉ = 6 bound would have cut the prefix.
+        let hashes = twelve_hashes(u64::MAX / 32);
         let view = view_with(&hashes, &buffer);
         let stage = PruneStage::new(true, true);
         assert_eq!(
             stage.minting_hashes(&view, OverlapThreshold::new(8, 0.5)),
-            4
+            12
         );
     }
 }

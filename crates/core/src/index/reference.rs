@@ -58,20 +58,21 @@ pub(crate) fn baseline_sorted(
     let view = QuerySketchView::new(&q_sketch);
 
     let mut collector = ThresholdCollector::default();
+    let mut decode = Vec::new();
     for shard in index.sharded.shards() {
         let store = shard.store();
         let mut candidates: HashMap<u32, ()> = HashMap::new();
         for &h in view.hashes {
             if let Some(postings) = shard.signature_postings(h) {
-                for &slot in postings {
+                postings.for_each(&mut decode, |slot| {
                     candidates.insert(slot, ());
-                }
+                });
             }
         }
         for pos in q_sketch.buffer.set_positions() {
-            for &slot in shard.buffer_postings(pos) {
+            shard.buffer_postings(pos).for_each(&mut decode, |slot| {
                 candidates.insert(slot, ());
-            }
+            });
         }
         for (&slot, _) in candidates.iter() {
             let slot = slot as usize;

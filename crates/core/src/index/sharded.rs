@@ -16,11 +16,18 @@
 //! the engine independent units of work — for parallel builds, for the batch
 //! query path, and for bounding the O(shard) cost of a dynamic insert — at
 //! zero accuracy cost.
+//!
+//! **Posting storage.** Every posting list is a
+//! [`crate::index::postings::PostingList`] in the shard's
+//! build-time [`PostingFormat`] — block-compressed delta/bit-packed by
+//! default, raw `Vec<u32>` for the ablation — so the format decision is
+//! made once here and every query path inherits it transparently.
 
 use std::collections::HashMap;
 
 use crate::buffer::set_positions_in;
 use crate::gbkmv::GbKmvRecordSketch;
+use crate::index::postings::{PostingFormat, PostingList};
 use crate::parallel;
 use crate::store::{SketchStore, SketchView};
 
@@ -30,19 +37,22 @@ use crate::store::{SketchStore, SketchView};
 /// Posting lists hold ascending **slot** numbers. Because slots are ordered
 /// by descending record size (the [`SketchStore`] invariant), every posting
 /// list is simultaneously size-sorted: the prune stage truncates each list
-/// at the query's live-prefix cutoff with one binary search.
+/// at the query's live-prefix cutoff — one binary search on the raw format,
+/// whole-block skips plus one in-block search on the packed format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Shard {
     /// First global record id owned by this shard.
     base: usize,
     /// The shard's flattened sketch storage.
     store: SketchStore,
+    /// The storage format every posting list of this shard uses.
+    format: PostingFormat,
     /// Inverted postings from G-KMV signature hash value to slots
     /// (ascending within each list). Empty when the candidate filter is
     /// disabled.
-    signature_postings: HashMap<u64, Vec<u32>>,
+    signature_postings: HashMap<u64, PostingList>,
     /// Inverted postings from buffer bit position to slots (ascending).
-    buffer_postings: Vec<Vec<u32>>,
+    buffer_postings: Vec<PostingList>,
 }
 
 impl Shard {
@@ -50,18 +60,20 @@ impl Shard {
     /// sketches.len()`), fanning posting construction over `threads` scoped
     /// threads. The shard is identical for every thread count: slots are
     /// chunked contiguously and the per-chunk posting fragments are merged
-    /// in chunk order, so every list stays ascending.
+    /// in chunk order, so every list stays ascending; the merged lists are
+    /// then sealed into their [`PostingFormat`] in one encoding pass.
     pub(crate) fn build(
         base: usize,
         sketches: &[GbKmvRecordSketch],
         words_per_record: usize,
         buffer_len: usize,
         build_postings: bool,
+        format: PostingFormat,
         threads: usize,
     ) -> Self {
         let store = SketchStore::from_sketches(words_per_record, sketches);
-        let mut signature_postings: HashMap<u64, Vec<u32>> = HashMap::new();
-        let mut buffer_postings: Vec<Vec<u32>> = vec![Vec::new(); buffer_len];
+        let signature_postings: HashMap<u64, PostingList>;
+        let buffer_postings: Vec<PostingList>;
         if build_postings {
             let slots: Vec<u32> = (0..store.len() as u32).collect();
             let chunked = parallel::map_chunks(&slots, threads, |_, chunk| {
@@ -78,18 +90,32 @@ impl Shard {
                 }
                 (sig, buf)
             });
+            let mut merged_sig: HashMap<u64, Vec<u32>> = HashMap::new();
+            let mut merged_buf: Vec<Vec<u32>> = vec![Vec::new(); buffer_len];
             for (sig, buf) in chunked {
                 for (h, slots) in sig {
-                    signature_postings.entry(h).or_default().extend(slots);
+                    merged_sig.entry(h).or_default().extend(slots);
                 }
                 for (pos, slots) in buf.into_iter().enumerate() {
-                    buffer_postings[pos].extend(slots);
+                    merged_buf[pos].extend(slots);
                 }
             }
+            signature_postings = merged_sig
+                .into_iter()
+                .map(|(h, list)| (h, PostingList::from_sorted(format, list)))
+                .collect();
+            buffer_postings = merged_buf
+                .into_iter()
+                .map(|list| PostingList::from_sorted(format, list))
+                .collect();
+        } else {
+            signature_postings = HashMap::new();
+            buffer_postings = vec![PostingList::new(format); buffer_len];
         }
         Shard {
             base,
             store,
+            format,
             signature_postings,
             buffer_postings,
         }
@@ -101,37 +127,40 @@ impl Shard {
     /// The store splice renumbers every slot at or above the insertion
     /// point, so the existing posting entries are renumbered to match before
     /// the new record's own postings are spliced in at their sorted
-    /// positions. This is O(shard postings) — the price of keeping the
-    /// pruned query path exact under dynamic inserts; bulk loads go through
-    /// [`Shard::build`].
+    /// positions. This is O(shard postings) in general — the price of
+    /// keeping the pruned query path exact under dynamic inserts; bulk
+    /// loads go through [`Shard::build`].
+    ///
+    /// **Fast path:** when the new record is the smallest seen so far, its
+    /// slot lands at the tail of the size order, so no existing entry is at
+    /// or above it — the whole renumber pass is skipped and every posting
+    /// splice is a tail append (an O(1) push on the raw format, a one-block
+    /// rewrite on the packed one). Loading records in descending size order
+    /// therefore inserts in O(record postings) instead of O(shard).
     pub(crate) fn insert(&mut self, sketch: &GbKmvRecordSketch, build_postings: bool) -> usize {
         let (local_id, slot) = self.store.insert(sketch);
         if build_postings {
             let slot = slot as u32;
-            for list in self.signature_postings.values_mut() {
-                for s in list.iter_mut() {
-                    if *s >= slot {
-                        *s += 1;
-                    }
+            // The tail slot (store.len() grew by one, so the old tail index
+            // is len − 1) has no slots above it to renumber.
+            if (slot as usize) < self.store.len() - 1 {
+                for list in self.signature_postings.values_mut() {
+                    list.renumber_from(slot);
+                }
+                for list in &mut self.buffer_postings {
+                    list.renumber_from(slot);
                 }
             }
-            for list in &mut self.buffer_postings {
-                for s in list.iter_mut() {
-                    if *s >= slot {
-                        *s += 1;
-                    }
-                }
-            }
+            let format = self.format;
             let view = self.store.view(slot as usize);
             for &h in view.hashes {
-                let list = self.signature_postings.entry(h).or_default();
-                let at = list.partition_point(|&s| s < slot);
-                list.insert(at, slot);
+                self.signature_postings
+                    .entry(h)
+                    .or_insert_with(|| PostingList::new(format))
+                    .insert_sorted(slot);
             }
             for pos in set_positions_in(view.buffer_words) {
-                let list = &mut self.buffer_postings[pos as usize];
-                let at = list.partition_point(|&s| s < slot);
-                list.insert(at, slot);
+                self.buffer_postings[pos as usize].insert_sorted(slot);
             }
         }
         self.base + local_id
@@ -161,6 +190,12 @@ impl Shard {
         &self.store
     }
 
+    /// The posting-list storage format this shard was built with.
+    #[inline]
+    pub fn posting_format(&self) -> PostingFormat {
+        self.format
+    }
+
     /// The global record id held in `slot`.
     #[inline]
     pub fn global_id(&self, slot: usize) -> usize {
@@ -169,14 +204,30 @@ impl Shard {
 
     /// The signature posting list (ascending slots) of a hash value, if any.
     #[inline]
-    pub(crate) fn signature_postings(&self, hash: u64) -> Option<&[u32]> {
-        self.signature_postings.get(&hash).map(Vec::as_slice)
+    pub(crate) fn signature_postings(&self, hash: u64) -> Option<&PostingList> {
+        self.signature_postings.get(&hash)
     }
 
     /// The buffer posting list (ascending slots) of a bit position.
     #[inline]
-    pub(crate) fn buffer_postings(&self, position: u32) -> &[u32] {
+    pub(crate) fn buffer_postings(&self, position: u32) -> &PostingList {
         &self.buffer_postings[position as usize]
+    }
+
+    /// Heap bytes held by the shard's posting lists (payload arenas plus
+    /// per-block metadata; excludes the `HashMap` table itself, which is
+    /// format-independent). The memory-footprint number the
+    /// `query_throughput` bench reports per format.
+    pub fn posting_bytes(&self) -> usize {
+        self.signature_postings
+            .values()
+            .map(PostingList::heap_bytes)
+            .sum::<usize>()
+            + self
+                .buffer_postings
+                .iter()
+                .map(PostingList::heap_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -201,6 +252,7 @@ impl ShardedIndex {
         words_per_record: usize,
         buffer_len: usize,
         build_postings: bool,
+        format: PostingFormat,
         threads: usize,
     ) -> Self {
         let num_shards = num_shards.max(1);
@@ -212,6 +264,7 @@ impl ShardedIndex {
                     words_per_record,
                     buffer_len,
                     build_postings,
+                    format,
                     threads,
                 )],
             };
@@ -226,6 +279,7 @@ impl ShardedIndex {
                 words_per_record,
                 buffer_len,
                 build_postings,
+                format,
                 1,
             )
         });
@@ -251,6 +305,12 @@ impl ShardedIndex {
     /// Total number of stored hash values (space accounting).
     pub fn total_hashes(&self) -> usize {
         self.shards.iter().map(|s| s.store.total_hashes()).sum()
+    }
+
+    /// Total heap bytes held by all shards' posting lists (the per-format
+    /// memory number of the bench report).
+    pub fn posting_bytes(&self) -> usize {
+        self.shards.iter().map(Shard::posting_bytes).sum()
     }
 
     /// The shard owning a global record id, plus the id local to its store.
@@ -287,6 +347,8 @@ mod tests {
     use crate::gkmv::{GKmvSketch, GlobalThreshold};
     use crate::hash::Hasher64;
 
+    const FORMATS: [PostingFormat; 2] = [PostingFormat::Packed, PostingFormat::Raw];
+
     fn sketches(n: usize) -> Vec<GbKmvRecordSketch> {
         let layout = BufferLayout::new(vec![0, 1]);
         let hasher = Hasher64::new(3);
@@ -312,7 +374,8 @@ mod tests {
     fn shard_ranges_are_contiguous_and_cover_all_records() {
         let sk = sketches(23);
         for num_shards in [1, 2, 3, 5, 40] {
-            let index = ShardedIndex::build(&sk, num_shards, 1, 2, true, 1);
+            let index =
+                ShardedIndex::build(&sk, num_shards, 1, 2, true, PostingFormat::default(), 1);
             assert_eq!(index.len(), 23, "{num_shards} shards lost records");
             let mut next = 0usize;
             for shard in index.shards() {
@@ -333,21 +396,48 @@ mod tests {
     #[test]
     fn posting_lists_are_ascending_and_size_sorted() {
         let sk = sketches(30);
-        let index = ShardedIndex::build(&sk, 3, 1, 2, true, 2);
-        for shard in index.shards() {
-            let lists = shard
-                .signature_postings
-                .values()
-                .chain(shard.buffer_postings.iter());
-            for list in lists {
-                assert!(list.windows(2).all(|w| w[0] < w[1]), "list not ascending");
-                assert!(
-                    list.windows(2).all(|w| {
-                        shard.store.record_size(w[0] as usize)
-                            >= shard.store.record_size(w[1] as usize)
-                    }),
-                    "list not size-sorted"
+        for format in FORMATS {
+            let index = ShardedIndex::build(&sk, 3, 1, 2, true, format, 2);
+            for shard in index.shards() {
+                let lists = shard
+                    .signature_postings
+                    .values()
+                    .chain(shard.buffer_postings.iter());
+                for list in lists {
+                    let slots = list.to_vec();
+                    assert!(slots.windows(2).all(|w| w[0] < w[1]), "list not ascending");
+                    assert!(
+                        slots.windows(2).all(|w| {
+                            shard.store.record_size(w[0] as usize)
+                                >= shard.store.record_size(w[1] as usize)
+                        }),
+                        "list not size-sorted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn posting_formats_hold_identical_slot_sequences() {
+        let sk = sketches(40);
+        let packed = ShardedIndex::build(&sk, 2, 1, 2, true, PostingFormat::Packed, 1);
+        let raw = ShardedIndex::build(&sk, 2, 1, 2, true, PostingFormat::Raw, 1);
+        for (ps, rs) in packed.shards().iter().zip(raw.shards()) {
+            assert_eq!(
+                ps.signature_postings.len(),
+                rs.signature_postings.len(),
+                "formats disagree on the posting vocabulary"
+            );
+            for (h, list) in &ps.signature_postings {
+                assert_eq!(
+                    list.to_vec(),
+                    rs.signature_postings[h].to_vec(),
+                    "hash {h:#x} decodes differently across formats"
                 );
+            }
+            for (pb, rb) in ps.buffer_postings.iter().zip(&rs.buffer_postings) {
+                assert_eq!(pb.to_vec(), rb.to_vec());
             }
         }
     }
@@ -358,44 +448,82 @@ mod tests {
         // store-maintained document frequency is exactly the posting-list
         // length, through bulk build and dynamic insert alike.
         let sk = sketches(30);
-        let mut index = ShardedIndex::build(&sk, 3, 1, 2, true, 2);
-        index.insert(&sketches(31)[30], true);
-        for shard in index.shards() {
-            for (&h, list) in &shard.signature_postings {
-                assert_eq!(
-                    shard.store().hash_df(h),
-                    list.len(),
-                    "store df diverged from posting length for hash {h:#x}"
-                );
+        for format in FORMATS {
+            let mut index = ShardedIndex::build(&sk, 3, 1, 2, true, format, 2);
+            index.insert(&sketches(31)[30], true);
+            for shard in index.shards() {
+                for (&h, list) in &shard.signature_postings {
+                    assert_eq!(
+                        shard.store().hash_df(h),
+                        list.len(),
+                        "store df diverged from posting length for hash {h:#x}"
+                    );
+                }
+                assert_eq!(shard.store().hash_df(0xABAD_1DEA), 0);
             }
-            assert_eq!(shard.store().hash_df(0xABAD_1DEA), 0);
         }
     }
 
     #[test]
     fn build_is_thread_count_invariant() {
         let sk = sketches(37);
-        for num_shards in [1, 4] {
-            let a = ShardedIndex::build(&sk, num_shards, 1, 2, true, 1);
-            let b = ShardedIndex::build(&sk, num_shards, 1, 2, true, 4);
-            assert_eq!(a, b, "{num_shards}-shard build varies with threads");
+        for format in FORMATS {
+            for num_shards in [1, 4] {
+                let a = ShardedIndex::build(&sk, num_shards, 1, 2, true, format, 1);
+                let b = ShardedIndex::build(&sk, num_shards, 1, 2, true, format, 4);
+                assert_eq!(a, b, "{num_shards}-shard build varies with threads");
+            }
         }
     }
 
     #[test]
     fn insert_appends_to_tail_shard_and_matches_rebuild() {
         let sk = sketches(12);
-        let mut grown = ShardedIndex::build(&sk[..9], 1, 1, 2, true, 1);
-        for (i, s) in sk[9..].iter().enumerate() {
-            assert_eq!(grown.insert(s, true), 9 + i);
+        for format in FORMATS {
+            let mut grown = ShardedIndex::build(&sk[..9], 1, 1, 2, true, format, 1);
+            for (i, s) in sk[9..].iter().enumerate() {
+                assert_eq!(grown.insert(s, true), 9 + i);
+            }
+            let scratch_built = ShardedIndex::build(&sk, 1, 1, 2, true, format, 1);
+            assert_eq!(grown, scratch_built, "insert diverged from rebuild");
         }
-        let scratch_built = ShardedIndex::build(&sk, 1, 1, 2, true, 1);
-        assert_eq!(grown, scratch_built, "insert diverged from rebuild");
+    }
+
+    #[test]
+    fn descending_size_inserts_take_the_append_fast_path_and_match_rebuild() {
+        // Records inserted in descending size order always land at the tail
+        // of the size order, so every insert takes the renumber-free fast
+        // path — and the result must still be bit-identical to a bulk
+        // build over the same sequence.
+        let mut sk = sketches(20);
+        sk.sort_by_key(|s| std::cmp::Reverse(s.record_size));
+        for format in FORMATS {
+            let mut grown = ShardedIndex::build(&sk[..1], 1, 1, 2, true, format, 1);
+            for s in &sk[1..] {
+                grown.insert(s, true);
+            }
+            let bulk = ShardedIndex::build(&sk, 1, 1, 2, true, format, 1);
+            assert_eq!(grown, bulk, "fast-path inserts diverged from rebuild");
+        }
+    }
+
+    #[test]
+    fn packed_postings_use_no_more_bytes_than_raw() {
+        let sk = sketches(200);
+        let packed = ShardedIndex::build(&sk, 1, 1, 2, true, PostingFormat::Packed, 1);
+        let raw = ShardedIndex::build(&sk, 1, 1, 2, true, PostingFormat::Raw, 1);
+        assert!(
+            packed.posting_bytes() <= raw.posting_bytes(),
+            "packed {} bytes vs raw {}",
+            packed.posting_bytes(),
+            raw.posting_bytes()
+        );
+        assert!(raw.posting_bytes() > 0);
     }
 
     #[test]
     fn empty_dataset_builds_one_empty_shard() {
-        let index = ShardedIndex::build(&[], 4, 0, 0, true, 0);
+        let index = ShardedIndex::build(&[], 4, 0, 0, true, PostingFormat::default(), 0);
         assert_eq!(index.shards().len(), 1);
         assert!(index.is_empty());
         assert_eq!(index.len(), 0);

@@ -90,7 +90,8 @@ pub use gbkmv::{GbKmvRecordSketch, GbKmvSketcher};
 pub use gkmv::{GKmvSketch, GlobalThreshold};
 pub use hash::{unit_hash, HashFamily, Hasher64};
 pub use index::{
-    ContainmentIndex, GbKmvConfig, GbKmvIndex, QueryPipeline, SearchHit, ShardedIndex,
+    ContainmentIndex, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
+    ShardedIndex,
 };
 pub use kmv::KmvSketch;
 pub use sim::{containment, jaccard, overlap, SimilarityTransform};

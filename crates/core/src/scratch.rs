@@ -31,6 +31,12 @@ pub struct QueryScratch {
     /// sorts the query's signature hashes into (rarest first); lives here so
     /// the per-query ordering allocates nothing after the first query.
     pub(crate) hash_order: Vec<(u32, u64)>,
+    /// Reusable block-decode buffer of the posting walk: block-compressed
+    /// posting lists ([`crate::index::postings::PostingList`]) decode each
+    /// surviving block into this buffer, so traversal allocates nothing
+    /// after the first query. This per-pipeline buffer is the blocked-decode
+    /// substrate a future SIMD finish would consume directly.
+    pub(crate) block_decode: Vec<u32>,
 }
 
 impl QueryScratch {

@@ -1,0 +1,148 @@
+//! Property tests of the block-compressed posting subsystem
+//! (`gbkmv_core::index::postings`), pinning the packed representation to
+//! the raw `Vec<u32>` oracle over adversarial slot distributions: dense
+//! consecutive runs (width-0 blocks), single-element lists, maximal
+//! `u32` gaps, and everything in between, across block boundaries.
+//!
+//! Three families of properties:
+//!
+//! * **round trip** — `encode → decode` is the identity for every
+//!   ascending deduplicated slot sequence;
+//! * **range walks** — `for_each_in_range` visits exactly the slots of
+//!   `lo..hi`, in order, identically for both formats (the contract the
+//!   candidates stage and the prune-stage truncation rely on);
+//! * **mutations** — `insert_sorted` and `renumber_from` (the dynamic
+//!   insert path) commute with encoding: mutating the packed list equals
+//!   mutating the raw oracle and re-encoding.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use gbkmv_core::index::postings::{PostingList, BLOCK_LEN};
+use gbkmv_core::index::PostingFormat;
+
+/// Adversarial ascending slot sequences: a mix of dense runs (which
+/// collapse to width-0 blocks), small gaps, medium gaps and huge jumps —
+/// with lengths crossing several block boundaries and values reaching the
+/// top of the `u32` range. Each raw code picks the gap class from its low
+/// bits and the magnitude from the rest.
+fn slots_strategy() -> impl Strategy<Value = Vec<u32>> {
+    vec(any::<u32>(), 0..(3 * BLOCK_LEN + 17)).prop_map(|codes| {
+        let mut slots = Vec::with_capacity(codes.len());
+        let mut cur = (codes.first().copied().unwrap_or(0) % 1_000_000) as u64;
+        for code in codes {
+            slots.push(cur as u32);
+            let magnitude = (code / 4) as u64;
+            cur += match code % 4 {
+                0 => 1,                                  // dense run
+                1 => 1 + magnitude % 7,                  // small gaps
+                2 => 1 + magnitude % 10_000,             // medium gaps
+                _ => 1_000_000 + magnitude % 50_000_000, // huge jumps
+            };
+            if cur > u32::MAX as u64 {
+                break;
+            }
+        }
+        slots
+    })
+}
+
+fn decode_range(list: &PostingList, lo: usize, hi: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    list.for_each_in_range(lo, hi, &mut buf, |slot| out.push(slot));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn packed_round_trips_to_identity(slots in slots_strategy()) {
+        let packed = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+        prop_assert_eq!(packed.to_vec(), slots.clone(), "encode→decode is not the identity");
+        prop_assert_eq!(packed.len(), slots.len());
+        let raw = PostingList::from_sorted(PostingFormat::Raw, slots.clone());
+        prop_assert_eq!(raw.to_vec(), slots, "the raw oracle must be transparent");
+    }
+
+    #[test]
+    fn range_walks_agree_with_the_raw_oracle(
+        slots in slots_strategy(),
+        lo_pick in 0usize..1_000,
+        span_pick in 0usize..1_000,
+    ) {
+        let raw = PostingList::from_sorted(PostingFormat::Raw, slots.clone());
+        let packed = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+        let max = slots.last().copied().unwrap_or(0) as usize;
+        // Ranges anchored around the actual slot values, plus degenerate
+        // and unbounded ones.
+        let lo = lo_pick * (max + 2) / 1_000;
+        let hi = lo + span_pick * (max + 2 - lo.min(max + 1)) / 1_000;
+        for (lo, hi) in [(lo, hi), (0, max + 1), (0, usize::MAX), (max, max), (lo, lo)] {
+            let expected: Vec<u32> = slots
+                .iter()
+                .copied()
+                .filter(|&s| (s as usize) >= lo && (s as usize) < hi)
+                .collect();
+            prop_assert_eq!(
+                decode_range(&raw, lo, hi),
+                expected.clone(),
+                "raw walk broke on {}..{}", lo, hi
+            );
+            prop_assert_eq!(
+                decode_range(&packed, lo, hi),
+                expected,
+                "packed walk broke on {}..{}", lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn insert_and_renumber_commute_with_encoding(
+        slots in slots_strategy(),
+        splice_pick in 0usize..1_000,
+    ) {
+        // Model the exact mutation sequence of a dynamic index insert:
+        // renumber everything at or above the splice slot, then splice the
+        // (now free) slot in. The packed list must track the raw oracle.
+        let max = slots.last().copied().unwrap_or(0);
+        let slot = (splice_pick as u64 * (max as u64 + 2) / 1_000) as u32;
+        let mut raw = PostingList::from_sorted(PostingFormat::Raw, slots.clone());
+        let mut packed = PostingList::from_sorted(PostingFormat::Packed, slots);
+        raw.renumber_from(slot);
+        packed.renumber_from(slot);
+        prop_assert_eq!(raw.to_vec(), packed.to_vec(), "renumber_from({}) diverged", slot);
+        raw.insert_sorted(slot);
+        packed.insert_sorted(slot);
+        prop_assert_eq!(raw.to_vec(), packed.to_vec(), "insert_sorted({}) diverged", slot);
+        prop_assert_eq!(raw.len(), packed.len());
+        // The grown packed list must also be *structurally* equal (derived
+        // PartialEq, not just decoded contents) to a fresh encoding of the
+        // grown raw list — incremental growth leaves no layout drift and
+        // no stale inline metadata.
+        let reencoded = PostingList::from_sorted(PostingFormat::Packed, raw.to_vec());
+        prop_assert_eq!(&packed, &reencoded, "incremental growth drifted from a fresh encoding");
+    }
+
+    #[test]
+    fn packed_never_outweighs_raw_beyond_per_block_slack(slots in slots_strategy()) {
+        // Memory sanity: even on adversarial all-huge-gap lists (where the
+        // deltas are as wide as the slots themselves and compression cannot
+        // win), a packed list costs at most the raw bytes plus bounded
+        // per-block slack — block metadata (12 B) and the tail padding of
+        // the non-straddling word layout (≤ 8 B per block) — so the packed
+        // default can never blow up memory on a pathological distribution.
+        let raw = PostingList::from_sorted(PostingFormat::Raw, slots.clone());
+        let packed = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+        let slack = 24 * slots.len().div_ceil(BLOCK_LEN) + 16;
+        prop_assert!(
+            packed.heap_bytes() <= raw.heap_bytes() + slack,
+            "packed {} bytes vs raw {} (+{} slack) on {} slots",
+            packed.heap_bytes(), raw.heap_bytes(), slack, slots.len()
+        );
+        if slots.len() <= 1 {
+            prop_assert_eq!(packed.heap_bytes(), 0, "tiny lists must be inline");
+        }
+    }
+}

@@ -1,22 +1,28 @@
 //! Property tests pinning the staged query pipeline to the reference paths:
-//! across random datasets, space budgets, buffer sizes, shard counts and
+//! across random datasets, space budgets, buffer sizes, shard counts,
+//! posting-list storage formats (block-compressed packed vs raw) and
 //! thresholds, the pruned pipeline (`search_filtered`, with its signature
 //! prefix filter on by default), the pruning- and prefix-disabled
 //! ablations, the sharded index, the parallel batch path, the intra-query
-//! parallel path (`search_parallel`) and `search_filtered_baseline`
-//! (hash-set candidates + sorted merges) must all return **bit-identical**
-//! hits — same record ids, same `f64` estimates, same order — as the
-//! full-scan reference `search_scan`; and the bounded-heap top-k must match
-//! a sort-everything reference. Saturated sketches (budgets above 100%),
-//! empty queries, (near-)zero thresholds (where no prefix exists and every
-//! hash mints) and queries whose signature is entirely absent from the
-//! index are exercised explicitly.
+//! parallel path (`search_parallel`), the auto-scheduled path
+//! (`search_auto`) and `search_filtered_baseline` (hash-set candidates +
+//! sorted merges) must all return **bit-identical** hits — same record
+//! ids, same `f64` estimates, same order — as the full-scan reference
+//! `search_scan`; and the bounded-heap top-k must match a sort-everything
+//! reference. Saturated sketches (budgets above 100%), empty queries,
+//! (near-)zero thresholds (where no prefix exists and every hash mints)
+//! and queries whose signature is entirely absent from the index are
+//! exercised explicitly. The posting format is crossed with prefix,
+//! sharding and insert-then-search, so compression can never change an
+//! answer.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use gbkmv_core::dataset::{Dataset, Record};
-use gbkmv_core::index::{BufferSizing, GbKmvConfig, GbKmvIndex, QueryPipeline, SearchHit};
+use gbkmv_core::index::{
+    BufferSizing, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
+};
 use gbkmv_core::store::QueryScratch;
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
@@ -93,6 +99,27 @@ proptest! {
                 &sharded.search_parallel_threads(query.elements(), t_star, threads),
                 "intra-query parallel on {} shards / {} threads diverged (t*={})",
                 shards, threads, t_star);
+        }
+
+        // Posting format is pure storage: the raw-format ablation of both
+        // the unsharded and the sharded index returns bit-identical hits
+        // (the default indexes above run the packed format).
+        let raw_format = GbKmvIndex::build(&dataset, config.posting_format(PostingFormat::Raw));
+        prop_assert_eq!(&scan, &raw_format.search_filtered(&query, t_star),
+            "raw posting format diverged from scan (t*={})", t_star);
+        let raw_sharded = GbKmvIndex::build(
+            &dataset, config.shards(shards).posting_format(PostingFormat::Raw));
+        prop_assert_eq!(&scan, &raw_sharded.search_filtered(&query, t_star),
+            "raw-format {}-shard pipeline diverged (t*={})", shards, t_star);
+
+        // The auto-scheduled path picks its own engine but never its own
+        // answers — single-query and multi-query workloads alike.
+        let auto = sharded.search_auto(std::slice::from_ref(&query), t_star);
+        prop_assert_eq!(auto.len(), 1);
+        prop_assert_eq!(&scan, &auto[0], "single-query search_auto diverged (t*={})", t_star);
+        let auto2 = sharded.search_auto(&[query.clone(), query.clone()], t_star);
+        for hits in auto2 {
+            prop_assert_eq!(&scan, &hits, "multi-query search_auto diverged (t*={})", t_star);
         }
 
         // The ContainmentIndex ordering contract: ascending record id.
@@ -264,19 +291,24 @@ proptest! {
         // Dynamic inserts go through the same sharded, size-ordered path as
         // the bulk build; the pruned pipeline must stay exact on the grown
         // index (the scan recomputes from the stored sketches, so this
-        // cross-checks the posting renumbering).
-        let config = GbKmvConfig::with_space_fraction(budget_fraction)
-            .hash_seed(seed | 1)
-            .shards(shards);
-        let mut index = GbKmvIndex::build(&dataset, config);
+        // cross-checks the posting renumbering — crossed with both posting
+        // formats, since the packed renumber/splice rewrites whole blocks).
         let inserted: Vec<Record> = extra.into_iter().map(Record::new).collect();
-        for record in &inserted {
-            index.insert(record);
-        }
-        for query in inserted.iter().chain(std::iter::once(dataset.record(0))) {
-            let scan = index.search_scan(query, t_star);
-            prop_assert_eq!(&scan, &index.search_filtered(query, t_star),
-                "grown {}-shard index: pipeline diverged from scan (t*={})", shards, t_star);
+        for format in [PostingFormat::Packed, PostingFormat::Raw] {
+            let config = GbKmvConfig::with_space_fraction(budget_fraction)
+                .hash_seed(seed | 1)
+                .shards(shards)
+                .posting_format(format);
+            let mut index = GbKmvIndex::build(&dataset, config);
+            for record in &inserted {
+                index.insert(record);
+            }
+            for query in inserted.iter().chain(std::iter::once(dataset.record(0))) {
+                let scan = index.search_scan(query, t_star);
+                prop_assert_eq!(&scan, &index.search_filtered(query, t_star),
+                    "grown {}-shard {:?}-format index: pipeline diverged from scan (t*={})",
+                    shards, format, t_star);
+            }
         }
     }
 }

@@ -43,6 +43,13 @@ pub struct ExperimentConfig {
     /// parallel engine. Mutually exclusive with `batch` in spirit — `batch`
     /// wins when both are set, since the batch path already owns all cores.
     pub parallel_query: bool,
+    /// Submit the workload through `ContainmentIndex::search_auto`, letting
+    /// the index pick its own schedule (sequential, batch, or intra-query
+    /// parallel) from the workload shape and the machine. Answers are
+    /// identical (the trait contract); the timing protocol is the batch
+    /// one — one timed call for the whole workload, amortised per query.
+    /// Takes precedence over both `batch` and `parallel_query` when set.
+    pub auto: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -53,6 +60,7 @@ impl Default for ExperimentConfig {
             threads: 0,
             batch: false,
             parallel_query: false,
+            auto: false,
         }
     }
 }
@@ -85,6 +93,13 @@ impl ExperimentConfig {
     /// Enables or disables intra-query parallel submission.
     pub fn parallel_query(mut self, parallel_query: bool) -> Self {
         self.parallel_query = parallel_query;
+        self
+    }
+
+    /// Enables or disables automatic schedule selection (the index picks
+    /// sequential, batch, or intra-query parallel itself).
+    pub fn auto(mut self, auto: bool) -> Self {
+        self.auto = auto;
         self
     }
 }
@@ -226,6 +241,32 @@ fn evaluate_each_with(
     )
 }
 
+/// The auto-scheduled counterpart of [`evaluate_index`]: the whole
+/// workload goes through one `ContainmentIndex::search_auto` call, letting
+/// the index pick its own execution schedule (for `GbKmvIndex`: the
+/// parallel batch path for multi-query workloads on multi-core machines,
+/// the intra-query parallel path for large single queries, the sequential
+/// loop otherwise — a live-slot / core-count cost model). Answers are
+/// identical to [`evaluate_index`] per the trait contract; like the batch
+/// protocol, only the amortised per-query time is observable.
+/// `ExperimentConfig::auto(true)` selects this path.
+pub fn evaluate_index_auto(
+    index: &dyn ContainmentIndex,
+    queries: &[Record],
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+) -> MethodReport {
+    evaluate_whole_workload_with(
+        index,
+        queries,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
+        |qs| index.search_auto(qs, threshold),
+    )
+}
+
 /// The batch counterpart of [`evaluate_index`]: the whole workload goes
 /// through one `ContainmentIndex::search_batch` call (the parallel path for
 /// indexes that provide one). The reported per-query latency is the
@@ -238,13 +279,38 @@ pub fn evaluate_index_batch(
     threshold: f64,
     dataset_total_elements: usize,
 ) -> MethodReport {
+    evaluate_whole_workload_with(
+        index,
+        queries,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
+        |qs| index.search_batch(qs, threshold),
+    )
+}
+
+/// The shared whole-workload protocol of [`evaluate_index_batch`] and
+/// [`evaluate_index_auto`]: one timed call answers everything, and the
+/// reported per-query latency is the amortised total (individual query
+/// latencies are not observable).
+fn evaluate_whole_workload_with<F>(
+    index: &dyn ContainmentIndex,
+    queries: &[Record],
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+    run: F,
+) -> MethodReport
+where
+    F: FnOnce(&[Record]) -> Vec<Vec<gbkmv_core::index::SearchHit>>,
+{
     assert_eq!(
         queries.len(),
         ground_truth.len(),
         "workload and ground truth must cover the same queries"
     );
     let start = Instant::now();
-    let answers = index.search_batch(queries, threshold);
+    let answers = run(queries);
     let total_time = start.elapsed();
     let amortised = if queries.is_empty() {
         Duration::ZERO
@@ -437,11 +503,31 @@ mod tests {
         assert_eq!(config.num_queries, 7);
         assert!(!ExperimentConfig::default().batch);
         assert!(!ExperimentConfig::default().parallel_query);
+        assert!(!ExperimentConfig::default().auto);
         assert!(
             ExperimentConfig::default()
                 .parallel_query(true)
                 .parallel_query
         );
+        assert!(ExperimentConfig::default().auto(true).auto);
+    }
+
+    #[test]
+    fn auto_evaluation_matches_per_query_answers() {
+        let d = dataset();
+        let workload = QueryWorkload::sample_from_dataset(&d, 14, 6);
+        let truth = GroundTruth::compute(&d, &workload.queries, 0.5);
+        let index = GbKmvIndex::build(&d, GbKmvConfig::with_space_fraction(0.2));
+        let single = evaluate_index(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        let auto = evaluate_index_auto(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        // The search_auto contract: whatever schedule the index picks, the
+        // answers — and so the confusion counts — are identical.
+        assert_eq!(single.accuracy, auto.accuracy);
+        assert_eq!(single.per_query.len(), auto.per_query.len());
+        for (s, a) in single.per_query.iter().zip(&auto.per_query) {
+            assert_eq!(s.counts, a.counts);
+            assert_eq!(s.answer_size, a.answer_size);
+        }
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub use gbkmv_lsh as lsh;
 pub mod prelude {
     pub use gbkmv_core::dataset::{Dataset, DatasetBuilder, Record};
     pub use gbkmv_core::index::{
-        ContainmentIndex, GbKmvConfig, GbKmvIndex, QueryPipeline, SearchHit, ShardedIndex,
+        ContainmentIndex, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
+        ShardedIndex,
     };
     pub use gbkmv_core::sim::{containment, jaccard};
     pub use gbkmv_core::stats::DatasetStats;
@@ -45,7 +46,7 @@ pub mod prelude {
     pub use gbkmv_datagen::profiles::DatasetProfile;
     pub use gbkmv_datagen::queries::QueryWorkload;
     pub use gbkmv_datagen::synthetic::{SyntheticConfig, SyntheticDataset};
-    pub use gbkmv_eval::experiment::{evaluate_index, evaluate_index_batch};
+    pub use gbkmv_eval::experiment::{evaluate_index, evaluate_index_auto, evaluate_index_batch};
     pub use gbkmv_eval::ground_truth::GroundTruth;
     pub use gbkmv_exact::brute::BruteForceIndex;
     pub use gbkmv_lsh::ensemble::{LshEnsembleConfig, LshEnsembleIndex};
