@@ -9,6 +9,7 @@
 
 use gbkmv_core::dataset::{Dataset, Record};
 use gbkmv_core::index::{ContainmentIndex, GbKmvConfig, GbKmvIndex};
+use gbkmv_core::service::ContainmentService;
 use gbkmv_core::stats::DatasetStats;
 use gbkmv_core::variants::{KmvConfig, KmvIndex};
 use gbkmv_datagen::profiles::DatasetProfile;
@@ -116,6 +117,11 @@ pub struct ExperimentEnv {
     /// intra-query parallel from the workload shape and core count).
     /// Takes precedence over `batch` and `parallel_query`.
     pub auto: bool,
+    /// Whether [`evaluate_on_profile`] routes the GB-KMV method through a
+    /// [`ContainmentService`] (the serving layer's snapshot read path)
+    /// instead of the bare index. Answers are identical; the timing
+    /// includes snapshot acquisition.
+    pub service: bool,
 }
 
 impl ExperimentEnv {
@@ -155,6 +161,7 @@ impl ExperimentEnv {
             batch: config.batch,
             parallel_query: config.parallel_query,
             auto: config.auto,
+            service: config.service,
         }
     }
 
@@ -259,6 +266,10 @@ pub fn evaluate_on_profile(
     space_fraction: f64,
     lshe_hashes: usize,
 ) -> MethodReport {
+    if env.service && method == MethodUnderTest::GbKmv {
+        let service = ContainmentService::new(build_gbkmv(&env.dataset, space_fraction));
+        return env.evaluate(&service);
+    }
     let index = build_method(method, &env.dataset, space_fraction, lshe_hashes);
     env.evaluate(index.as_ref())
 }
@@ -327,6 +338,20 @@ mod tests {
         let a = evaluate_on_profile(&single, MethodUnderTest::GbKmv, 0.2, 32);
         let b = evaluate_on_profile(&auto, MethodUnderTest::GbKmv, 0.2, 32);
         assert_eq!(a.accuracy, b.accuracy);
+    }
+
+    #[test]
+    fn service_environment_reports_identical_accuracy() {
+        let config = ExperimentConfig::default().num_queries(8);
+        let direct = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config);
+        let served = ExperimentEnv::with_config(DatasetProfile::Netflix, 16, config.service(true));
+        assert!(served.service && !direct.service);
+        let a = evaluate_on_profile(&direct, MethodUnderTest::GbKmv, 0.2, 32);
+        let b = evaluate_on_profile(&served, MethodUnderTest::GbKmv, 0.2, 32);
+        // A quiescent service snapshot is the index itself: identical
+        // accuracy, different method label.
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(b.method, "GB-KMV/service");
     }
 
     #[test]

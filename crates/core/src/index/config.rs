@@ -54,6 +54,12 @@ pub struct GbKmvConfig {
     pub posting_format: PostingFormat,
     /// Cost model configuration used when `buffer` is [`BufferSizing::Auto`].
     pub cost_model: CostModelConfig,
+    /// Queue length at which a [`crate::service::ContainmentService`]
+    /// wrapping an index built with this configuration publishes a new
+    /// generation automatically (`0` is clamped to 1: publish every
+    /// record). Larger batches amortise the O(index) generation clone over
+    /// more inserts; smaller ones shorten the ingest-to-visible latency.
+    pub ingest_batch: usize,
 }
 
 impl Default for GbKmvConfig {
@@ -69,6 +75,7 @@ impl Default for GbKmvConfig {
             shards: 1,
             posting_format: PostingFormat::default(),
             cost_model: CostModelConfig::default(),
+            ingest_batch: 64,
         }
     }
 }
@@ -134,6 +141,14 @@ impl GbKmvConfig {
         self
     }
 
+    /// Sets the serving-layer ingest batch size: how many queued records a
+    /// [`crate::service::ContainmentService`] accumulates before publishing
+    /// a new generation.
+    pub fn ingest_batch(mut self, batch: usize) -> Self {
+        self.ingest_batch = batch;
+        self
+    }
+
     /// Resolves the element budget for a dataset with `total_elements`
     /// occurrences.
     pub fn resolve_budget(&self, total_elements: usize) -> usize {
@@ -185,7 +200,8 @@ mod tests {
             .prefix_filter(false)
             .threads(2)
             .shards(4)
-            .posting_format(PostingFormat::Raw);
+            .posting_format(PostingFormat::Raw)
+            .ingest_batch(16);
         assert_eq!(c.buffer, BufferSizing::Fixed(8));
         assert_eq!(c.hash_seed, 7);
         assert!(!c.use_candidate_filter);
@@ -194,6 +210,8 @@ mod tests {
         assert_eq!(c.threads, 2);
         assert_eq!(c.shards, 4);
         assert_eq!(c.posting_format, PostingFormat::Raw);
+        assert_eq!(c.ingest_batch, 16);
+        assert_eq!(GbKmvConfig::default().ingest_batch, 64);
         // Packed is the default: the compressed subsystem is the engine,
         // raw is the ablation.
         assert_eq!(GbKmvConfig::default().posting_format, PostingFormat::Packed);

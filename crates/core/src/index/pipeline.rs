@@ -373,6 +373,8 @@ pub(crate) fn parallel_sorted(
             .collect();
         handles
             .into_iter()
+            // Deliberate panic propagation (see `parallel::map_chunks`):
+            // `join` only errs when the worker panicked.
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     });

@@ -66,7 +66,10 @@ impl TopK {
         let entry = TopKEntry::new(record_id, overlap, query_size);
         if self.heap.len() < self.k {
             self.heap.push(entry);
-        } else if entry < *self.heap.peek().expect("heap is non-empty when full") {
+        } else if
+        // Infallible: this branch requires `heap.len() >= self.k` with
+        // `self.k > 0` (checked on entry), so the heap has a top element.
+        entry < *self.heap.peek().expect("heap is non-empty when full") {
             self.heap.pop();
             self.heap.push(entry);
         }

@@ -332,6 +332,9 @@ impl ShardedIndex {
     /// Appends one record to the tail shard (the one owning the highest id
     /// range, keeping the ranges contiguous) and returns its global id.
     pub(crate) fn insert(&mut self, sketch: &GbKmvRecordSketch, build_postings: bool) -> usize {
+        // Infallible: `ShardedIndex::build` always creates at least one
+        // shard (the empty dataset builds one empty shard) and shards are
+        // never removed.
         self.shards
             .last_mut()
             .expect("a ShardedIndex always has at least one shard")

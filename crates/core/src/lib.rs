@@ -78,6 +78,7 @@ pub mod parallel;
 pub mod partition;
 pub mod powerlaw;
 pub mod scratch;
+pub mod service;
 pub mod sim;
 pub mod stats;
 pub mod store;
@@ -85,6 +86,8 @@ pub mod variants;
 
 pub use buffer::{BufferLayout, ElementBuffer};
 pub use dataset::{Dataset, DatasetBuilder, ElementId, Record, RecordId};
+/// The error type under the name the serving layer's documentation uses.
+pub use error::Error as GbKmvError;
 pub use error::{Error, Result};
 pub use gbkmv::{GbKmvRecordSketch, GbKmvSketcher};
 pub use gkmv::{GKmvSketch, GlobalThreshold};
@@ -94,6 +97,7 @@ pub use index::{
     ShardedIndex,
 };
 pub use kmv::KmvSketch;
+pub use service::ContainmentService;
 pub use sim::{containment, jaccard, overlap, SimilarityTransform};
 pub use stats::DatasetStats;
 pub use store::{QueryScratch, RecordMeta, SketchStore, SketchView};

@@ -62,6 +62,10 @@ where
             .collect();
         handles
             .into_iter()
+            // Deliberate panic propagation, not a fallible path: `join` only
+            // errs when the worker itself panicked, and swallowing that
+            // would return silently truncated results. The scoped spawn
+            // cannot outlive this frame, so no detached-thread errors exist.
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     })

@@ -58,8 +58,16 @@ impl SizePartitions {
             };
         }
         let num_partitions = num_partitions.max(1);
-        let min = by_size.first().unwrap().0;
-        let max = by_size.last().unwrap().0;
+        // Infallible: the `is_empty` early return above guarantees at least
+        // one entry, so the slice has a first and a last element.
+        let (min, max) = match (by_size.first(), by_size.last()) {
+            (Some(&(min, _)), Some(&(max, _))) => (min, max),
+            _ => {
+                return SizePartitions {
+                    partitions: Vec::new(),
+                }
+            }
+        };
         let width = ((max - min) / num_partitions).max(1);
         let mut partitions: Vec<SizePartition> = Vec::new();
         for (size, id) in by_size {
@@ -104,9 +112,11 @@ impl SizePartitions {
                 continue;
             }
             let slice = &by_size[cursor..cursor + take];
+            // Infallible: `take == 0` hits the `continue` above, so `slice`
+            // holds at least one entry.
             partitions.push(SizePartition {
-                min_size: slice.first().unwrap().0,
-                max_size: slice.last().unwrap().0,
+                min_size: slice.first().map(|&(s, _)| s).unwrap_or(0),
+                max_size: slice.last().map(|&(s, _)| s).unwrap_or(0),
                 records: slice.iter().map(|&(_, id)| id).collect(),
             });
             cursor += take;

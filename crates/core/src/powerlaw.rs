@@ -42,7 +42,10 @@ impl PowerLawFit {
         if data.len() < 2 {
             return None;
         }
-        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // `total_cmp` instead of `partial_cmp().unwrap()`: the positivity
+        // filter above already drops NaNs (`NaN > 0.0` is false), but the
+        // total order keeps this panic-free even if that filter changes.
+        data.sort_by(f64::total_cmp);
 
         // Candidate x_min values: distinct observed values, capped so the
         // tail keeps at least 10 points (or half the data for tiny inputs).
@@ -127,7 +130,9 @@ fn ks_distance(tail: &[f64], x_min: f64, alpha: f64) -> f64 {
         return f64::INFINITY;
     }
     let mut sorted = tail.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // The tail inherits `fit`'s positivity filter (no NaNs), and the total
+    // order is panic-free regardless.
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut max_dist: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {

@@ -1,0 +1,348 @@
+//! The concurrent serving layer: snapshot reads over a batched ingest queue.
+//!
+//! A [`ContainmentService`] wraps a [`GbKmvIndex`] behind a *generation*
+//! publication protocol so the index can serve queries **while** it absorbs
+//! new records:
+//!
+//! * **Readers** take an [`Arc`] snapshot of the current generation
+//!   ([`ContainmentService::snapshot`]) — one mutex-protected `Arc` clone,
+//!   a few nanoseconds — and run any number of queries against it. A
+//!   published generation is immutable, so a reader never observes a
+//!   half-applied insert, never blocks on a writer, and its whole result
+//!   set is attributable to exactly one generation.
+//! * **Writers** submit records into a batched ingest queue
+//!   ([`ContainmentService::submit`]). When the queue reaches the
+//!   configured batch size (or on an explicit
+//!   [`ContainmentService::flush`]) the next generation is built *outside*
+//!   the publication lock — the current index is cloned and the queued
+//!   records are spliced in through the exact insert path the sequential
+//!   [`GbKmvIndex::insert`] uses — and then published with one atomic `Arc`
+//!   swap.
+//!
+//! Because the generation build reuses the sorted-splice insert path, the
+//! load-bearing invariant of the sequential engine carries over verbatim:
+//! **every published generation is bit-identical to an index built from
+//! scratch over the same record sequence**, so snapshot queries agree with
+//! build-from-scratch queries under concurrent publication (the
+//! `query_agreement` property suite and the `concurrent` bench section pin
+//! this).
+//!
+//! The trade-off is deliberate: publication is coarse (a generation clone is
+//! O(index)), which buys wait-free reads with zero coordination on the hot
+//! query path — the right trade for the read-dominated workloads the paper
+//! targets. Writers are serialised by a dedicated mutex, so concurrent
+//! flushes cannot lose queued records or publish out of order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::dataset::{ElementId, Record};
+use crate::error::{Error, Result};
+use crate::index::{ContainmentIndex, GbKmvIndex, SearchHit};
+
+/// Recovers the guard from a poisoned mutex.
+///
+/// Every critical section in this module leaves its protected value valid at
+/// every intermediate point (an `Arc` store, a `Vec` push/drain), so a panic
+/// inside one cannot corrupt state and the poison flag is safely ignored —
+/// a serving layer must keep answering queries even if one worker died.
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A concurrent containment-search service: wait-free snapshot reads over a
+/// [`GbKmvIndex`], with writes absorbed through a batched ingest queue and
+/// published as immutable generations (see the module docs for the
+/// protocol).
+#[derive(Debug)]
+pub struct ContainmentService {
+    /// The publication slot holding the current generation. Readers clone
+    /// the `Arc` under the lock (nanoseconds); the writer swaps in the next
+    /// generation under the same lock. Never held during a generation
+    /// build.
+    current: Mutex<Arc<GbKmvIndex>>,
+    /// Records submitted but not yet part of any published generation.
+    queue: Mutex<Vec<Record>>,
+    /// Serialises generation builds: a flush holds this for the whole
+    /// clone-insert-publish cycle, so publications are totally ordered and
+    /// racing flushes cannot drop queued records.
+    writer: Mutex<()>,
+    /// Number of generations published on top of the seed index.
+    generation: AtomicU64,
+    /// Queue length at which [`ContainmentService::submit`] flushes
+    /// automatically (from [`crate::index::GbKmvConfig::ingest_batch`]).
+    ingest_batch: usize,
+}
+
+impl ContainmentService {
+    /// Wraps an existing index as generation 0 of a service. The auto-flush
+    /// batch size comes from the index's
+    /// [`ingest_batch`](crate::index::GbKmvConfig::ingest_batch)
+    /// configuration.
+    pub fn new(index: GbKmvIndex) -> Self {
+        let ingest_batch = index.config().ingest_batch.max(1);
+        ContainmentService {
+            current: Mutex::new(Arc::new(index)),
+            queue: Mutex::new(Vec::new()),
+            writer: Mutex::new(()),
+            generation: AtomicU64::new(0),
+            ingest_batch,
+        }
+    }
+
+    /// Builds an index over `dataset` and wraps it as a service (a
+    /// convenience composition of [`GbKmvIndex::build`] and
+    /// [`ContainmentService::new`]).
+    pub fn build(dataset: &crate::dataset::Dataset, config: crate::index::GbKmvConfig) -> Self {
+        ContainmentService::new(GbKmvIndex::build(dataset, config))
+    }
+
+    /// The current generation: an immutable snapshot every query method of
+    /// [`GbKmvIndex`] can run against without further coordination.
+    ///
+    /// The snapshot stays valid (and unchanged) for as long as the caller
+    /// holds the `Arc`, regardless of how many generations are published
+    /// meanwhile.
+    pub fn snapshot(&self) -> Arc<GbKmvIndex> {
+        relock(&self.current).clone()
+    }
+
+    /// How many generations have been published on top of the seed index.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Number of submitted records not yet part of a published generation.
+    pub fn pending(&self) -> usize {
+        relock(&self.queue).len()
+    }
+
+    /// The auto-flush batch size this service was configured with.
+    pub fn ingest_batch(&self) -> usize {
+        self.ingest_batch
+    }
+
+    /// Queues one record for ingestion. The record becomes visible to
+    /// readers at the next publication; records are assigned ascending
+    /// record ids in submission order at that point.
+    ///
+    /// Returns [`Error::EmptyRecord`] for a record with no elements (the
+    /// sketcher cannot represent one) instead of letting it panic a flush
+    /// later — a serving layer rejects bad input at the door.
+    ///
+    /// When the queue reaches the configured batch size the calling thread
+    /// flushes it inline; readers are unaffected (they keep answering from
+    /// the previous generation until the swap).
+    pub fn submit(&self, record: Record) -> Result<()> {
+        if record.is_empty() {
+            let record_id = self.snapshot().num_records() + self.pending();
+            return Err(Error::EmptyRecord { record_id });
+        }
+        let should_flush = {
+            let mut queue = relock(&self.queue);
+            queue.push(record);
+            queue.len() >= self.ingest_batch
+        };
+        if should_flush {
+            self.flush();
+        }
+        Ok(())
+    }
+
+    /// Queues a batch of records ([`ContainmentService::submit`] semantics,
+    /// one validation pass, at most one flush). Returns the number queued;
+    /// on the first invalid record the whole batch is rejected and nothing
+    /// is queued.
+    pub fn submit_batch(&self, records: Vec<Record>) -> Result<usize> {
+        let base = self.snapshot().num_records() + self.pending();
+        if let Some(offset) = records.iter().position(Record::is_empty) {
+            return Err(Error::EmptyRecord {
+                record_id: base + offset,
+            });
+        }
+        let count = records.len();
+        let should_flush = {
+            let mut queue = relock(&self.queue);
+            queue.extend(records);
+            queue.len() >= self.ingest_batch
+        };
+        if should_flush {
+            self.flush();
+        }
+        Ok(count)
+    }
+
+    /// Drains the ingest queue into the next generation and publishes it;
+    /// returns how many records the new generation absorbed (0 when the
+    /// queue was empty — nothing is published then).
+    ///
+    /// The generation build runs outside the publication lock: readers keep
+    /// snapshotting the previous generation until the single `Arc` swap at
+    /// the end. Concurrent flushes serialise on the writer lock, so every
+    /// submitted record lands in exactly one generation, in submission
+    /// order.
+    pub fn flush(&self) -> usize {
+        let _writer = relock(&self.writer);
+        let pending = std::mem::take(&mut *relock(&self.queue));
+        if pending.is_empty() {
+            return 0;
+        }
+        // Clone-and-grow outside the publication lock; the writer lock is
+        // held, so `current` cannot change underneath us.
+        let mut next = GbKmvIndex::clone(&self.snapshot());
+        for record in &pending {
+            next.insert(record);
+        }
+        *relock(&self.current) = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        pending.len()
+    }
+
+    /// [`GbKmvIndex::search_elements`] against the current snapshot.
+    pub fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        self.snapshot().search_elements(query, t_star)
+    }
+
+    /// [`GbKmvIndex::search_batch`] against one consistent snapshot: the
+    /// whole batch is answered by a single generation even if publications
+    /// happen mid-batch.
+    pub fn search_batch(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
+        self.snapshot().search_batch(queries, t_star)
+    }
+}
+
+impl ContainmentIndex for ContainmentService {
+    fn search(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        ContainmentService::search(self, query, t_star)
+    }
+
+    fn search_batch(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
+        ContainmentService::search_batch(self, queries, t_star)
+    }
+
+    fn search_parallel(&self, query: &[ElementId], t_star: f64) -> Vec<SearchHit> {
+        self.snapshot().search_parallel(query, t_star)
+    }
+
+    fn search_auto(&self, queries: &[Record], t_star: f64) -> Vec<Vec<SearchHit>> {
+        self.snapshot().search_auto(queries, t_star)
+    }
+
+    fn space_elements(&self) -> f64 {
+        self.snapshot().space_elements()
+    }
+
+    fn name(&self) -> &'static str {
+        "GB-KMV/service"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::index::GbKmvConfig;
+
+    fn dataset(n: usize) -> Dataset {
+        Dataset::from_records(
+            (0..n)
+                .map(|i| {
+                    (0..(4 + i as u32 % 7))
+                        .map(|j| (i as u32 * 13 + j * 5) % 97)
+                        .collect()
+                })
+                .collect::<Vec<Vec<u32>>>(),
+        )
+    }
+
+    fn config() -> GbKmvConfig {
+        GbKmvConfig::with_space_fraction(1.0).ingest_batch(4)
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_publications() {
+        let base = dataset(10);
+        let service = ContainmentService::build(&base, config());
+        let before = service.snapshot();
+        let records: Vec<Record> = dataset(14).records()[10..].to_vec();
+        service.submit_batch(records).unwrap();
+        service.flush();
+        assert_eq!(before.num_records(), 10, "held snapshot must not move");
+        assert_eq!(service.snapshot().num_records(), 14);
+    }
+
+    #[test]
+    fn generations_match_build_from_scratch() {
+        let all = dataset(20);
+        let base =
+            Dataset::from_records(all.records().iter().take(12).map(|r| r.elements().to_vec()));
+        let service = ContainmentService::build(&base, config());
+        for record in all.records().iter().skip(12) {
+            service.submit(record.clone()).unwrap();
+        }
+        service.flush();
+        assert!(service.generation() >= 1);
+        assert_eq!(service.pending(), 0);
+
+        let scratch = GbKmvIndex::build(&all, config());
+        let snap = service.snapshot();
+        let query: Vec<u32> = all.records()[3].elements().to_vec();
+        assert_eq!(
+            snap.search_elements(&query, 0.3),
+            scratch.search_elements(&query, 0.3),
+            "service generation diverged from build-from-scratch"
+        );
+        assert_eq!(snap.num_records(), scratch.num_records());
+    }
+
+    #[test]
+    fn auto_flush_publishes_at_the_batch_size() {
+        let service = ContainmentService::build(&dataset(6), config());
+        let extra: Vec<Record> = dataset(12).records()[6..].to_vec();
+        for (i, r) in extra.into_iter().enumerate() {
+            service.submit(r).unwrap();
+            if i < 3 {
+                assert_eq!(service.generation(), 0, "flushed before the batch filled");
+            }
+        }
+        // 6 submissions at batch size 4: one auto-flush, 2 still pending.
+        assert_eq!(service.generation(), 1);
+        assert_eq!(service.pending(), 2);
+        assert_eq!(service.snapshot().num_records(), 10);
+    }
+
+    #[test]
+    fn empty_records_are_rejected_at_the_door() {
+        let service = ContainmentService::build(&dataset(5), config());
+        let err = service.submit(Record::new(Vec::new())).unwrap_err();
+        assert_eq!(err, Error::EmptyRecord { record_id: 5 });
+        // A rejected batch queues nothing.
+        let batch = vec![Record::new(vec![1, 2]), Record::new(Vec::new())];
+        let err = service.submit_batch(batch).unwrap_err();
+        assert_eq!(err, Error::EmptyRecord { record_id: 6 });
+        assert_eq!(service.pending(), 0);
+        assert_eq!(service.generation(), 0);
+    }
+
+    #[test]
+    fn flush_on_empty_queue_publishes_nothing() {
+        let service = ContainmentService::build(&dataset(5), config());
+        assert_eq!(service.flush(), 0);
+        assert_eq!(service.generation(), 0);
+    }
+
+    #[test]
+    fn containment_index_impl_answers_from_the_snapshot() {
+        let all = dataset(8);
+        let service = ContainmentService::build(&all, config());
+        let direct = GbKmvIndex::build(&all, config());
+        let query = all.records()[1].clone();
+        let via_trait: &dyn ContainmentIndex = &service;
+        assert_eq!(
+            via_trait.search(query.elements(), 0.4),
+            direct.search_elements(query.elements(), 0.4)
+        );
+        assert_eq!(via_trait.name(), "GB-KMV/service");
+        assert!(via_trait.space_elements() > 0.0);
+    }
+}

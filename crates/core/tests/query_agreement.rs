@@ -23,6 +23,7 @@ use gbkmv_core::dataset::{Dataset, Record};
 use gbkmv_core::index::{
     BufferSizing, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
 };
+use gbkmv_core::service::ContainmentService;
 use gbkmv_core::store::QueryScratch;
 
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
@@ -311,4 +312,136 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn service_generations_match_sequentially_grown_index(
+        dataset in dataset_strategy(),
+        extra in vec(vec(0u32..3_000, 1..80), 1..9),
+        budget_fraction in 0.05f64..1.1,
+        t_star in 0.0f64..1.0,
+        shards in 1usize..4,
+        seed in 0u64..1_000_000,
+        batch in 1usize..4,
+    ) {
+        // The service dimension of the agreement suite: every generation a
+        // `ContainmentService` publishes must be bit-identical — storage and
+        // answers — to an index grown by the same `insert` calls applied
+        // directly, for any shard count and ingest batch size. (A *rebuild*
+        // from the grown dataset is deliberately not the reference: it
+        // would re-derive τ and r from the new statistics, while both the
+        // service and direct inserts keep the build-time sketcher.)
+        let config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .shards(shards)
+            .ingest_batch(batch);
+        let service = ContainmentService::new(GbKmvIndex::build(&dataset, config));
+        let mut reference = GbKmvIndex::build(&dataset, config);
+        let inserted: Vec<Record> = extra.into_iter().map(Record::new).collect();
+        for record in &inserted {
+            // `submit` may auto-publish mid-stream (batch size 1 always
+            // does); the explicit flush then drains whatever is left, so
+            // the published snapshot covers exactly the records so far.
+            service.submit(record.clone()).unwrap();
+            reference.insert(record);
+            service.flush();
+            let snapshot = service.snapshot();
+            prop_assert_eq!(snapshot.sharded(), reference.sharded(),
+                "published generation {} diverged from the sequentially grown \
+                 index ({} shards, batch {})",
+                service.generation(), shards, batch);
+            prop_assert_eq!(
+                &snapshot.search_filtered(record, t_star),
+                &reference.search_filtered(record, t_star),
+                "service snapshot answers diverged (t*={})", t_star);
+        }
+        prop_assert_eq!(service.pending(), 0);
+    }
+}
+
+/// Readers racing a publishing writer must only ever observe fully
+/// published generations: every result set seen by any reader is the answer
+/// of *some* batch prefix, and the final state equals the sequentially
+/// grown reference.
+#[test]
+fn concurrent_readers_observe_only_published_generations() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let base: Vec<Vec<u32>> = (0..24u32)
+        .map(|i| (i * 7..i * 7 + 30).map(|x| x % 900).collect())
+        .collect();
+    let dataset = Dataset::from_records(base);
+    let config = GbKmvConfig::with_space_fraction(0.4)
+        .hash_seed(11)
+        .shards(2);
+    let service = ContainmentService::new(GbKmvIndex::build(&dataset, config));
+
+    let batches: Vec<Vec<Record>> = (0..6u32)
+        .map(|b| {
+            (0..4u32)
+                .map(|j| {
+                    let start = b * 31 + j * 13;
+                    Record::new((start..start + 25).map(|x| x % 900).collect())
+                })
+                .collect()
+        })
+        .collect();
+    let query = Record::new((0..40u32).map(|x| x * 3 % 900).collect());
+    let t_star = 0.25;
+
+    // Expected answer per published generation, from a sequentially grown
+    // reference (generation g = base index + the first g batches).
+    let mut reference = GbKmvIndex::build(&dataset, config);
+    let mut expected: Vec<Vec<SearchHit>> = vec![reference.search_filtered(&query, t_star)];
+    for batch in &batches {
+        for record in batch {
+            reference.insert(record);
+        }
+        expected.push(reference.search_filtered(&query, t_star));
+    }
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (service, expected, done, query) = (&service, &expected, &done, &query);
+            scope.spawn(move || {
+                let mut last_generation = 0u64;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let snapshot = service.snapshot();
+                    let hits = snapshot.search_filtered(query, t_star);
+                    assert!(
+                        expected.iter().any(|e| e == &hits),
+                        "reader observed a result set matching no published generation"
+                    );
+                    let generation = service.generation();
+                    assert!(
+                        generation >= last_generation,
+                        "generation counter went backwards: {last_generation} -> {generation}"
+                    );
+                    last_generation = generation;
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for batch in &batches {
+            service
+                .submit_batch(batch.clone())
+                .expect("batch records are non-empty");
+            service.flush();
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(service.generation(), batches.len() as u64);
+    assert_eq!(service.pending(), 0);
+    let final_snapshot = service.snapshot();
+    assert_eq!(final_snapshot.sharded(), reference.sharded());
+    assert_eq!(
+        final_snapshot.search_filtered(&query, t_star),
+        *expected.last().unwrap()
+    );
 }

@@ -50,6 +50,12 @@ pub struct ExperimentConfig {
     /// one — one timed call for the whole workload, amortised per query.
     /// Takes precedence over both `batch` and `parallel_query` when set.
     pub auto: bool,
+    /// Route the workload through a `ContainmentService` wrapping the index
+    /// (snapshot reads over the serving layer) instead of querying the
+    /// index directly. Answers are identical — a service snapshot with no
+    /// pending ingest *is* the index — so the knob measures the serving
+    /// layer's overhead and exercises its read path in the harness.
+    pub service: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -61,6 +67,7 @@ impl Default for ExperimentConfig {
             batch: false,
             parallel_query: false,
             auto: false,
+            service: false,
         }
     }
 }
@@ -100,6 +107,13 @@ impl ExperimentConfig {
     /// sequential, batch, or intra-query parallel itself).
     pub fn auto(mut self, auto: bool) -> Self {
         self.auto = auto;
+        self
+    }
+
+    /// Enables or disables routing the workload through the serving layer
+    /// (a `ContainmentService` snapshot) instead of the bare index.
+    pub fn service(mut self, service: bool) -> Self {
+        self.service = service;
         self
     }
 }
@@ -264,6 +278,31 @@ pub fn evaluate_index_auto(
         threshold,
         dataset_total_elements,
         |qs| index.search_auto(qs, threshold),
+    )
+}
+
+/// The serving-layer counterpart of [`evaluate_index`]: the workload is
+/// answered through a [`gbkmv_core::service::ContainmentService`]'s
+/// snapshot read path — exactly
+/// what a concurrent reader thread executes — rather than the bare index.
+/// With no pending ingest the snapshot *is* the wrapped index, so answers
+/// (and accuracy) are identical to [`evaluate_index`] on it; the timing
+/// additionally includes the per-query snapshot acquisition, which is the
+/// serving layer's read-side overhead. `ExperimentConfig::service(true)`
+/// selects this path in the bench harness.
+pub fn evaluate_service(
+    service: &gbkmv_core::service::ContainmentService,
+    queries: &[Record],
+    ground_truth: &GroundTruth,
+    threshold: f64,
+    dataset_total_elements: usize,
+) -> MethodReport {
+    evaluate_index(
+        service,
+        queries,
+        ground_truth,
+        threshold,
+        dataset_total_elements,
     )
 }
 
@@ -546,6 +585,29 @@ mod tests {
             assert_eq!(s.counts, p.counts);
             assert_eq!(s.answer_size, p.answer_size);
         }
+    }
+
+    #[test]
+    fn service_evaluation_matches_direct_index() {
+        use gbkmv_core::service::ContainmentService;
+        let d = dataset();
+        let workload = QueryWorkload::sample_from_dataset(&d, 10, 9);
+        let truth = GroundTruth::compute(&d, &workload.queries, 0.5);
+        let config = GbKmvConfig::with_space_fraction(0.2);
+        let index = GbKmvIndex::build(&d, config);
+        let direct = evaluate_index(&index, &workload.queries, &truth, 0.5, d.total_elements());
+        let service = ContainmentService::new(index);
+        let served = evaluate_service(&service, &workload.queries, &truth, 0.5, d.total_elements());
+        // A quiescent service snapshot is the wrapped index: identical
+        // answers, identical accuracy; only the method label differs.
+        assert_eq!(served.method, "GB-KMV/service");
+        assert_eq!(direct.accuracy, served.accuracy);
+        for (a, b) in direct.per_query.iter().zip(&served.per_query) {
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.answer_size, b.answer_size);
+        }
+        assert!(ExperimentConfig::default().service(true).service);
+        assert!(!ExperimentConfig::default().service);
     }
 
     #[test]
