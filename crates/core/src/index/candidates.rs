@@ -8,13 +8,29 @@
 //! range *before* traversal — the prune stage's live-prefix cutoff, and in
 //! the intra-query parallel path additionally the worker's slot sub-range —
 //! so a candidate outside the range is never touched, let alone finished.
-//! Truncation and iteration go through
-//! [`PostingList::for_each_in_range`](crate::index::postings::PostingList::for_each_in_range):
-//! on the default block-compressed format, whole blocks die on their first
-//! slot and surviving blocks decode into the scratch's reusable
-//! block-decode buffer — the blocked substrate a future SIMD finish would
-//! consume — while the raw ablation format keeps the original
-//! binary-search slice cut. Both walk the identical slot sequence.
+//! Truncation goes through the posting layer either way; *how* the
+//! surviving slots reach the scratch is the [`FinishKernel`] knob
+//! ([`crate::index::GbKmvConfig::finish_kernel`]):
+//!
+//! * [`FinishKernel::Vectorized`] (the default) walks
+//!   [`PostingList::for_each_chunk_in_range`](crate::index::postings::PostingList::for_each_chunk_in_range):
+//!   each surviving block arrives as one ascending
+//!   [`PostingChunk`] — a decoded slot run (4-lane unrolled gap prefix
+//!   sum, or a copy-free slice cut on the raw format) consumed by the
+//!   scratch's batched slice methods, or an undecoded bitmap mask
+//!   consumed by the mask-form methods — notably the branch-free
+//!   lookup-only passes
+//!   ([`QueryScratch::add_signature_hits_if_candidate`] and its mask
+//!   form's linear window sweep).
+//! * [`FinishKernel::Scalar`] walks
+//!   [`PostingList::for_each_in_range`](crate::index::postings::PostingList::for_each_in_range)
+//!   with one closure call per slot — the original finish loop, kept as
+//!   the correctness oracle the agreement proptests pin the vectorized
+//!   kernel against.
+//!
+//! Both kernels visit the identical slot sequence in the identical order,
+//! so candidate sets, `K∩` counts and first-touch order — and with them
+//! every downstream answer — are bit-identical.
 //!
 //! # Prefix-filtered minting
 //!
@@ -39,11 +55,29 @@
 //!
 //! [`SketchStore`]: crate::store::SketchStore
 
+use serde::{Deserialize, Serialize};
+
 use crate::buffer::ElementBuffer;
 use crate::gbkmv::GbKmvRecordSketch;
+use crate::index::postings::PostingChunk;
 use crate::index::sharded::Shard;
 use crate::scratch::QueryScratch;
 use crate::store::SketchStore;
+
+/// The accumulate kernel of the candidates stage, chosen per index via
+/// [`crate::index::GbKmvConfig::finish_kernel`]. The kernel never changes
+/// any answer — both variants feed the scratch the identical slot sequence
+/// — only how many slots move per instruction. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FinishKernel {
+    /// One closure call per posting slot — the original finish loop, kept
+    /// as the correctness oracle of the agreement proptests.
+    Scalar,
+    /// Batched: one decoded block per call into the scratch's unrolled
+    /// accumulate methods (the default).
+    #[default]
+    Vectorized,
+}
 
 /// Borrowed scalar view of a query sketch, so the inner loops never touch
 /// the `GbKmvRecordSketch` struct.
@@ -78,25 +112,27 @@ impl<'a> QuerySketchView<'a> {
 /// non-zero only for the intra-query parallel workers, which partition the
 /// live range. `minting` is the number of df-ordered signature hashes
 /// allowed to mint new candidates; pass `view.hashes.len()` to disable the
-/// prefix filter.
+/// prefix filter. `kernel` picks the accumulate kernel (see
+/// [`FinishKernel`]); answers are identical either way.
 pub(crate) fn accumulate(
     shard: &Shard,
     view: &QuerySketchView<'_>,
     lo: usize,
     hi: usize,
     minting: usize,
+    kernel: FinishKernel,
     scratch: &mut QueryScratch,
 ) {
     scratch.begin(shard.len());
     if minting >= view.hashes.len() {
-        walk_unfiltered(shard, view, lo, hi, scratch);
+        walk_unfiltered(shard, view, lo, hi, kernel, scratch);
         return;
     }
     // The ordering buffer lives in the scratch and is only moved out while
     // borrowed alongside it.
     let mut order = std::mem::take(&mut scratch.hash_order);
     df_order(shard.store(), view, &mut order);
-    walk_prefixed(shard, view, lo, hi, minting, &order, scratch);
+    walk_prefixed(shard, view, lo, hi, minting, &order, kernel, scratch);
     scratch.hash_order = order;
 }
 
@@ -104,6 +140,7 @@ pub(crate) fn accumulate(
 /// ordering depends only on (query, shard), so the intra-query parallel
 /// path computes it once per shard ([`df_order`]) and shares it across the
 /// shard's slot-sub-range tasks instead of re-sorting per task.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn accumulate_ordered(
     shard: &Shard,
     view: &QuerySketchView<'_>,
@@ -111,13 +148,14 @@ pub(crate) fn accumulate_ordered(
     hi: usize,
     minting: usize,
     order: &[(u32, u64)],
+    kernel: FinishKernel,
     scratch: &mut QueryScratch,
 ) {
     scratch.begin(shard.len());
     if minting >= view.hashes.len() {
-        walk_unfiltered(shard, view, lo, hi, scratch);
+        walk_unfiltered(shard, view, lo, hi, kernel, scratch);
     } else {
-        walk_prefixed(shard, view, lo, hi, minting, order, scratch);
+        walk_prefixed(shard, view, lo, hi, minting, order, kernel, scratch);
     }
 }
 
@@ -142,21 +180,33 @@ fn walk_unfiltered(
     view: &QuerySketchView<'_>,
     lo: usize,
     hi: usize,
+    kernel: FinishKernel,
     scratch: &mut QueryScratch,
 ) {
     let mut decode = std::mem::take(&mut scratch.block_decode);
     for &h in view.hashes {
         if let Some(postings) = shard.signature_postings(h) {
-            postings.for_each_in_range(lo, hi, &mut decode, |slot| {
-                scratch.add_signature_hit(slot);
-            });
+            match kernel {
+                FinishKernel::Scalar => postings.for_each_in_range(lo, hi, &mut decode, |slot| {
+                    scratch.add_signature_hit(slot);
+                }),
+                FinishKernel::Vectorized => {
+                    postings.for_each_chunk_in_range(lo, hi, &mut decode, |chunk| match chunk {
+                        PostingChunk::Slots(slots) => scratch.add_signature_hits(slots),
+                        PostingChunk::Bitmap { base, words } => {
+                            scratch.add_signature_hits_mask(base, words)
+                        }
+                    })
+                }
+            }
         }
     }
-    walk_buffer(shard, view, lo, hi, &mut decode, scratch);
+    walk_buffer(shard, view, lo, hi, kernel, &mut decode, scratch);
     scratch.block_decode = decode;
 }
 
 /// The prefix-filtered three-pass walk over a df-ordered hash list.
+#[allow(clippy::too_many_arguments)]
 fn walk_prefixed(
     shard: &Shard,
     view: &QuerySketchView<'_>,
@@ -164,24 +214,49 @@ fn walk_prefixed(
     hi: usize,
     minting: usize,
     order: &[(u32, u64)],
+    kernel: FinishKernel,
     scratch: &mut QueryScratch,
 ) {
     let mut decode = std::mem::take(&mut scratch.block_decode);
     for &(_, h) in &order[..minting] {
         if let Some(postings) = shard.signature_postings(h) {
-            postings.for_each_in_range(lo, hi, &mut decode, |slot| {
-                scratch.add_signature_hit(slot);
-            });
+            match kernel {
+                FinishKernel::Scalar => postings.for_each_in_range(lo, hi, &mut decode, |slot| {
+                    scratch.add_signature_hit(slot);
+                }),
+                FinishKernel::Vectorized => {
+                    postings.for_each_chunk_in_range(lo, hi, &mut decode, |chunk| match chunk {
+                        PostingChunk::Slots(slots) => scratch.add_signature_hits(slots),
+                        PostingChunk::Bitmap { base, words } => {
+                            scratch.add_signature_hits_mask(base, words)
+                        }
+                    })
+                }
+            }
         }
     }
     // Buffer candidates must be minted BEFORE the lookup-only pass, or a
     // buffer-only candidate would miss its frequent-hash accumulations.
-    walk_buffer(shard, view, lo, hi, &mut decode, scratch);
+    walk_buffer(shard, view, lo, hi, kernel, &mut decode, scratch);
+    // The lookup-only pass owns the longest posting lists, which is where
+    // the vectorized kernel's branch-free batched accumulate pays off.
     for &(_, h) in &order[minting..] {
         if let Some(postings) = shard.signature_postings(h) {
-            postings.for_each_in_range(lo, hi, &mut decode, |slot| {
-                scratch.add_signature_hit_if_candidate(slot);
-            });
+            match kernel {
+                FinishKernel::Scalar => postings.for_each_in_range(lo, hi, &mut decode, |slot| {
+                    scratch.add_signature_hit_if_candidate(slot);
+                }),
+                FinishKernel::Vectorized => {
+                    postings.for_each_chunk_in_range(lo, hi, &mut decode, |chunk| match chunk {
+                        PostingChunk::Slots(slots) => {
+                            scratch.add_signature_hits_if_candidate(slots)
+                        }
+                        PostingChunk::Bitmap { base, words } => {
+                            scratch.add_signature_hits_if_candidate_mask(base, words)
+                        }
+                    })
+                }
+            }
         }
     }
     scratch.block_decode = decode;
@@ -197,14 +272,24 @@ fn walk_buffer(
     view: &QuerySketchView<'_>,
     lo: usize,
     hi: usize,
+    kernel: FinishKernel,
     decode: &mut Vec<u32>,
     scratch: &mut QueryScratch,
 ) {
     for pos in view.buffer.set_positions() {
-        shard
-            .buffer_postings(pos)
-            .for_each_in_range(lo, hi, decode, |slot| {
+        let postings = shard.buffer_postings(pos);
+        match kernel {
+            FinishKernel::Scalar => postings.for_each_in_range(lo, hi, decode, |slot| {
                 scratch.add_candidate(slot);
-            });
+            }),
+            FinishKernel::Vectorized => {
+                postings.for_each_chunk_in_range(lo, hi, decode, |chunk| match chunk {
+                    PostingChunk::Slots(slots) => scratch.add_candidates(slots),
+                    PostingChunk::Bitmap { base, words } => {
+                        scratch.add_candidates_mask(base, words)
+                    }
+                })
+            }
+        }
     }
 }

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cost::CostModelConfig;
+use crate::index::candidates::FinishKernel;
 use crate::index::postings::PostingFormat;
 
 /// How the buffer size is chosen at build time.
@@ -52,6 +53,12 @@ pub struct GbKmvConfig {
     /// format never changes any answer — every query path walks the
     /// identical slot sequence — only the memory footprint.
     pub posting_format: PostingFormat,
+    /// Accumulate kernel of the candidates stage (see
+    /// [`crate::index::candidates::FinishKernel`]): batched block-at-a-time
+    /// accumulation by default, one-slot-at-a-time as the correctness
+    /// oracle and ablation. The kernel never changes any answer — both
+    /// walk the identical slot sequence — only the finish throughput.
+    pub finish_kernel: FinishKernel,
     /// Cost model configuration used when `buffer` is [`BufferSizing::Auto`].
     pub cost_model: CostModelConfig,
     /// Queue length at which a [`crate::service::ContainmentService`]
@@ -74,6 +81,7 @@ impl Default for GbKmvConfig {
             threads: 0,
             shards: 1,
             posting_format: PostingFormat::default(),
+            finish_kernel: FinishKernel::default(),
             cost_model: CostModelConfig::default(),
             ingest_batch: 64,
         }
@@ -141,6 +149,13 @@ impl GbKmvConfig {
         self
     }
 
+    /// Sets the candidates-stage accumulate kernel (answers are identical
+    /// for every kernel; only the finish throughput changes).
+    pub fn finish_kernel(mut self, kernel: FinishKernel) -> Self {
+        self.finish_kernel = kernel;
+        self
+    }
+
     /// Sets the serving-layer ingest batch size: how many queued records a
     /// [`crate::service::ContainmentService`] accumulates before publishing
     /// a new generation.
@@ -201,6 +216,7 @@ mod tests {
             .threads(2)
             .shards(4)
             .posting_format(PostingFormat::Raw)
+            .finish_kernel(FinishKernel::Scalar)
             .ingest_batch(16);
         assert_eq!(c.buffer, BufferSizing::Fixed(8));
         assert_eq!(c.hash_seed, 7);
@@ -210,6 +226,12 @@ mod tests {
         assert_eq!(c.threads, 2);
         assert_eq!(c.shards, 4);
         assert_eq!(c.posting_format, PostingFormat::Raw);
+        assert_eq!(c.finish_kernel, FinishKernel::Scalar);
+        // Vectorized is the default: the scalar loop is the oracle.
+        assert_eq!(
+            GbKmvConfig::default().finish_kernel,
+            FinishKernel::Vectorized
+        );
         assert_eq!(c.ingest_batch, 16);
         assert_eq!(GbKmvConfig::default().ingest_batch, 64);
         // Packed is the default: the compressed subsystem is the engine,

@@ -74,9 +74,10 @@ use std::cell::RefCell;
 
 use serde::{Deserialize, Serialize};
 
+pub use candidates::FinishKernel;
 pub use config::{BufferSizing, GbKmvConfig, IndexSummary};
 pub use pipeline::QueryPipeline;
-pub use postings::{PostingFormat, PostingList};
+pub use postings::{PostingChunk, PostingFormat, PostingList};
 pub use sharded::{Shard, ShardedIndex};
 
 use crate::dataset::{ElementId, Record, RecordId};
@@ -225,6 +226,14 @@ impl GbKmvIndex {
         self.sharded.posting_bytes()
     }
 
+    /// Total bitmap-encoded posting blocks across all shards: 0 on the raw
+    /// format (and on sparse data, where gap blocks always win); positive
+    /// exactly when the hybrid packed encoding found dense-but-gappy runs
+    /// worth a 128-bit mask. The dense-profile bench gates on this.
+    pub fn bitmap_blocks(&self) -> usize {
+        self.sharded.bitmap_blocks()
+    }
+
     /// Borrowed view of one record's stored sketch — the non-allocating
     /// accessor the internal paths use.
     pub fn sketch_view(&self, record_id: RecordId) -> SketchView<'_> {
@@ -276,7 +285,11 @@ impl GbKmvIndex {
         if self.config.use_candidate_filter {
             QUERY_PIPELINE.with(|p| {
                 let mut p = p.borrow_mut();
-                p.set_stages(true, self.config.use_prefix_filter);
+                p.set_stages(
+                    true,
+                    self.config.use_prefix_filter,
+                    self.config.finish_kernel,
+                );
                 p.search_sorted(self, query, t_star)
             })
         } else {
@@ -301,7 +314,11 @@ impl GbKmvIndex {
     pub fn search_filtered(&self, query: &Record, t_star: f64) -> Vec<SearchHit> {
         QUERY_PIPELINE.with(|p| {
             let mut p = p.borrow_mut();
-            p.set_stages(true, self.config.use_prefix_filter);
+            p.set_stages(
+                true,
+                self.config.use_prefix_filter,
+                self.config.finish_kernel,
+            );
             p.search_sorted(self, query.elements(), t_star)
         })
     }
@@ -320,6 +337,7 @@ impl GbKmvIndex {
             query.elements(),
             t_star,
             prune::PruneStage::new(true, self.config.use_prefix_filter),
+            self.config.finish_kernel,
             scratch,
         )
     }
@@ -345,7 +363,18 @@ impl GbKmvIndex {
     /// bounded binary heap; ties are broken by ascending record id for
     /// determinism.
     pub fn search_topk(&self, query: &Record, k: usize) -> Vec<SearchHit> {
-        QUERY_PIPELINE.with(|p| p.borrow_mut().topk(self, query.elements(), k))
+        QUERY_PIPELINE.with(|p| {
+            let mut p = p.borrow_mut();
+            // Top-k has no prune/prefix stages, but the accumulate kernel
+            // still applies: honour the index's config on the shared
+            // thread-local pipeline (another index may have set it).
+            p.set_stages(
+                true,
+                self.config.use_prefix_filter,
+                self.config.finish_kernel,
+            );
+            p.topk(self, query.elements(), k)
+        })
     }
 
     /// [`GbKmvIndex::search_topk`] with an explicit reusable scratch.
@@ -355,7 +384,13 @@ impl GbKmvIndex {
         k: usize,
         scratch: &mut QueryScratch,
     ) -> Vec<SearchHit> {
-        pipeline::topk_sorted(self, query.elements(), k, scratch)
+        pipeline::topk_sorted(
+            self,
+            query.elements(),
+            k,
+            self.config.finish_kernel,
+            scratch,
+        )
     }
 
     /// Intra-query parallel search: answers one query with its posting and
@@ -386,7 +421,11 @@ impl GbKmvIndex {
         }
         QUERY_PIPELINE.with(|p| {
             let mut p = p.borrow_mut();
-            p.set_stages(true, self.config.use_prefix_filter);
+            p.set_stages(
+                true,
+                self.config.use_prefix_filter,
+                self.config.finish_kernel,
+            );
             p.search_parallel(self, query, t_star, threads)
         })
     }
@@ -446,9 +485,12 @@ impl GbKmvIndex {
         threads: usize,
     ) -> Vec<Vec<SearchHit>> {
         parallel::map_chunks(queries, threads, |_, chunk| {
-            // Honour the index's prefix-filter knob like every other entry
-            // point, so the config-level ablation also ablates this path.
-            let mut pipeline = QueryPipeline::new().prefix_filter(self.config.use_prefix_filter);
+            // Honour the index's prefix-filter and kernel knobs like every
+            // other entry point, so the config-level ablations also ablate
+            // this path.
+            let mut pipeline = QueryPipeline::new()
+                .prefix_filter(self.config.use_prefix_filter)
+                .finish_kernel(self.config.finish_kernel);
             chunk
                 .iter()
                 .map(|q| pipeline.search_sorted(self, q.elements(), t_star))

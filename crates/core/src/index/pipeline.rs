@@ -41,7 +41,7 @@
 //! microsecond-scale queries of a small index.
 
 use crate::dataset::ElementId;
-use crate::index::candidates::{self, QuerySketchView};
+use crate::index::candidates::{self, FinishKernel, QuerySketchView};
 use crate::index::finish;
 use crate::index::prune::PruneStage;
 use crate::index::rank::{ThresholdCollector, TopK};
@@ -75,17 +75,19 @@ pub struct QueryPipeline {
     worker_scratches: Vec<QueryScratch>,
     prune: bool,
     prefix: bool,
+    kernel: FinishKernel,
 }
 
 impl QueryPipeline {
-    /// A pipeline with size pruning and the signature prefix filter enabled
-    /// (the default engine).
+    /// A pipeline with size pruning, the signature prefix filter and the
+    /// vectorized finish kernel enabled (the default engine).
     pub fn new() -> Self {
         QueryPipeline {
             scratch: QueryScratch::new(),
             worker_scratches: Vec::new(),
             prune: true,
             prefix: true,
+            kernel: FinishKernel::default(),
         }
     }
 
@@ -106,12 +108,20 @@ impl QueryPipeline {
         self
     }
 
-    /// Sets both toggles in place (used by the convenience entry points of
-    /// [`GbKmvIndex`], which honour the index's config on a shared
-    /// thread-local pipeline).
-    pub(crate) fn set_stages(&mut self, prune: bool, prefix: bool) {
+    /// Sets the candidates-stage accumulate kernel. Both kernels produce
+    /// bit-identical answers; the scalar loop is the oracle and ablation.
+    pub fn finish_kernel(mut self, kernel: FinishKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the per-query knobs in place (used by the convenience entry
+    /// points of [`GbKmvIndex`], which honour the index's config on a
+    /// shared thread-local pipeline).
+    pub(crate) fn set_stages(&mut self, prune: bool, prefix: bool, kernel: FinishKernel) {
         self.prune = prune;
         self.prefix = prefix;
+        self.kernel = kernel;
     }
 
     fn stages(&self) -> PruneStage {
@@ -138,7 +148,14 @@ impl QueryPipeline {
         query: &[ElementId],
         t_star: f64,
     ) -> Vec<SearchHit> {
-        filtered_sorted(index, query, t_star, self.stages(), &mut self.scratch)
+        filtered_sorted(
+            index,
+            query,
+            t_star,
+            self.stages(),
+            self.kernel,
+            &mut self.scratch,
+        )
     }
 
     /// Thresholded search with the candidates + finish stages of one query
@@ -165,6 +182,7 @@ impl QueryPipeline {
                 q,
                 t_star,
                 stages,
+                self.kernel,
                 threads,
                 &mut self.scratch,
                 &mut self.worker_scratches,
@@ -174,7 +192,9 @@ impl QueryPipeline {
 
     /// Top-k containment search, equivalent to [`GbKmvIndex::search_topk`].
     pub fn topk(&mut self, index: &GbKmvIndex, query: &[ElementId], k: usize) -> Vec<SearchHit> {
-        crate::index::with_canonical_query(query, |q| topk_sorted(index, q, k, &mut self.scratch))
+        crate::index::with_canonical_query(query, |q| {
+            topk_sorted(index, q, k, self.kernel, &mut self.scratch)
+        })
     }
 }
 
@@ -187,6 +207,8 @@ struct StageContext<'a> {
     /// Number of df-ordered signature hashes allowed to mint candidates.
     minting: usize,
     query_len: usize,
+    /// Accumulate kernel of the candidates stage (never changes answers).
+    kernel: FinishKernel,
 }
 
 /// Runs the candidates → finish stages for the slot range `lo..hi` of one
@@ -205,10 +227,17 @@ fn finish_range(
     out: &mut ThresholdCollector,
 ) {
     match order {
-        Some(order) => {
-            candidates::accumulate_ordered(shard, &ctx.view, lo, hi, ctx.minting, order, scratch)
-        }
-        None => candidates::accumulate(shard, &ctx.view, lo, hi, ctx.minting, scratch),
+        Some(order) => candidates::accumulate_ordered(
+            shard,
+            &ctx.view,
+            lo,
+            hi,
+            ctx.minting,
+            order,
+            ctx.kernel,
+            scratch,
+        ),
+        None => candidates::accumulate(shard, &ctx.view, lo, hi, ctx.minting, ctx.kernel, scratch),
     }
     let store = shard.store();
     for &slot in scratch.candidates() {
@@ -240,6 +269,7 @@ pub(crate) fn filtered_sorted(
     query: &[ElementId],
     t_star: f64,
     prune: PruneStage,
+    kernel: FinishKernel,
     scratch: &mut QueryScratch,
 ) -> Vec<SearchHit> {
     let q = query.len();
@@ -255,6 +285,7 @@ pub(crate) fn filtered_sorted(
         threshold,
         prune,
         query_len: q,
+        kernel,
     };
 
     let mut collector = ThresholdCollector::default();
@@ -275,11 +306,13 @@ pub(crate) fn filtered_sorted(
 /// record-id sort. Degrades to the sequential path — on `scratch`, so the
 /// caller's pipeline keeps its zero-allocation property — when only one
 /// thread resolves or the live range is too small to amortise the spawns.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn parallel_sorted(
     index: &GbKmvIndex,
     query: &[ElementId],
     t_star: f64,
     prune: PruneStage,
+    kernel: FinishKernel,
     threads: usize,
     scratch: &mut QueryScratch,
     worker_scratches: &mut Vec<QueryScratch>,
@@ -297,7 +330,7 @@ pub(crate) fn parallel_sorted(
     let total_live: usize = live.iter().sum();
     let threads = parallel::resolve_threads(threads);
     if threads <= 1 || total_live < PARALLEL_MIN_LIVE_SLOTS {
-        return filtered_sorted(index, query, t_star, prune, scratch);
+        return filtered_sorted(index, query, t_star, prune, kernel, scratch);
     }
 
     let q_sketch = index.sketcher.sketch_elements(query);
@@ -308,6 +341,7 @@ pub(crate) fn parallel_sorted(
         threshold,
         prune,
         query_len: q,
+        kernel,
     };
 
     // One task per contiguous slot sub-range, ~`threads` tasks in total,
@@ -395,6 +429,7 @@ pub(crate) fn topk_sorted(
     index: &GbKmvIndex,
     query: &[ElementId],
     k: usize,
+    kernel: FinishKernel,
     scratch: &mut QueryScratch,
 ) -> Vec<SearchHit> {
     if k == 0 || query.is_empty() {
@@ -408,7 +443,15 @@ pub(crate) fn topk_sorted(
     for shard in index.sharded.shards() {
         let store = shard.store();
         if index.config.use_candidate_filter {
-            candidates::accumulate(shard, &view, 0, shard.len(), view.hashes.len(), scratch);
+            candidates::accumulate(
+                shard,
+                &view,
+                0,
+                shard.len(),
+                view.hashes.len(),
+                kernel,
+                scratch,
+            );
             for &slot in scratch.candidates() {
                 let overlap = finish::accumulated_overlap(store, &view, scratch, slot);
                 topk.consider(shard.global_id(slot as usize), overlap, q);

@@ -9,16 +9,26 @@
 //! of the index. [`PostingList`] replaces that with a format chosen at
 //! build time by [`PostingFormat`] (a [`crate::index::GbKmvConfig`] knob):
 //!
-//! * [`PostingFormat::Packed`] (the default) — [`PackedList`]: fixed-size
-//!   blocks of up to [`BLOCK_LEN`] slots, each stored as a block-local
-//!   **delta encoding**: the block's first slot lives in its `BlockMeta`,
-//!   and the remaining `len − 1` entries are `(gap − 1)` values (gaps are
-//!   ≥ 1 because slots are strictly ascending) **bit-packed** at the
-//!   block's own width — the minimum number of bits that fits the block's
-//!   largest gap. A block of consecutive slots (a dense run) therefore has
-//!   width 0 and *no payload at all*; a block over a 10k-slot shard rarely
-//!   needs more than a byte per entry. Each block's payload starts on a
-//!   fresh `u64` word so blocks decode independently.
+//! * [`PostingFormat::Packed`] (the default) — [`PackedList`]: a **hybrid**
+//!   of two per-block encodings, chosen block by block by encoded size:
+//!   - **Gap-packed** blocks of up to [`BLOCK_LEN`] slots store the block's
+//!     first slot in its `BlockMeta` and the remaining `len − 1` entries as
+//!     `(gap − 1)` values (gaps are ≥ 1 because slots are strictly
+//!     ascending) **bit-packed** at the block's own width — the minimum
+//!     number of bits that fits the block's largest gap. A block of
+//!     consecutive slots (a dense run) has width 0 and *no payload at
+//!     all*; a block over a 10k-slot shard rarely needs more than a byte
+//!     per entry.
+//!   - **Bitmap** blocks (roaring-style) store a 128-bit presence mask —
+//!     two `u64` words — over the base slot `first`, covering every slot
+//!     in `[first, first + BLOCK_LEN)`. The deterministic chunker (see
+//!     `next_chunk`) picks the bitmap exactly when the same slots
+//!     gap-encoded would need more than the mask's two words, so dense
+//!     (but not consecutive) runs cost a flat 16 bytes and decode by bit
+//!     iteration instead of a serial gap chain.
+//!
+//!   Each block's payload starts on a fresh `u64` word so blocks decode
+//!   independently.
 //! * [`PostingFormat::Raw`] — the plain ascending `Vec<u32>`, kept as the
 //!   ablation benchmark (`query_throughput` reports both formats' bytes
 //!   and throughput) and as the correctness oracle the packed round-trip
@@ -38,26 +48,52 @@
 //! the binary-search truncation the raw representation performs, which is
 //! what keeps every query path's answers independent of the format.
 //!
+//! The batched variant [`PostingList::for_each_chunk_in_range`] walks the
+//! same slots but hands them out **one block at a time** as a
+//! [`PostingChunk`]: the raw format hands out its cut sub-slice in one
+//! piece copy-free, gap blocks decode with a 4-lane unrolled prefix sum
+//! over the non-straddling per-word layout, dense runs materialise
+//! arithmetically — and fully-in-range bitmap blocks are handed out
+//! **undecoded**, as their 16-byte mask, so the accumulator consumes the
+//! set bits without a decode-buffer round trip. This is the substrate of
+//! the vectorized accumulate kernel in [`crate::index::candidates`]
+//! ([`crate::index::candidates::FinishKernel::Vectorized`]).
+//!
 //! # Dynamic maintenance
 //!
 //! Posting lists mutate on [`crate::index::GbKmvIndex::insert`] in two
 //! ways, both of which touch as few blocks as possible:
 //!
 //! * [`PostingList::renumber_from`] (every slot ≥ the splice point shifts
-//!   up by one): gaps are *shift-invariant*, so blocks entirely at or past
-//!   the splice point just bump their `first` — only the single block the
-//!   splice point lands inside is re-encoded (one gap grew by one).
+//!   up by one): both encodings are *shift-invariant* — gaps and mask bits
+//!   are relative to `first` — so blocks entirely at or past the splice
+//!   point just bump their `first`; only the single block the splice point
+//!   lands inside is re-encoded, falling back to a suffix re-chunk in the
+//!   rare case the grown gap changes the block's kind or extent.
 //! * [`PostingList::insert_sorted`]: appending past the current tail (the
 //!   common case — see the fast path in [`crate::index::sharded`])
 //!   re-encodes only the final block; a mid-list splice re-chunks the
 //!   decoded suffix from the affected block on.
+//!
+//! Every mutation routes its re-encoding through the same deterministic
+//! chunker as the bulk build, so an incrementally grown list stays
+//! **structurally identical** to a fresh encoding of its contents — the
+//! invariant the insert-equals-rebuild tests pin.
 
 use serde::{Deserialize, Serialize};
 
-/// Maximum number of slots per packed block. 128 keeps a fully decoded
-/// block (512 bytes) inside a handful of cache lines and is the block
-/// granularity a future SIMD finish would operate on.
+/// Maximum number of slots per packed block, and the exact slot-range span
+/// of a bitmap block's presence mask. 128 keeps a fully decoded block
+/// (512 bytes) inside a handful of cache lines — the chunk granularity the
+/// batched accumulate kernel consumes per call.
 pub const BLOCK_LEN: usize = 128;
+
+/// Sentinel `BlockMeta::width` marking a bitmap block (a real gap width
+/// never exceeds 32 bits).
+const BITMAP_WIDTH: u8 = u8::MAX;
+
+/// Payload words of a bitmap block: a 128-bit mask over the base slot.
+const BITMAP_WORDS: usize = 2;
 
 /// The posting-list storage format of an index, chosen at build time via
 /// [`crate::index::GbKmvConfig::posting_format`]. The format never changes
@@ -65,20 +101,66 @@ pub const BLOCK_LEN: usize = 128;
 /// sequence — only the memory footprint and traversal cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum PostingFormat {
-    /// Block-compressed delta/bit-packed lists ([`PackedList`]).
+    /// Block-compressed hybrid gap-packed/bitmap lists ([`PackedList`]).
     #[default]
     Packed,
     /// Plain ascending `Vec<u32>` lists (the ablation and oracle).
     Raw,
 }
 
+/// One batch of a chunked posting walk
+/// ([`PostingList::for_each_chunk_in_range`]): either a borrowed run of
+/// decoded ascending slot ids, or the undecoded presence mask of one
+/// bitmap block that lies fully inside the walked range.
+#[derive(Debug, Clone, Copy)]
+pub enum PostingChunk<'a> {
+    /// Decoded ascending slot ids (a raw-list sub-slice, a decoded gap
+    /// block, a materialised dense run, or a range-cut boundary block).
+    Slots(&'a [u32]),
+    /// A bitmap block fully inside the walked range: the chunk's slots are
+    /// `base + 64·w + b` for every set bit `b` of `words[w]`, ascending.
+    Bitmap {
+        /// Slot of the mask's bit 0 (always set).
+        base: u32,
+        /// The 128-bit presence mask.
+        words: [u64; 2],
+    },
+}
+
+impl PostingChunk<'_> {
+    /// Visits every slot of the chunk in ascending order (bitmap chunks
+    /// expand their set bits).
+    pub fn for_each_slot<F: FnMut(u32)>(&self, mut f: F) {
+        match *self {
+            PostingChunk::Slots(slots) => {
+                for &slot in slots {
+                    f(slot);
+                }
+            }
+            PostingChunk::Bitmap { base, words } => {
+                for (wi, mut w) in words.into_iter().enumerate() {
+                    let word_base = base + (wi as u32) * 64;
+                    while w != 0 {
+                        f(word_base + w.trailing_zeros());
+                        w &= w - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Per-block metadata of a [`PackedList`].
 ///
-/// The payload of a block is `len − 1` bit-packed `(gap − 1)` values of
+/// A **gap block**'s payload is `len − 1` bit-packed `(gap − 1)` values of
 /// `width` bits each, starting at bit 0 of `words[word_offset]`. Values
 /// never straddle a word boundary: each `u64` holds `⌊64 / width⌋` values
 /// and the remaining high bits stay zero — a few wasted bits per word buys
 /// a branch-light decode loop (shift, mask, add — no straddle handling).
+///
+/// A **bitmap block** (`width == BITMAP_WIDTH`) has a fixed two-word
+/// payload: bit `i` of the 128-bit mask is set iff slot `first + i` is
+/// present (bit 0 — `first` itself — is always set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BlockMeta {
     /// The block's first slot (not part of the payload).
@@ -88,7 +170,8 @@ struct BlockMeta {
     /// Number of slots in the block, `1..=BLOCK_LEN`.
     len: u8,
     /// Bits per stored `(gap − 1)` value; 0 iff the block is a consecutive
-    /// run (every gap is exactly 1), in which case there is no payload.
+    /// run (every gap is exactly 1), in which case there is no payload;
+    /// `BITMAP_WIDTH` iff the block is a bitmap.
     width: u8,
 }
 
@@ -96,7 +179,9 @@ impl BlockMeta {
     /// Number of `u64` payload words the block occupies.
     #[inline]
     fn word_span(&self) -> usize {
-        if self.width == 0 {
+        if self.width == BITMAP_WIDTH {
+            BITMAP_WORDS
+        } else if self.width == 0 {
             0
         } else {
             (self.len as usize - 1).div_ceil(64 / self.width as usize)
@@ -110,19 +195,61 @@ fn bits_for(v: u32) -> u8 {
     (32 - v.leading_zeros()) as u8
 }
 
+/// Payload words a gap encoding of `slots` would occupy (0 for a dense
+/// run) — the encoded-size half of the per-block kind decision.
+fn gap_word_span(slots: &[u32]) -> usize {
+    let width = slots
+        .windows(2)
+        .map(|w| bits_for(w[1] - w[0] - 1))
+        .max()
+        .unwrap_or(0);
+    if width == 0 {
+        0
+    } else {
+        (slots.len() - 1).div_ceil(64 / width as usize)
+    }
+}
+
+/// The kind-and-extent decision for the next block of an ascending,
+/// non-empty `suffix`: returns `(entries consumed, is_bitmap)`.
+///
+/// The rule is a pure function of the next `min(BLOCK_LEN, len)` entries,
+/// which makes chunking **deterministic and local**: a mutation can
+/// re-chunk from the affected block on and land on exactly the blocks a
+/// bulk encode of the same contents would produce. The bitmap is chosen —
+/// consuming every entry within `[first, first + BLOCK_LEN)` — exactly
+/// when gap-encoding those same entries would cost more than the mask's
+/// two words (ties go to the gap encoding, which decodes a width ≤ 2
+/// block faster than it could win bytes).
+fn next_chunk(suffix: &[u32]) -> (usize, bool) {
+    let first = suffix[0];
+    let lookahead = &suffix[..suffix.len().min(BLOCK_LEN)];
+    // Entries within the bitmap window. A 128-slot window holds at most
+    // 128 distinct slots, so the window never reaches past `lookahead`.
+    let count = lookahead.partition_point(|&s| ((s - first) as usize) < BLOCK_LEN);
+    if gap_word_span(&lookahead[..count]) > BITMAP_WORDS {
+        (count, true)
+    } else {
+        (lookahead.len(), false)
+    }
+}
+
 /// A block-compressed ascending slot list; see the module docs for the
 /// layout.
 ///
-/// Lists that fit a **single block** (`len ≤ BLOCK_LEN` — the vast
-/// majority under any realistic document-frequency distribution) keep
-/// their block metadata *inline* in this struct (`first` / `width`) and
-/// use `blocks` not at all: a one-slot list owns **zero heap bytes**, and
-/// a short list only its payload words. Multi-block lists carry one
-/// `BlockMeta` per block; every block except the last holds exactly
-/// [`BLOCK_LEN`] slots (the invariant that keeps incrementally grown lists
-/// bit-identical to bulk-encoded ones). Block `first`s are strictly
-/// ascending and every slot of block `i` is strictly below block `i + 1`'s
-/// `first`; `last` is the final slot when `len > 0`.
+/// Lists that fit a **single block** (the vast majority under any
+/// realistic document-frequency distribution) keep their block metadata
+/// *inline* in this struct (`first` / `width`) and use `blocks` not at
+/// all: a one-slot list owns **zero heap bytes**, and a short list only
+/// its payload words. Multi-block lists carry one `BlockMeta` per block.
+/// Block boundaries come from the deterministic chunker (`next_chunk`):
+/// every interior block starts at least [`BLOCK_LEN`] slots after the
+/// previous block's `first` (a bitmap block owns its whole window; a
+/// 128-entry gap block spans ≥ 127 slots), which is the invariant that
+/// keeps incrementally grown lists bit-identical to bulk-encoded ones.
+/// Block `first`s are strictly ascending and every slot of block `i` is
+/// strictly below block `i + 1`'s `first`; `last` is the final slot when
+/// `len > 0`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PackedList {
     /// Per-block metadata — **empty** for single-block lists, whose one
@@ -140,22 +267,39 @@ pub struct PackedList {
     first: u32,
     /// The final (largest) slot; meaningless when `len == 0`.
     last: u32,
-    /// Bit width of the single inline block; unused (0) when `blocks` is
-    /// non-empty.
+    /// Width of the single inline block (`BITMAP_WIDTH` for a bitmap);
+    /// unused (0) when `blocks` is non-empty.
     width: u8,
 }
 
-/// Encodes one ascending chunk (`1..=BLOCK_LEN` slots) as a block appended
-/// to `words`, returning its metadata.
-fn encode_block(slots: &[u32], words: &mut Vec<u64>) -> BlockMeta {
+/// Encodes one ascending chunk (`1..=BLOCK_LEN` slots, kind already chosen
+/// by `next_chunk`) as a block appended to `words`, returning its
+/// metadata.
+fn encode_block(slots: &[u32], bitmap: bool, words: &mut Vec<u64>) -> BlockMeta {
     debug_assert!(!slots.is_empty() && slots.len() <= BLOCK_LEN);
     debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
+    let first = slots[0];
+    let word_offset = words.len() as u32;
+    if bitmap {
+        debug_assert!(((slots[slots.len() - 1] - first) as usize) < BLOCK_LEN);
+        let base = words.len();
+        words.resize(base + BITMAP_WORDS, 0);
+        for &s in slots {
+            let off = (s - first) as usize;
+            words[base + (off >> 6)] |= 1u64 << (off & 63);
+        }
+        return BlockMeta {
+            first,
+            word_offset,
+            len: slots.len() as u8,
+            width: BITMAP_WIDTH,
+        };
+    }
     let width = slots
         .windows(2)
         .map(|w| bits_for(w[1] - w[0] - 1))
         .max()
         .unwrap_or(0);
-    let word_offset = words.len() as u32;
     if width > 0 {
         let per_word = 64 / width as usize;
         words.resize(words.len() + (slots.len() - 1).div_ceil(per_word), 0);
@@ -166,10 +310,21 @@ fn encode_block(slots: &[u32], words: &mut Vec<u64>) -> BlockMeta {
         }
     }
     BlockMeta {
-        first: slots[0],
+        first,
         word_offset,
         len: slots.len() as u8,
         width,
+    }
+}
+
+/// Chunks `slots` with `next_chunk` and appends one encoded block per
+/// chunk to `words` / `metas`.
+fn encode_chunks(slots: &[u32], words: &mut Vec<u64>, metas: &mut Vec<BlockMeta>) {
+    let mut i = 0;
+    while i < slots.len() {
+        let (take, bitmap) = next_chunk(&slots[i..]);
+        metas.push(encode_block(&slots[i..i + take], bitmap, words));
+        i += take;
     }
 }
 
@@ -188,15 +343,13 @@ impl PackedList {
         if slots.is_empty() {
             return list;
         }
-        if slots.len() <= BLOCK_LEN {
-            let meta = encode_block(slots, &mut list.words);
-            list.width = meta.width;
+        let mut metas = Vec::new();
+        encode_chunks(slots, &mut list.words, &mut metas);
+        if metas.len() == 1 {
+            list.width = metas[0].width;
         } else {
-            list.blocks = Vec::with_capacity(slots.len().div_ceil(BLOCK_LEN));
-            for chunk in slots.chunks(BLOCK_LEN) {
-                let meta = encode_block(chunk, &mut list.words);
-                list.blocks.push(meta);
-            }
+            list.blocks = metas;
+            list.blocks.shrink_to_fit();
         }
         list.words.shrink_to_fit();
         list
@@ -209,6 +362,19 @@ impl PackedList {
             usize::from(self.len > 0)
         } else {
             self.blocks.len()
+        }
+    }
+
+    /// Number of bitmap-encoded blocks (diagnostics: the dense-profile
+    /// bench asserts the hybrid format actually engages).
+    pub(crate) fn bitmap_blocks(&self) -> usize {
+        if self.blocks.is_empty() {
+            usize::from(self.len > 0 && self.width == BITMAP_WIDTH)
+        } else {
+            self.blocks
+                .iter()
+                .filter(|b| b.width == BITMAP_WIDTH)
+                .count()
         }
     }
 
@@ -229,20 +395,31 @@ impl PackedList {
         }
     }
 
+    /// `first` of block `idx + 1`, if any.
+    #[inline]
+    fn next_first(&self, idx: usize) -> Option<u32> {
+        if self.blocks.is_empty() {
+            None
+        } else {
+            self.blocks.get(idx + 1).map(|b| b.first)
+        }
+    }
+
     /// Decodes block `idx` by appending its slots to `out`.
     fn decode_block_into(&self, idx: usize, out: &mut Vec<u32>) {
         self.decode_block(self.meta(idx), out);
     }
 
-    /// Re-encodes block `idx` from `slots` (same or one-longer length),
-    /// splicing the payload words and shifting later blocks' offsets if the
-    /// payload span changed. The caller maintains the list-level `len` /
-    /// `last` fields.
-    fn rewrite_block(&mut self, idx: usize, slots: &[u32]) {
+    /// Re-encodes block `idx` from `slots` with the given kind (same or
+    /// one-longer length), splicing the payload words and shifting later
+    /// blocks' offsets if the payload span changed. The caller has already
+    /// checked the replacement is chunking-consistent ([`PackedList::replace_block`])
+    /// and maintains the list-level `len` / `last` fields.
+    fn rewrite_block(&mut self, idx: usize, slots: &[u32], bitmap: bool) {
         let old = self.meta(idx);
         let old_span = old.word_span();
         let mut fresh = Vec::new();
-        let mut meta = encode_block(slots, &mut fresh);
+        let mut meta = encode_block(slots, bitmap, &mut fresh);
         meta.word_offset = old.word_offset;
         let new_span = fresh.len();
         let start = old.word_offset as usize;
@@ -258,13 +435,70 @@ impl PackedList {
                     b.word_offset = (b.word_offset as isize + diff) as u32;
                 }
             }
+            if idx == 0 {
+                self.first = meta.first;
+            }
         }
     }
 
-    /// Replaces the whole list with a fresh encoding of `slots` (the
-    /// single- to multi-block transition of a growing list).
-    fn rebuild(&mut self, slots: &[u32]) {
-        *self = PackedList::from_sorted(slots);
+    /// Replaces blocks `idx..` with a fresh chunking of `decoded` (their
+    /// mutated contents). Maintains the inline/multi-block form and the
+    /// `first` mirror; the caller maintains `len` / `last`.
+    fn rechunk_from(&mut self, idx: usize, decoded: &[u32]) {
+        debug_assert!(!decoded.is_empty());
+        let word_start = if self.blocks.is_empty() {
+            debug_assert_eq!(idx, 0);
+            0
+        } else {
+            self.blocks[idx].word_offset as usize
+        };
+        self.words.truncate(word_start);
+        self.blocks.truncate(idx);
+        encode_chunks(decoded, &mut self.words, &mut self.blocks);
+        if self.blocks.len() == 1 {
+            // Single block: fold back into the inline form, exactly as a
+            // bulk encode of the same contents would.
+            let m = self.blocks[0];
+            self.blocks.clear();
+            self.first = m.first;
+            self.width = m.width;
+        } else {
+            self.width = 0;
+            self.first = self.blocks[0].first;
+        }
+    }
+
+    /// Replaces block `idx`'s contents with `decoded` (the same entries
+    /// mutated, or one extra), keeping the chunking bit-identical to a bulk
+    /// re-encode of the whole list. The common case rewrites this one
+    /// block in place: that is valid exactly when the fresh chunking of
+    /// `decoded` is a single block that a bulk encode — which also sees
+    /// the *following* blocks' entries — would cut at the same boundary.
+    /// Otherwise the suffix from `idx` on is decoded and re-chunked.
+    fn replace_block(&mut self, idx: usize, decoded: Vec<u32>) {
+        let (take, bitmap) = next_chunk(&decoded);
+        let local_ok = take == decoded.len()
+            && match self.next_first(idx) {
+                None => true,
+                // Interior block: the bulk chunker's window must not reach
+                // the next block (it never does when the next block starts
+                // a full window later — always true for untouched
+                // neighbours), and a short gap block would be extended
+                // with the next block's entries, so only a full one stands.
+                Some(next_first) => {
+                    (next_first - decoded[0]) as usize >= BLOCK_LEN
+                        && (bitmap || decoded.len() == BLOCK_LEN)
+                }
+            };
+        if local_ok {
+            self.rewrite_block(idx, &decoded, bitmap);
+        } else {
+            let mut suffix = decoded;
+            for i in idx + 1..self.num_blocks() {
+                self.decode_block_into(i, &mut suffix);
+            }
+            self.rechunk_from(idx, &suffix);
+        }
     }
 
     /// Index of the first block that can hold a slot ≥ `lo` (blocks before
@@ -280,12 +514,12 @@ impl PackedList {
     }
 
     /// Walks every slot in `lo..hi` in ascending order: whole blocks are
-    /// skipped on `first` alone; full interior blocks of a multi-block
-    /// list decode into `buf` and are streamed from it (the blocked-decode
-    /// substrate a SIMD finish would consume); short and boundary blocks
-    /// decode **fused** — the visitor runs inside the bit-extraction loop,
-    /// so a one-entry list costs a handful of instructions. Dense-run
-    /// blocks (width 0) are walked arithmetically without decoding at all.
+    /// skipped on `first` alone; full interior gap blocks of a multi-block
+    /// list decode into `buf` and are streamed from it; short and boundary
+    /// blocks decode **fused** — the visitor runs inside the
+    /// bit-extraction loop, so a one-entry list costs a handful of
+    /// instructions. Bitmap blocks are walked by bit iteration and
+    /// dense-run blocks (width 0) arithmetically, without decoding at all.
     fn for_each_in_range<F: FnMut(u32)>(&self, lo: usize, hi: usize, buf: &mut Vec<u32>, mut f: F) {
         if self.len == 0 || lo >= hi || (self.last as usize) < lo {
             return;
@@ -318,6 +552,130 @@ impl PackedList {
         }
     }
 
+    /// The batched walk behind
+    /// [`PostingList::for_each_chunk_in_range`]: identical block skipping
+    /// to [`PackedList::for_each_in_range`], but each surviving block is
+    /// handed to `f` as one ascending [`PostingChunk`]. Bitmap blocks pass
+    /// their 16-byte mask through undecoded (range-cut boundary blocks
+    /// with out-of-range bits cleared); gap blocks and dense runs
+    /// materialise into `buf` first via the 4-lane unrolled prefix sum.
+    fn for_each_chunk_in_range<F: FnMut(PostingChunk)>(
+        &self,
+        lo: usize,
+        hi: usize,
+        buf: &mut Vec<u32>,
+        mut f: F,
+    ) {
+        if self.len == 0 || lo >= hi || (self.last as usize) < lo {
+            return;
+        }
+        if self.blocks.is_empty() {
+            if (self.first as usize) < hi {
+                let below_hi = (self.last as usize) < hi;
+                let b = self.meta(0);
+                self.chunk_block(b, below_hi, lo, hi, buf, &mut f);
+            }
+            return;
+        }
+        let nblocks = self.blocks.len();
+        for idx in self.first_block_reaching(lo)..nblocks {
+            let b = self.blocks[idx];
+            if (b.first as usize) >= hi {
+                break;
+            }
+            let below_hi = match self.blocks.get(idx + 1) {
+                Some(next) => (next.first as usize) <= hi,
+                None => (self.last as usize) < hi,
+            };
+            self.chunk_block(b, below_hi, lo, hi, buf, &mut f);
+        }
+    }
+
+    /// Emits one surviving block of a chunked walk. Bitmap blocks always
+    /// hand off undecoded — a boundary block just clears the out-of-range
+    /// bits of the mask first. Gap blocks always decode in full with the
+    /// unrolled prefix sum and trim to the range by binary search, which
+    /// beats a fused per-slot decode that range-checks every slot. The
+    /// emitted slots and their order are identical to
+    /// [`PackedList::walk_block`] either way.
+    #[inline]
+    fn chunk_block<F: FnMut(PostingChunk)>(
+        &self,
+        b: BlockMeta,
+        below_hi: bool,
+        lo: usize,
+        hi: usize,
+        buf: &mut Vec<u32>,
+        f: &mut F,
+    ) {
+        let first = b.first as usize;
+        let n = b.len as usize;
+        if b.width == BITMAP_WIDTH {
+            let w = b.word_offset as usize;
+            let mut words = [self.words[w], self.words[w + 1]];
+            if first < lo || !below_hi {
+                let lo_rel = lo.saturating_sub(first);
+                let hi_rel = if below_hi {
+                    BLOCK_LEN
+                } else {
+                    (hi - first).min(BLOCK_LEN)
+                };
+                for (wi, word) in words.iter_mut().enumerate() {
+                    let start = wi * 64;
+                    let lo_w = lo_rel.saturating_sub(start).min(64) as u32;
+                    let hi_w = hi_rel.saturating_sub(start).min(64) as u32;
+                    // Bits [lo_w, hi_w) survive; `upper & !lower` is empty
+                    // on its own whenever `hi_w <= lo_w`.
+                    let upper = if hi_w == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << hi_w) - 1
+                    };
+                    let lower = if lo_w == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << lo_w) - 1
+                    };
+                    *word &= upper & !lower;
+                }
+            }
+            if words != [0; BITMAP_WORDS] {
+                f(PostingChunk::Bitmap {
+                    base: b.first,
+                    words,
+                });
+            }
+            return;
+        }
+        if b.width == 0 {
+            // Consecutive run `first..first + n`: the sub-range is pure
+            // arithmetic, no decode.
+            let s = lo.saturating_sub(first).min(n);
+            let e = n.min(hi - first);
+            if s < e {
+                buf.clear();
+                buf.extend((first + s..first + e).map(|slot| slot as u32));
+                f(PostingChunk::Slots(buf));
+            }
+            return;
+        }
+        buf.clear();
+        self.decode_payload_unrolled(b, buf);
+        let s = if first >= lo {
+            0
+        } else {
+            buf.partition_point(|&p| (p as usize) < lo)
+        };
+        let e = if below_hi {
+            buf.len()
+        } else {
+            buf.partition_point(|&p| (p as usize) < hi)
+        };
+        if s < e {
+            f(PostingChunk::Slots(&buf[s..e]));
+        }
+    }
+
     /// Visits one block's slots within `lo..hi`. `below_hi` asserts that
     /// every slot of the block is below `hi` (the caller derives it from
     /// the next block's `first`), so fully-in-range blocks run check-free.
@@ -343,11 +701,32 @@ impl PackedList {
             }
             return;
         }
+        if b.width == BITMAP_WIDTH {
+            if first >= lo && below_hi {
+                self.walk_bitmap(b, |slot| {
+                    f(slot);
+                    true
+                });
+            } else {
+                // Boundary bitmap block: per-bit range checks, cutting off
+                // at `hi` (bits are visited in ascending slot order).
+                self.walk_bitmap(b, |slot| {
+                    let p = slot as usize;
+                    if p >= hi {
+                        return false;
+                    }
+                    if p >= lo {
+                        f(slot);
+                    }
+                    true
+                });
+            }
+            return;
+        }
         if first >= lo && below_hi {
             if n == BLOCK_LEN {
-                // Full interior block of a long list: blocked decode into
-                // the reusable buffer, then stream it — the unit a SIMD
-                // finish would process whole.
+                // Full interior gap block of a long list: blocked decode
+                // into the reusable buffer, then stream it.
                 buf.clear();
                 self.decode_block(b, buf);
                 for &slot in buf.iter() {
@@ -376,13 +755,13 @@ impl PackedList {
         });
     }
 
-    /// Fused decode of one `width > 0` block: reconstructs each slot from
-    /// the per-word packed gaps and hands it to `emit`; stops early when
-    /// `emit` returns false. The non-straddling layout makes the inner
-    /// loop a shift + mask + add per slot.
+    /// Fused decode of one gap block (`0 < width < BITMAP_WIDTH`):
+    /// reconstructs each slot from the per-word packed gaps and hands it to
+    /// `emit`; stops early when `emit` returns false. The non-straddling
+    /// layout makes the inner loop a shift + mask + add per slot.
     #[inline]
     fn walk_payload<F: FnMut(u32) -> bool>(&self, b: BlockMeta, mut emit: F) {
-        debug_assert!(b.width > 0);
+        debug_assert!(b.width > 0 && b.width != BITMAP_WIDTH);
         if !emit(b.first) {
             return;
         }
@@ -408,13 +787,83 @@ impl PackedList {
         }
     }
 
+    /// Fused walk of one bitmap block: visits each set bit of the two-word
+    /// mask as `first + bit` in ascending order; stops early when `emit`
+    /// returns false.
+    #[inline]
+    fn walk_bitmap<F: FnMut(u32) -> bool>(&self, b: BlockMeta, mut emit: F) {
+        debug_assert_eq!(b.width, BITMAP_WIDTH);
+        let base = b.word_offset as usize;
+        for wi in 0..BITMAP_WORDS {
+            let mut w = self.words[base + wi];
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                if !emit(b.first + (wi as u32) * 64 + bit) {
+                    return;
+                }
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Batched decode of one gap block's payload into `out`: extracts four
+    /// gap lanes per iteration from the non-straddling word layout and
+    /// resolves them with a short explicit prefix sum, so the four loads
+    /// and adds issue in parallel instead of serialising on one
+    /// shift-mask-add chain (portable unrolling — no SIMD intrinsics).
+    fn decode_payload_unrolled(&self, b: BlockMeta, out: &mut Vec<u32>) {
+        debug_assert!(b.width > 0 && b.width != BITMAP_WIDTH);
+        let width = b.width as usize;
+        let mask = (1u64 << width) - 1;
+        let per_word = 64 / width;
+        let words = &self.words[b.word_offset as usize..];
+        let mut prev = b.first;
+        out.reserve(b.len as usize);
+        out.push(prev);
+        let mut remaining = b.len as usize - 1;
+        let mut widx = 0usize;
+        while remaining > 0 {
+            let mut v = words[widx];
+            widx += 1;
+            let take = remaining.min(per_word);
+            let mut k = take;
+            while k >= 4 {
+                let g0 = (v & mask) as u32 + 1;
+                let g1 = ((v >> width) & mask) as u32 + 1;
+                let g2 = ((v >> (2 * width)) & mask) as u32 + 1;
+                let g3 = ((v >> (3 * width)) & mask) as u32 + 1;
+                let p1 = prev + g0;
+                let p2 = p1 + g1;
+                let p3 = p2 + g2;
+                prev = p3 + g3;
+                out.push(p1);
+                out.push(p2);
+                out.push(p3);
+                out.push(prev);
+                k -= 4;
+                if k > 0 {
+                    // Four more lanes exist, so `per_word ≥ 5` and the
+                    // shift stays below 64 bits (`width ≤ 12`).
+                    v >>= 4 * width;
+                }
+            }
+            while k > 0 {
+                prev += (v & mask) as u32 + 1;
+                out.push(prev);
+                v >>= width;
+                k -= 1;
+            }
+            remaining -= take;
+        }
+    }
+
     /// Decodes one block (by metadata) into `out` — the buffered half of
     /// the walk, also backing [`PackedList::decode_block_into`].
     fn decode_block(&self, b: BlockMeta, out: &mut Vec<u32>) {
         let n = b.len as usize;
-        out.reserve(n);
         if b.width == 0 {
             // Consecutive run: no payload to read.
+            out.reserve(n);
             let mut prev = b.first;
             out.push(prev);
             for _ in 1..n {
@@ -423,15 +872,21 @@ impl PackedList {
             }
             return;
         }
-        self.walk_payload(b, |slot| {
-            out.push(slot);
-            true
-        });
+        if b.width == BITMAP_WIDTH {
+            out.reserve(n);
+            self.walk_bitmap(b, |slot| {
+                out.push(slot);
+                true
+            });
+            return;
+        }
+        self.decode_payload_unrolled(b, out);
     }
 
-    /// Adds one to every stored slot ≥ `slot`. Gaps are shift-invariant, so
-    /// blocks entirely at or past the boundary only bump their `first`; at
-    /// most one block (the one the boundary lands inside) is re-encoded.
+    /// Adds one to every stored slot ≥ `slot`. Both block encodings are
+    /// shift-invariant, so blocks entirely at or past the boundary only
+    /// bump their `first`; at most one block (the one the boundary lands
+    /// inside) is re-encoded.
     fn renumber_from(&mut self, slot: u32) {
         if self.len == 0 || self.last < slot {
             return;
@@ -440,7 +895,8 @@ impl PackedList {
         if self.blocks.is_empty() {
             // Single inline block.
             if self.first >= slot {
-                // Wholesale shift: gaps are unchanged, only `first` moves.
+                // Wholesale shift: the relative encoding is unchanged,
+                // only `first` moves.
                 self.first += 1;
                 return;
             }
@@ -463,7 +919,9 @@ impl PackedList {
     }
 
     /// Decodes block `idx`, bumps its entries ≥ `slot` by one and
-    /// re-encodes it — the one block a renumber actually rewrites.
+    /// re-encodes it — the one block a renumber actually rewrites (a
+    /// suffix re-chunk only happens if the grown gap changes the block's
+    /// kind or extent).
     fn renumber_straddling_block(&mut self, idx: usize, slot: u32) {
         let mut decoded = Vec::with_capacity(self.meta(idx).len as usize);
         self.decode_block_into(idx, &mut decoded);
@@ -474,7 +932,7 @@ impl PackedList {
         for s in &mut decoded[at..] {
             *s += 1;
         }
-        self.rewrite_block(idx, &decoded);
+        self.replace_block(idx, decoded);
     }
 
     /// Splices `slot` (not currently present) into sorted position.
@@ -488,66 +946,34 @@ impl PackedList {
             return;
         }
         if slot > self.last {
-            // Append fast path: only the final block is touched.
+            // Append fast path: only the final block is touched (the
+            // replacement re-chunks if the grown block must split).
             let tail = self.num_blocks() - 1;
             let tail_len = self.meta(tail).len as usize;
-            if tail_len < BLOCK_LEN {
-                let mut decoded = Vec::with_capacity(tail_len + 1);
-                self.decode_block_into(tail, &mut decoded);
-                decoded.push(slot);
-                self.rewrite_block(tail, &decoded);
-            } else if self.blocks.is_empty() {
-                // A full inline block spills into the multi-block form.
-                let mut decoded = Vec::with_capacity(BLOCK_LEN + 1);
-                self.decode_block_into(0, &mut decoded);
-                decoded.push(slot);
-                return self.rebuild(&decoded);
-            } else {
-                let meta = encode_block(&[slot], &mut self.words);
-                self.blocks.push(meta);
-            }
+            let mut decoded = Vec::with_capacity(tail_len + 1);
+            self.decode_block_into(tail, &mut decoded);
+            decoded.push(slot);
+            self.replace_block(tail, decoded);
             self.len += 1;
             self.last = slot;
             return;
         }
-        if self.blocks.is_empty() {
-            // Single-block splice: decode, insert, re-encode (or spill).
-            let mut decoded = Vec::with_capacity(self.len as usize + 1);
-            self.decode_block_into(0, &mut decoded);
-            let at = decoded.partition_point(|&s| s < slot);
-            decoded.insert(at, slot);
-            if decoded.len() <= BLOCK_LEN {
-                self.rewrite_block(0, &decoded);
-                self.len += 1;
-            } else {
-                self.rebuild(&decoded);
-            }
-            return;
-        }
-        // Mid-list splice: decode the suffix from the affected block on,
-        // insert, and re-chunk it (all blocks but the last hold exactly
-        // BLOCK_LEN slots, so an in-place one-block rewrite cannot absorb
-        // the extra entry).
-        let idx = self
-            .blocks
-            .partition_point(|b| b.first <= slot)
-            .saturating_sub(1);
-        let mut suffix = Vec::new();
-        for i in idx..self.blocks.len() {
-            self.decode_block_into(i, &mut suffix);
-        }
-        let at = suffix.partition_point(|&s| s < slot);
-        suffix.insert(at, slot);
-        self.words.truncate(self.blocks[idx].word_offset as usize);
-        self.blocks.truncate(idx);
-        for chunk in suffix.chunks(BLOCK_LEN) {
-            let meta = encode_block(chunk, &mut self.words);
-            self.blocks.push(meta);
-        }
+        // Splice into the block whose range holds `slot` (the head block
+        // for a new smallest slot); the replacement re-chunks the suffix
+        // when the grown block no longer matches a bulk cut.
+        let idx = if self.blocks.is_empty() {
+            0
+        } else {
+            self.blocks
+                .partition_point(|b| b.first <= slot)
+                .saturating_sub(1)
+        };
+        let mut decoded = Vec::with_capacity(self.meta(idx).len as usize + 1);
+        self.decode_block_into(idx, &mut decoded);
+        let at = decoded.partition_point(|&s| s < slot);
+        decoded.insert(at, slot);
+        self.replace_block(idx, decoded);
         self.len += 1;
-        // A head splice (idx == 0, slot below the old head) changes the
-        // first block's `first`: keep the list-level mirror coherent.
-        self.first = self.blocks[0].first;
     }
 
     /// Heap bytes held by the list (payload words + block metadata).
@@ -563,7 +989,7 @@ impl PackedList {
 pub enum PostingList {
     /// Plain ascending `Vec<u32>` (the ablation and correctness oracle).
     Raw(Vec<u32>),
-    /// Block-compressed delta/bit-packed representation.
+    /// Block-compressed hybrid gap-packed/bitmap representation.
     Packed(PackedList),
 }
 
@@ -603,6 +1029,15 @@ impl PostingList {
         self.len() == 0
     }
 
+    /// Number of bitmap-encoded blocks (0 on the raw format) — the
+    /// diagnostic the dense-profile bench gates on.
+    pub fn bitmap_blocks(&self) -> usize {
+        match self {
+            PostingList::Raw(_) => 0,
+            PostingList::Packed(packed) => packed.bitmap_blocks(),
+        }
+    }
+
     /// Calls `f` on every stored slot in `lo..hi`, in ascending order.
     ///
     /// `buf` is the caller's reusable block-decode scratch (unused by the
@@ -616,27 +1051,42 @@ impl PostingList {
     pub fn for_each_in_range<F: FnMut(u32)>(&self, lo: usize, hi: usize, buf: &mut Vec<u32>, f: F) {
         match self {
             PostingList::Raw(list) => {
-                let start = if lo == 0 {
-                    // Common case (sequential path): skip the binary search.
-                    0
-                } else {
-                    list.partition_point(|&slot| (slot as usize) < lo)
-                };
-                let end = match list.last() {
-                    // Only search for the cutoff when the list actually
-                    // extends past it; otherwise (pruning disabled, or a low
-                    // threshold) the whole list survives search-free.
-                    Some(&last) if (last as usize) >= hi => {
-                        list.partition_point(|&slot| (slot as usize) < hi)
-                    }
-                    _ => list.len(),
-                };
+                let (start, end) = raw_range_bounds(list, lo, hi);
                 let mut f = f;
-                for &slot in &list[start..end.max(start)] {
+                for &slot in &list[start..end] {
                     f(slot);
                 }
             }
             PostingList::Packed(packed) => packed.for_each_in_range(lo, hi, buf, f),
+        }
+    }
+
+    /// Calls `f` on every stored slot in `lo..hi`, in ascending order,
+    /// **one [`PostingChunk`] at a time** — the batched walk the
+    /// vectorized accumulate kernel
+    /// ([`crate::index::candidates::FinishKernel`]) consumes. The raw
+    /// representation hands out its cut sub-slice in a single copy-free
+    /// chunk; the packed representation hands out each surviving block —
+    /// fully-in-range bitmap blocks as their undecoded mask, everything
+    /// else materialised into `buf`. The concatenation of the chunks'
+    /// slots is exactly the sequence [`PostingList::for_each_in_range`]
+    /// visits.
+    #[inline]
+    pub fn for_each_chunk_in_range<F: FnMut(PostingChunk)>(
+        &self,
+        lo: usize,
+        hi: usize,
+        buf: &mut Vec<u32>,
+        mut f: F,
+    ) {
+        match self {
+            PostingList::Raw(list) => {
+                let (start, end) = raw_range_bounds(list, lo, hi);
+                if start < end {
+                    f(PostingChunk::Slots(&list[start..end]));
+                }
+            }
+            PostingList::Packed(packed) => packed.for_each_chunk_in_range(lo, hi, buf, f),
         }
     }
 
@@ -696,6 +1146,28 @@ impl PostingList {
     }
 }
 
+/// The `[start, end)` index range of a raw list's slots within the slot
+/// range `lo..hi`: the same binary searches (and the same `lo == 0` /
+/// short-list fast paths) the candidates stage used before the posting
+/// subsystem existed, shared by the per-slot and chunked walks.
+#[inline]
+fn raw_range_bounds(list: &[u32], lo: usize, hi: usize) -> (usize, usize) {
+    let start = if lo == 0 {
+        // Common case (sequential path): skip the binary search.
+        0
+    } else {
+        list.partition_point(|&slot| (slot as usize) < lo)
+    };
+    let end = match list.last() {
+        // Only search for the cutoff when the list actually extends past
+        // it; otherwise (pruning disabled, or a low threshold) the whole
+        // list survives search-free.
+        Some(&last) if (last as usize) >= hi => list.partition_point(|&slot| (slot as usize) < hi),
+        _ => list.len(),
+    };
+    (start, end.max(start))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -712,6 +1184,25 @@ mod tests {
         let mut buf = Vec::new();
         list.for_each_in_range(lo, hi, &mut buf, |s| out.push(s));
         out
+    }
+
+    fn chunk_range_of(list: &PostingList, lo: usize, hi: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut buf = Vec::new();
+        list.for_each_chunk_in_range(lo, hi, &mut buf, |chunk| {
+            let before = out.len();
+            chunk.for_each_slot(|slot| out.push(slot));
+            assert!(out.len() > before, "empty chunk handed out");
+        });
+        out
+    }
+
+    /// A shape whose interior windows are dense but not consecutive, so
+    /// the chunker picks bitmap blocks: 112 of each 128-slot window, with
+    /// an occasional gap of 3 forcing width 2 — gap-encoding a window
+    /// needs ⌈111/32⌉ = 4 words, twice the 2-word mask.
+    fn bitmap_heavy_slots(n: usize) -> Vec<u32> {
+        (0..n as u32).filter(|i| !matches!(i % 16, 5 | 6)).collect()
     }
 
     #[test]
@@ -742,6 +1233,39 @@ mod tests {
             let list = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
             assert_eq!(list.to_vec(), slots, "n = {n}");
         }
+    }
+
+    #[test]
+    fn bitmap_blocks_round_trip_and_walk_in_range() {
+        // Dense-but-gappy windows: gap-encoding a 128-slot window of 112
+        // width-2 entries needs 4 words, so the chunker must pick the
+        // 2-word mask.
+        let slots = bitmap_heavy_slots(1000);
+        let [raw, packed] = both(&slots);
+        assert!(
+            packed.bitmap_blocks() > 0,
+            "dense windows did not engage the bitmap encoding"
+        );
+        assert_eq!(raw.bitmap_blocks(), 0);
+        assert_eq!(packed.to_vec(), slots);
+        for lo in [0usize, 1, 63, 64, 127, 128, 129, 500, 999] {
+            for hi in [0usize, 1, 64, 128, 200, 500, 999, 1000, usize::MAX] {
+                assert_eq!(
+                    range_of(&raw, lo, hi),
+                    range_of(&packed, lo, hi),
+                    "formats disagree on {lo}..{hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_blocks_never_beat_by_dense_runs() {
+        // Fully consecutive runs must stay width-0 gap blocks (zero
+        // payload beats any mask), not bitmaps.
+        let dense: Vec<u32> = (0..1000u32).collect();
+        let list = PostingList::from_sorted(PostingFormat::Packed, dense);
+        assert_eq!(list.bitmap_blocks(), 0);
     }
 
     #[test]
@@ -784,6 +1308,33 @@ mod tests {
     }
 
     #[test]
+    fn chunked_walks_concatenate_to_the_per_slot_walk() {
+        // The batched walk must visit the identical slot sequence for
+        // every range and both formats — including bitmap-heavy,
+        // gap-heavy and dense-run shapes.
+        let shapes: [Vec<u32>; 4] = [
+            (0..400u32).map(|i| i * 3 + (i % 3)).collect(),
+            bitmap_heavy_slots(900),
+            (0..300u32).collect(),
+            vec![5, 9, 1_000_000],
+        ];
+        for slots in &shapes {
+            let max = slots.last().copied().unwrap_or(0) as usize;
+            for list in both(slots) {
+                for lo in [0, 1, 64, 127, 128, 129, max / 2, max, max + 1] {
+                    for hi in [0, 1, 65, 128, 256, max / 2 + 1, max, max + 1, usize::MAX] {
+                        assert_eq!(
+                            chunk_range_of(&list, lo, hi),
+                            range_of(&list, lo, hi),
+                            "chunked walk diverged on {lo}..{hi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn renumber_matches_raw_oracle() {
         let slots: Vec<u32> = (0..300u32).map(|i| i * 2).collect();
         for boundary in [0u32, 1, 5, 127, 128, 256, 598, 599, 10_000] {
@@ -808,6 +1359,30 @@ mod tests {
         }
         let as_list = PostingList::Packed(list);
         assert_eq!(as_list.to_vec(), slots);
+    }
+
+    #[test]
+    fn mutations_on_bitmap_blocks_match_raw_oracle_and_rebuild() {
+        let base = bitmap_heavy_slots(700);
+        // Renumber across head / bitmap-interior / tail boundaries.
+        for boundary in [0u32, 1, 64, 127, 128, 300, 699, 700, 5_000] {
+            let [mut raw, mut packed] = both(&base);
+            raw.renumber_from(boundary);
+            packed.renumber_from(boundary);
+            assert_eq!(raw.to_vec(), packed.to_vec(), "boundary {boundary}");
+            let rebuilt = PostingList::from_sorted(PostingFormat::Packed, raw.to_vec());
+            assert_eq!(packed, rebuilt, "renumber {boundary} diverged structurally");
+        }
+        // Splices into mask holes, block boundaries and past the tail
+        // (base holds every value except those ≡ 5 or 6 mod 16).
+        for slot in [5u32, 22, 117, 133, 325, 693, 703, 10_000] {
+            let [mut raw, mut packed] = both(&base);
+            raw.insert_sorted(slot);
+            packed.insert_sorted(slot);
+            assert_eq!(raw.to_vec(), packed.to_vec(), "insert {slot}");
+            let rebuilt = PostingList::from_sorted(PostingFormat::Packed, raw.to_vec());
+            assert_eq!(packed, rebuilt, "insert {slot} diverged structurally");
+        }
     }
 
     #[test]
@@ -863,6 +1438,29 @@ mod tests {
     }
 
     #[test]
+    fn incremental_growth_matches_bulk_encoding_structurally() {
+        // Appending one slot at a time must route every intermediate list
+        // through the same chunker decisions as a bulk encode — across
+        // gap, dense-run and bitmap shapes.
+        let shapes: [Vec<u32>; 3] = [
+            (0..300u32).map(|i| i * 3).collect(),
+            bitmap_heavy_slots(400),
+            (0..300u32).collect(),
+        ];
+        for slots in &shapes {
+            let mut grown = PackedList::default();
+            for (i, &s) in slots.iter().enumerate() {
+                grown.insert_sorted(s);
+                assert_eq!(
+                    grown,
+                    PackedList::from_sorted(&slots[..=i]),
+                    "growth diverged from bulk at entry {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn packed_is_smaller_than_raw_on_long_lists() {
         // A long list over a realistically sized slot space: the packed
         // representation must be well under half the raw bytes.
@@ -878,5 +1476,23 @@ mod tests {
         let dense: Vec<u32> = (0..2_000u32).collect();
         let dense_packed = PostingList::from_sorted(PostingFormat::Packed, dense);
         assert!(dense_packed.heap_bytes() <= 16 * (2_000usize).div_ceil(BLOCK_LEN) + 64);
+    }
+
+    #[test]
+    fn bitmap_blocks_cost_the_flat_mask() {
+        // A bitmap-heavy list costs ~16 payload bytes per 128-slot window
+        // plus metadata, far below the gap encoding it displaced (which
+        // needs ≥ 24 bytes per window by the chunker's own rule).
+        let slots = bitmap_heavy_slots(1280); // 10 windows, 112 slots each
+        let packed = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+        let windows = 1280 / BLOCK_LEN;
+        assert!(packed.bitmap_blocks() >= windows - 1);
+        let mask_bytes = 16 * windows;
+        let meta_bytes = 12 * (windows + 1);
+        assert!(
+            packed.heap_bytes() <= mask_bytes + meta_bytes + 64,
+            "bitmap-heavy list holds {} bytes",
+            packed.heap_bytes()
+        );
     }
 }

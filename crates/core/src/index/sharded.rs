@@ -229,6 +229,21 @@ impl Shard {
                 .map(PostingList::heap_bytes)
                 .sum::<usize>()
     }
+
+    /// Number of bitmap-encoded blocks across the shard's posting lists
+    /// (always 0 on the raw format) — the diagnostic the dense-profile
+    /// bench gates on to prove the hybrid encoding actually engages.
+    pub fn bitmap_blocks(&self) -> usize {
+        self.signature_postings
+            .values()
+            .map(PostingList::bitmap_blocks)
+            .sum::<usize>()
+            + self
+                .buffer_postings
+                .iter()
+                .map(PostingList::bitmap_blocks)
+                .sum::<usize>()
+    }
 }
 
 /// An ordered sequence of [`Shard`]s covering contiguous, ascending record-id
@@ -311,6 +326,12 @@ impl ShardedIndex {
     /// memory number of the bench report).
     pub fn posting_bytes(&self) -> usize {
         self.shards.iter().map(Shard::posting_bytes).sum()
+    }
+
+    /// Total bitmap-encoded posting blocks across all shards (the
+    /// dense-profile bench's evidence that hybrid blocks engage).
+    pub fn bitmap_blocks(&self) -> usize {
+        self.shards.iter().map(Shard::bitmap_blocks).sum()
     }
 
     /// The shard owning a global record id, plus the id local to its store.

@@ -34,8 +34,10 @@ pub struct QueryScratch {
     /// Reusable block-decode buffer of the posting walk: block-compressed
     /// posting lists ([`crate::index::postings::PostingList`]) decode each
     /// surviving block into this buffer, so traversal allocates nothing
-    /// after the first query. This per-pipeline buffer is the blocked-decode
-    /// substrate a future SIMD finish would consume directly.
+    /// after the first query. The vectorized finish kernel
+    /// ([`crate::index::candidates::FinishKernel::Vectorized`]) consumes it
+    /// one whole chunk at a time through the batched accumulate methods
+    /// below.
     pub(crate) block_decode: Vec<u32>,
 }
 
@@ -106,6 +108,133 @@ impl QueryScratch {
         let i = slot as usize;
         if self.stamp[i] == self.epoch {
             self.k_int[i] += 1;
+        }
+    }
+
+    /// Batched [`QueryScratch::add_signature_hit`]: accumulates one shared
+    /// signature hash for every slot of one decoded posting chunk.
+    ///
+    /// Four slots are processed per iteration so the independent per-slot
+    /// loads can issue in parallel instead of serialising behind one
+    /// branchy chain; the epoch/stamp semantics are identical to the
+    /// per-slot call, including first-touch order of `touched`.
+    #[inline]
+    pub fn add_signature_hits(&mut self, slots: &[u32]) {
+        let mut it = slots.chunks_exact(4);
+        for quad in &mut it {
+            self.add_signature_hit(quad[0]);
+            self.add_signature_hit(quad[1]);
+            self.add_signature_hit(quad[2]);
+            self.add_signature_hit(quad[3]);
+        }
+        for &slot in it.remainder() {
+            self.add_signature_hit(slot);
+        }
+    }
+
+    /// Batched [`QueryScratch::add_candidate`]: registers every slot of one
+    /// decoded posting chunk as a candidate.
+    #[inline]
+    pub fn add_candidates(&mut self, slots: &[u32]) {
+        let mut it = slots.chunks_exact(4);
+        for quad in &mut it {
+            self.activate(quad[0]);
+            self.activate(quad[1]);
+            self.activate(quad[2]);
+            self.activate(quad[3]);
+        }
+        for &slot in it.remainder() {
+            self.activate(slot);
+        }
+    }
+
+    /// Batched [`QueryScratch::add_signature_hit_if_candidate`], the hot
+    /// pass of the vectorized kernel: the lookup-only accumulate is
+    /// **branch-free** per slot — `K∩[i] += (stamp[i] == epoch)` adds zero
+    /// to non-candidates instead of branching around them — so the four
+    /// lanes per iteration carry no data-dependent branches at all and
+    /// their loads stay in flight together.
+    #[inline]
+    pub fn add_signature_hits_if_candidate(&mut self, slots: &[u32]) {
+        let epoch = self.epoch;
+        let mut it = slots.chunks_exact(4);
+        for quad in &mut it {
+            let (a, b, c, d) = (
+                quad[0] as usize,
+                quad[1] as usize,
+                quad[2] as usize,
+                quad[3] as usize,
+            );
+            let ha = u32::from(self.stamp[a] == epoch);
+            let hb = u32::from(self.stamp[b] == epoch);
+            let hc = u32::from(self.stamp[c] == epoch);
+            let hd = u32::from(self.stamp[d] == epoch);
+            self.k_int[a] += ha;
+            self.k_int[b] += hb;
+            self.k_int[c] += hc;
+            self.k_int[d] += hd;
+        }
+        for &slot in it.remainder() {
+            let i = slot as usize;
+            self.k_int[i] += u32::from(self.stamp[i] == epoch);
+        }
+    }
+
+    /// Mask-form [`QueryScratch::add_signature_hits`]: accumulates one
+    /// shared signature hash for every set bit `b` of `words` as slot
+    /// `base + b` (ascending bit order, so first-touch order matches the
+    /// decoded walk). This is the undecoded form of one dense bitmap
+    /// posting block — the set bits feed the accumulator straight from the
+    /// 16-byte mask instead of round-tripping through a decode buffer.
+    #[inline]
+    pub fn add_signature_hits_mask(&mut self, base: u32, words: [u64; 2]) {
+        for (wi, mut w) in words.into_iter().enumerate() {
+            let word_base = base + (wi as u32) * 64;
+            while w != 0 {
+                self.add_signature_hit(word_base + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Mask-form [`QueryScratch::add_candidates`]: registers every set bit
+    /// of `words` (as slot `base + b`, ascending) as a candidate.
+    #[inline]
+    pub fn add_candidates_mask(&mut self, base: u32, words: [u64; 2]) {
+        for (wi, mut w) in words.into_iter().enumerate() {
+            let word_base = base + (wi as u32) * 64;
+            while w != 0 {
+                self.activate(word_base + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Mask-form [`QueryScratch::add_signature_hits_if_candidate`]: a
+    /// branch-free linear sweep over each word's 64-slot window. Every
+    /// swept slot gains `present & candidate` — absent slots and
+    /// non-candidates add zero — so the inner loop carries no
+    /// data-dependent branches and no serial `trailing_zeros` chain, and
+    /// its loads are purely sequential. Bitmap blocks are at least half
+    /// full by construction, so sweeping the absent minority is cheaper
+    /// than chasing set bits; it is sound precisely because this pass
+    /// never mints: adding zero to a slot the posting does not contain
+    /// changes nothing, and no ordering is observable. Bits past the slot
+    /// table are guaranteed absent and are simply not swept.
+    #[inline]
+    pub fn add_signature_hits_if_candidate_mask(&mut self, base: u32, words: [u64; 2]) {
+        let epoch = self.epoch;
+        for (wi, w) in words.into_iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            let word_base = base as usize + wi * 64;
+            let span = 64.min(self.k_int.len().saturating_sub(word_base));
+            for j in 0..span {
+                let present = ((w >> j) & 1) as u32;
+                let i = word_base + j;
+                self.k_int[i] += present & u32::from(self.stamp[i] == epoch);
+            }
         }
     }
 
@@ -191,6 +320,89 @@ mod tests {
             1,
             "epoch wrap leaked a stale accumulator"
         );
+    }
+
+    #[test]
+    fn batched_accumulates_match_per_slot_calls() {
+        // The vectorized kernel's batched methods must leave the scratch in
+        // exactly the state the scalar per-slot calls produce — including
+        // first-touch order and remainder handling (lengths not ≡ 0 mod 4).
+        let chunks: [&[u32]; 3] = [&[9, 1, 4, 7, 2], &[1, 4, 11, 0], &[2]];
+        let mut scalar = QueryScratch::new();
+        let mut batched = QueryScratch::new();
+        scalar.begin(12);
+        batched.begin(12);
+        for chunk in chunks {
+            for &s in chunk {
+                scalar.add_signature_hit(s);
+            }
+            batched.add_signature_hits(chunk);
+        }
+        for &s in [6u32, 9, 1].iter() {
+            scalar.add_candidate(s);
+        }
+        batched.add_candidates(&[6, 9, 1]);
+        for chunk in chunks {
+            for &s in chunk {
+                scalar.add_signature_hit_if_candidate(s);
+            }
+            batched.add_signature_hits_if_candidate(chunk);
+        }
+        // Slot 3 was never touched: the lookup-only batch must not mint it.
+        batched.add_signature_hits_if_candidate(&[3, 3, 3, 3, 3]);
+        assert_eq!(scalar.candidates(), batched.candidates());
+        for s in 0..12 {
+            assert_eq!(
+                scalar.k_intersection(s),
+                batched.k_intersection(s),
+                "slot {s} diverged"
+            );
+        }
+        assert!(!batched.candidates().contains(&3));
+    }
+
+    #[test]
+    fn mask_accumulates_match_per_slot_calls() {
+        // The mask-form methods must leave the scratch in exactly the
+        // state the scalar per-slot calls over the expanded bits produce —
+        // including first-touch order and a second word whose 64-slot
+        // window overhangs the slot table (only absent bits may overhang).
+        let base = 10u32;
+        let words = [0b1011_0110_1101u64, (1u64 << 25) | 0b1001];
+        let slots: Vec<u32> = (0..2)
+            .flat_map(|wi| (0..64).map(move |b| (wi, b)))
+            .filter(|&(wi, b)| words[wi as usize] >> b & 1 == 1)
+            .map(|(wi, b)| base + wi * 64 + b)
+            .collect();
+        assert_eq!(*slots.last().unwrap(), 99, "test shape drifted");
+        let mut scalar = QueryScratch::new();
+        let mut masked = QueryScratch::new();
+        scalar.begin(100);
+        masked.begin(100);
+        for &s in &slots {
+            scalar.add_signature_hit(s);
+        }
+        masked.add_signature_hits_mask(base, words);
+        for &s in &slots {
+            scalar.add_candidate(s);
+        }
+        masked.add_candidates_mask(base, words);
+        // Slot 0 is a candidate the mask does not cover: the branch-free
+        // sweep must add exactly zero to it.
+        scalar.add_candidate(0);
+        masked.add_candidate(0);
+        for &s in &slots {
+            scalar.add_signature_hit_if_candidate(s);
+        }
+        masked.add_signature_hits_if_candidate_mask(base, words);
+        assert_eq!(scalar.candidates(), masked.candidates());
+        for s in 0..100 {
+            assert_eq!(
+                scalar.k_intersection(s),
+                masked.k_intersection(s),
+                "slot {s} diverged"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //! * **mutations** — `insert_sorted` and `renumber_from` (the dynamic
 //!   insert path) commute with encoding: mutating the packed list equals
 //!   mutating the raw oracle and re-encoding.
+//!
+//! Every family runs over two slot distributions: the general adversarial
+//! mix below, and a dense-but-gappy one engineered so the hybrid encoder's
+//! per-block size rule actually chooses **bitmap** blocks (mostly gap-1
+//! runs broken by occasional gaps of 2–4: enough entries per 128-slot
+//! window that the 2-word presence mask beats the packed gap chain). The
+//! chunked walk (`for_each_chunk_in_range`, the vectorized kernel's
+//! substrate) is pinned to concatenate to the per-slot walk on both.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -47,11 +55,61 @@ fn slots_strategy() -> impl Strategy<Value = Vec<u32>> {
     })
 }
 
+/// Dense-but-gappy ascending sequences: mostly consecutive slots with
+/// occasional gaps of 2–4, so many 128-slot windows hold ≥ 66 width-2
+/// entries — exactly where the hybrid encoder's size rule flips a block
+/// from gap-packed to a 128-bit presence mask.
+fn dense_slots_strategy() -> impl Strategy<Value = Vec<u32>> {
+    vec(any::<u32>(), 0..(6 * BLOCK_LEN + 13)).prop_map(|codes| {
+        let mut slots = Vec::with_capacity(codes.len());
+        let mut cur = (codes.first().copied().unwrap_or(0) % 1_000_000) as u64;
+        for code in codes {
+            slots.push(cur as u32);
+            cur += match code % 8 {
+                0..=5 => 1,              // dense run
+                6 => 2,                  // small hole
+                _ => 2 + (code / 8) % 3, // gap of 2..=4
+            } as u64;
+        }
+        slots
+    })
+}
+
 fn decode_range(list: &PostingList, lo: usize, hi: usize) -> Vec<u32> {
     let mut out = Vec::new();
     let mut buf = Vec::new();
     list.for_each_in_range(lo, hi, &mut buf, |slot| out.push(slot));
     out
+}
+
+fn decode_chunked_range(list: &PostingList, lo: usize, hi: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    list.for_each_chunk_in_range(lo, hi, &mut buf, |chunk| {
+        chunk.for_each_slot(|slot| out.push(slot))
+    });
+    out
+}
+
+/// Exact byte cost of the pre-hybrid format: fixed 128-entry chunks, every
+/// block gap-packed at its own width (⌊64/width⌋ lanes per word), 12-byte
+/// metadata per block. The independent yardstick the hybrid memory bound
+/// is measured against.
+fn gap_only_bytes(slots: &[u32]) -> usize {
+    let mut words = 0usize;
+    let mut blocks = 0usize;
+    for chunk in slots.chunks(BLOCK_LEN) {
+        blocks += 1;
+        let width = chunk
+            .windows(2)
+            .map(|w| 32 - (w[1] - w[0] - 1).leading_zeros())
+            .max()
+            .unwrap_or(0) as usize;
+        if let Some(per_word) = 64usize.checked_div(width) {
+            words += (chunk.len() - 1).div_ceil(per_word);
+        }
+    }
+    8 * words + 12 * blocks
 }
 
 proptest! {
@@ -144,5 +202,103 @@ proptest! {
         if slots.len() <= 1 {
             prop_assert_eq!(packed.heap_bytes(), 0, "tiny lists must be inline");
         }
+    }
+
+    #[test]
+    fn hybrid_round_trips_and_walks_on_dense_shapes(
+        slots in dense_slots_strategy(),
+        lo_pick in 0usize..1_000,
+        span_pick in 0usize..1_000,
+    ) {
+        // The dense strategy is where bitmap blocks actually appear; the
+        // encode→decode identity and the range-walk agreement must hold
+        // across mixed gap/bitmap block sequences exactly as on the
+        // general mix.
+        let raw = PostingList::from_sorted(PostingFormat::Raw, slots.clone());
+        let packed = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+        prop_assert_eq!(packed.to_vec(), slots.clone(), "hybrid encode→decode is not the identity");
+        let max = slots.last().copied().unwrap_or(0) as usize;
+        let lo = lo_pick * (max + 2) / 1_000;
+        let hi = lo + span_pick * (max + 2 - lo.min(max + 1)) / 1_000;
+        for (lo, hi) in [(lo, hi), (0, max + 1), (0, usize::MAX), (lo, lo)] {
+            prop_assert_eq!(
+                decode_range(&packed, lo, hi),
+                decode_range(&raw, lo, hi),
+                "hybrid walk diverged from the raw oracle on {}..{}", lo, hi
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_walk_concatenates_to_the_per_slot_walk(
+        general in slots_strategy(),
+        dense in dense_slots_strategy(),
+        lo_pick in 0usize..1_000,
+        span_pick in 0usize..1_000,
+    ) {
+        // The vectorized kernel consumes `for_each_chunk_in_range`; its
+        // chunks must concatenate to exactly the per-slot walk's sequence
+        // for both formats and every range — this is what makes the
+        // kernels bit-identical end to end.
+        for slots in [general, dense] {
+            let max = slots.last().copied().unwrap_or(0) as usize;
+            let lo = lo_pick * (max + 2) / 1_000;
+            let hi = lo + span_pick * (max + 2 - lo.min(max + 1)) / 1_000;
+            for format in [PostingFormat::Raw, PostingFormat::Packed] {
+                let list = PostingList::from_sorted(format, slots.clone());
+                for (lo, hi) in [(lo, hi), (0, max + 1), (0, usize::MAX), (lo, lo)] {
+                    prop_assert_eq!(
+                        decode_chunked_range(&list, lo, hi),
+                        decode_range(&list, lo, hi),
+                        "chunked walk diverged on {}..{} ({:?})", lo, hi, format
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_mutations_commute_with_encoding_on_dense_shapes(
+        slots in dense_slots_strategy(),
+        splice_pick in 0usize..1_000,
+    ) {
+        // The dynamic-insert mutation sequence over lists with bitmap
+        // blocks: renumber + splice must track the raw oracle *and* leave
+        // the packed list structurally identical to a fresh encoding — the
+        // re-chunking after a mutation lands on the very same gap/bitmap
+        // block decisions as a bulk build.
+        let max = slots.last().copied().unwrap_or(0);
+        let slot = (splice_pick as u64 * (max as u64 + 2) / 1_000) as u32;
+        let mut raw = PostingList::from_sorted(PostingFormat::Raw, slots.clone());
+        let mut packed = PostingList::from_sorted(PostingFormat::Packed, slots);
+        raw.renumber_from(slot);
+        packed.renumber_from(slot);
+        prop_assert_eq!(raw.to_vec(), packed.to_vec(), "renumber_from({}) diverged", slot);
+        let renumbered = PostingList::from_sorted(PostingFormat::Packed, raw.to_vec());
+        prop_assert_eq!(&packed, &renumbered, "renumber drifted from a fresh encoding");
+        raw.insert_sorted(slot);
+        packed.insert_sorted(slot);
+        prop_assert_eq!(raw.to_vec(), packed.to_vec(), "insert_sorted({}) diverged", slot);
+        let reencoded = PostingList::from_sorted(PostingFormat::Packed, raw.to_vec());
+        prop_assert_eq!(&packed, &reencoded, "incremental growth drifted from a fresh encoding");
+    }
+
+    #[test]
+    fn hybrid_never_outweighs_the_gap_only_encoding(slots in dense_slots_strategy()) {
+        // The hybrid memory bound: a bitmap block is chosen *only* when the
+        // same entries gap-encoded would cost more than the 2-word mask, so
+        // the hybrid list must not exceed the pre-hybrid fixed-chunk
+        // gap-only encoding beyond bounded per-block slack (block metadata
+        // for the extra blocks adaptive chunking can produce — a bitmap
+        // block consumes its 128-slot window rather than 128 entries — and
+        // one word of boundary drift per block), plus the one 16-byte mask
+        // of a trailing partial block.
+        let packed = PostingList::from_sorted(PostingFormat::Packed, slots.clone());
+        let budget = gap_only_bytes(&slots) + 40 * slots.len().div_ceil(BLOCK_LEN) + 32;
+        prop_assert!(
+            packed.heap_bytes() <= budget,
+            "hybrid {} bytes vs gap-only budget {} on {} slots",
+            packed.heap_bytes(), budget, slots.len()
+        );
     }
 }

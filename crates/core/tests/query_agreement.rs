@@ -14,14 +14,17 @@
 //! and queries whose signature is entirely absent from the index are
 //! exercised explicitly. The posting format is crossed with prefix,
 //! sharding and insert-then-search, so compression can never change an
-//! answer.
+//! answer; the candidates-stage finish kernel (scalar oracle vs the
+//! default vectorized block-at-a-time accumulate) is crossed with format,
+//! prefix, sharding, the parallel paths, top-k and the serving layer, so
+//! the batched kernel can never change one either.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use gbkmv_core::dataset::{Dataset, Record};
 use gbkmv_core::index::{
-    BufferSizing, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
+    BufferSizing, FinishKernel, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
 };
 use gbkmv_core::service::ContainmentService;
 use gbkmv_core::store::QueryScratch;
@@ -112,6 +115,16 @@ proptest! {
             &dataset, config.shards(shards).posting_format(PostingFormat::Raw));
         prop_assert_eq!(&scan, &raw_sharded.search_filtered(&query, t_star),
             "raw-format {}-shard pipeline diverged (t*={})", shards, t_star);
+
+        // The finish kernel is pure mechanics: the scalar-oracle config and
+        // a scalar pipeline over the vectorized-default index both return
+        // bit-identical hits (the default indexes above run vectorized).
+        let scalar = GbKmvIndex::build(&dataset, config.finish_kernel(FinishKernel::Scalar));
+        prop_assert_eq!(&scan, &scalar.search_filtered(&query, t_star),
+            "scalar finish kernel diverged from scan (t*={})", t_star);
+        let mut scalar_pipeline = QueryPipeline::new().finish_kernel(FinishKernel::Scalar);
+        prop_assert_eq!(&scan, &scalar_pipeline.search(&index, query.elements(), t_star),
+            "scalar-kernel pipeline over a vectorized index diverged (t*={})", t_star);
 
         // The auto-scheduled path picks its own engine but never its own
         // answers — single-query and multi-query workloads alike.
@@ -310,6 +323,79 @@ proptest! {
                     "grown {}-shard {:?}-format index: pipeline diverged from scan (t*={})",
                     shards, format, t_star);
             }
+        }
+    }
+
+    #[test]
+    fn finish_kernels_agree_across_every_engine_variant(
+        dataset in dataset_strategy(),
+        budget_fraction in 0.05f64..1.1,
+        t_star in 0.0f64..1.0,
+        shards in 1usize..5,
+        seed in 0u64..1_000_000,
+        query_pick in 0usize..1_000,
+        k in 1usize..12,
+        extra in vec(vec(0u32..3_000, 1..60), 1..3),
+    ) {
+        // The dedicated kernel-dimension sweep: scalar vs vectorized,
+        // crossed with posting format × prefix filter × shard count, over
+        // the sequential, intra-query-parallel, batch and top-k paths and
+        // the serving layer — every combination pinned bit-identical to
+        // the kernel-free scan reference.
+        let base = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .shards(shards);
+        let query = dataset.record(query_pick % dataset.len()).clone();
+        let reference = GbKmvIndex::build(&dataset, base);
+        let scan = reference.search_scan(&query, t_star);
+        let topk_reference = reference.search_topk(&query, k);
+        let inserted: Vec<Record> = extra.into_iter().map(Record::new).collect();
+
+        for kernel in [FinishKernel::Scalar, FinishKernel::Vectorized] {
+            for format in [PostingFormat::Packed, PostingFormat::Raw] {
+                for prefix in [true, false] {
+                    let config = base
+                        .finish_kernel(kernel)
+                        .posting_format(format)
+                        .prefix_filter(prefix);
+                    let index = GbKmvIndex::build(&dataset, config);
+                    let label = format!("{kernel:?}/{format:?}/prefix={prefix}");
+                    prop_assert_eq!(&scan, &index.search_filtered(&query, t_star),
+                        "{}: sequential pipeline diverged (t*={})", &label, t_star);
+                    prop_assert_eq!(
+                        &scan,
+                        &index.search_parallel_threads(query.elements(), t_star, 3),
+                        "{}: intra-query parallel diverged (t*={})", &label, t_star);
+                    let batch = index.search_batch_threads(
+                        std::slice::from_ref(&query), t_star, 2);
+                    prop_assert_eq!(&scan, &batch[0],
+                        "{}: batch diverged (t*={})", &label, t_star);
+                    prop_assert_eq!(&topk_reference, &index.search_topk(&query, k),
+                        "{}: top-k diverged (k={})", &label, k);
+                }
+            }
+
+            // The service dimension: snapshots of a scalar-kernel and a
+            // vectorized-kernel service answer identically as they grow.
+            let config = base.finish_kernel(kernel);
+            let service = ContainmentService::new(GbKmvIndex::build(&dataset, config));
+            let mut grown = GbKmvIndex::build(&dataset, config);
+            for record in &inserted {
+                service.submit(record.clone()).unwrap();
+                grown.insert(record);
+            }
+            service.flush();
+            let snapshot = service.snapshot();
+            prop_assert_eq!(
+                &snapshot.search_filtered(&query, t_star),
+                &grown.search_filtered(&query, t_star),
+                "{:?}: service snapshot diverged from the grown index (t*={})",
+                kernel, t_star);
+            prop_assert_eq!(
+                &snapshot.search_filtered(&query, t_star),
+                &snapshot.search_scan(&query, t_star),
+                "{:?}: grown service snapshot diverged from its own scan (t*={})",
+                kernel, t_star);
         }
     }
 
