@@ -26,6 +26,13 @@
 //!   them, and a positive bitmap-block count — the hybrid encoder actually
 //!   elected bitmap blocks on the dense data (and, at full scale, the
 //!   packed engine clears the same [`MIN_PACKED_VS_PREFIX`] floor there),
+//! * the `persistence` section is present, the loaded index answered the
+//!   workload with exactly the built index's hits
+//!   (`total_hits_loaded == total_hits_built`), the written arena and the
+//!   zero-copy borrowed accounting are non-trivial, and — at full scale
+//!   ([`MIN_RECORDS_FOR_SPEED_GATE`] again) — reopening the arena is at
+//!   least [`MIN_LOAD_SPEEDUP`] times faster than rebuilding the index
+//!   from records: the point of the single-file format,
 //! * the parallel build speedup is sane — asserted only when more than one
 //!   core was available, because a single-core "speedup" is scheduler noise
 //!   (it reads 0.98x on the CI container and is *not* a regression),
@@ -103,6 +110,16 @@ const MAX_PACKED_RATIO: f64 = 0.5;
 /// smoke workload the ratio flickers across any meaningful floor run to
 /// run.
 const MIN_PACKED_VS_PREFIX: f64 = 0.9;
+
+/// Minimum acceptable `rebuild_ms / load_ms` ratio of the persistence
+/// section at full scale. Reopening the single-file arena is one
+/// validate-and-copy pass over the image with zero per-record work; on the
+/// committed full-scale report it runs orders of magnitude faster than
+/// re-sketching 10k records, so 5x is a regression floor, not a target.
+/// Below [`MIN_RECORDS_FOR_SPEED_GATE`] the gate is skipped: a few-hundred
+///-record rebuild is itself sub-millisecond and the ratio of two timer-
+/// noise-scale numbers proves nothing.
+const MIN_LOAD_SPEEDUP: f64 = 5.0;
 
 /// Runs the smoke-scale throughput bench via the sibling binary, writing
 /// its report to `report`.
@@ -364,7 +381,67 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
         ));
     }
 
-    // 6. The concurrent serving-layer section: the readers must have raced
+    // 6. Persistence: the loaded index answered identically, the arena file
+    // and the zero-copy accounting are non-trivial, and at full scale the
+    // load beats the rebuild by the floor.
+    let persistence = report
+        .get("persistence")
+        .ok_or("report has no `persistence` section")?;
+    let persist_int = |key: &str| -> Result<i64, String> {
+        persistence
+            .get(key)
+            .and_then(Value::as_i64)
+            .ok_or_else(|| format!("persistence section has no integral `{key}`"))
+    };
+    let hits_built = persist_int("total_hits_built")?;
+    let hits_loaded = persist_int("total_hits_loaded")?;
+    if hits_loaded != hits_built {
+        return Err(format!(
+            "persistence diverged: loaded index answered {hits_loaded} hits, \
+             the built index {hits_built}"
+        ));
+    }
+    let arena_bytes = persist_int("arena_file_bytes")?;
+    if arena_bytes <= 0 {
+        return Err(format!(
+            "persistence arena_file_bytes must be positive ({arena_bytes})"
+        ));
+    }
+    let borrowed = persistence
+        .get("mem_loaded")
+        .and_then(|m| m.get("borrowed_bytes"))
+        .and_then(Value::as_i64)
+        .ok_or("persistence mem_loaded has no integral `borrowed_bytes`")?;
+    if borrowed <= 0 {
+        return Err(format!(
+            "loaded index borrowed {borrowed} bytes — the arena load is not zero-copy"
+        ));
+    }
+    let load_speedup = persistence
+        .get("load_speedup_vs_rebuild")
+        .and_then(Value::as_f64)
+        .ok_or("persistence section has no `load_speedup_vs_rebuild`")?;
+    if num_records >= MIN_RECORDS_FOR_SPEED_GATE {
+        if load_speedup < MIN_LOAD_SPEEDUP {
+            return Err(format!(
+                "arena load is only {load_speedup:.1}x faster than a rebuild, below \
+                 the {MIN_LOAD_SPEEDUP}x floor — the zero-copy load path has regressed"
+            ));
+        }
+        summary.push(format!(
+            "persistence: {arena_bytes}-byte arena, load {load_speedup:.1}x faster than \
+             rebuild (floor {MIN_LOAD_SPEEDUP}x), loaded hits == built hits ({hits_built}), \
+             {borrowed} bytes borrowed zero-copy"
+        ));
+    } else {
+        summary.push(format!(
+            "persistence: {arena_bytes}-byte arena, loaded hits == built hits \
+             ({hits_built}), {borrowed} bytes borrowed zero-copy (speedup gate skipped \
+             at {num_records} records; measured {load_speedup:.1}x)"
+        ));
+    }
+
+    // 7. The concurrent serving-layer section: the readers must have raced
     // genuine republications, and the quiesced service must agree with the
     // directly grown index hit for hit.
     let concurrent = report
@@ -397,7 +474,7 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
          service hits == direct hits ({service_hits})"
     ));
 
-    // 7. Parallel build speedup — only meaningful with real parallelism.
+    // 8. Parallel build speedup — only meaningful with real parallelism.
     let build = report.get("build").ok_or("report has no `build` section")?;
     let threads = build
         .get("parallel_threads")
@@ -479,12 +556,38 @@ mod tests {
             "{{\"bench\": \"query_throughput\", \"build\": {{\"parallel_threads\": {threads}, \
              \"parallel_speedup\": {speedup}}}, \"posting_memory\": \
              {{\"posting_bytes_raw\": {raw_bytes}, \"posting_bytes_packed\": {packed_bytes}, \
-             \"posting_compression_ratio\": 0.0}}, \"concurrent\": {}, \
+             \"posting_compression_ratio\": 0.0}}, \"persistence\": {}, \"concurrent\": {}, \
              \"dense_profile\": {}, \"paths\": [{}]}}",
+            persistence_json(42, 42, 25.0, 5_000),
             concurrent_json(2, 4, 42, 42),
             dense_json(10_000, 12, 500.0, 600.0, 42),
             entries.join(", ")
         )
+    }
+
+    /// A `persistence` section with the given built/loaded hit counts,
+    /// load-vs-rebuild speedup and borrowed-byte total.
+    fn persistence_json(built: i64, loaded: i64, speedup: f64, borrowed: i64) -> String {
+        format!(
+            "{{\"arena_path\": \"x.arena\", \"loaded_from\": \"x.arena\", \
+             \"arena_file_bytes\": 65536, \"save_ms\": 1.0, \"load_ms\": 0.2, \
+             \"rebuild_ms\": 5.0, \"load_speedup_vs_rebuild\": {speedup}, \
+             \"total_hits_built\": {built}, \"total_hits_loaded\": {loaded}, \
+             \"mem_built\": {{\"borrowed_bytes\": 0}}, \
+             \"mem_loaded\": {{\"borrowed_bytes\": {borrowed}}}, \
+             \"scratch_bytes\": 4096}}"
+        )
+    }
+
+    /// A healthy report with the persistence section replaced (or dropped,
+    /// when `persistence` is `None`).
+    fn report_with_persistence(persistence: Option<String>) -> String {
+        let healthy = report_json(&full_paths(100.0, 500.0, 42), 1, 1.0);
+        let default = persistence_json(42, 42, 25.0, 5_000);
+        match persistence {
+            Some(section) => healthy.replace(&default, &section),
+            None => healthy.replace(&format!("\"persistence\": {default}, "), ""),
+        }
     }
 
     /// A `dense_profile` section with the given record count, bitmap-block
@@ -738,6 +841,56 @@ mod tests {
             800, 0, 500.0, 600.0, 42,
         ))));
         assert!(check(&p).unwrap_err().contains("bitmap"));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_or_regressed_persistence() {
+        // Section missing entirely.
+        let p = write_report(&report_with_persistence(None));
+        assert!(check(&p).unwrap_err().contains("persistence"));
+        std::fs::remove_file(p).unwrap();
+
+        // The loaded index lost answers.
+        let p = write_report(&report_with_persistence(Some(persistence_json(
+            42, 41, 25.0, 5_000,
+        ))));
+        assert!(check(&p).unwrap_err().contains("persistence diverged"));
+        std::fs::remove_file(p).unwrap();
+
+        // Nothing borrowed: the load silently stopped being zero-copy.
+        let p = write_report(&report_with_persistence(Some(persistence_json(
+            42, 42, 25.0, 0,
+        ))));
+        assert!(check(&p).unwrap_err().contains("not zero-copy"));
+        std::fs::remove_file(p).unwrap();
+
+        // Load barely faster than a rebuild at full scale (no dataset
+        // section means full scale): the speedup floor must catch it.
+        let p = write_report(&report_with_persistence(Some(persistence_json(
+            42, 42, 1.2, 5_000,
+        ))));
+        assert!(check(&p).unwrap_err().contains("zero-copy load path"));
+        std::fs::remove_file(p).unwrap();
+
+        // The same slow load at smoke scale is accepted (and summarised as
+        // skipped) — but the hit identity still applies there.
+        let slow_smoke = report_with_persistence(Some(persistence_json(42, 42, 1.2, 5_000)))
+            .replace(
+                "\"bench\": \"query_throughput\",",
+                "\"bench\": \"query_throughput\", \"dataset\": {\"num_records\": 800},",
+            );
+        let p = write_report(&slow_smoke);
+        let summary = check(&p).unwrap();
+        assert!(summary.iter().any(|l| l.contains("speedup gate skipped")));
+        std::fs::remove_file(p).unwrap();
+        let diverged_smoke = report_with_persistence(Some(persistence_json(42, 40, 25.0, 5_000)))
+            .replace(
+                "\"bench\": \"query_throughput\",",
+                "\"bench\": \"query_throughput\", \"dataset\": {\"num_records\": 800},",
+            );
+        let p = write_report(&diverged_smoke);
+        assert!(check(&p).unwrap_err().contains("persistence diverged"));
         std::fs::remove_file(p).unwrap();
     }
 

@@ -46,6 +46,17 @@
 //! speedup on exactly the shape the vectorized finish kernel and bitmap
 //! walk target.
 //!
+//! A `persistence` section measures the single-file index arena: the
+//! packed default engine's index is saved (`--save PATH`, default
+//! `<out>.arena`), reopened zero-copy (`--load PATH` to read an arena
+//! written by an earlier process instead — the synthetic seeds are pinned,
+//! so a cross-process load answers the same workload), and timed against a
+//! from-scratch rebuild of the same index. The loaded index must answer
+//! the workload with exactly the built index's hits and must report every
+//! content arena as borrowed (`mem_usage`), both asserted here and gated
+//! by `bench_check` (which also floors the load-vs-rebuild speedup at
+//! full scale).
+//!
 //! A separate `concurrent` section measures the serving layer: `--readers`
 //! threads query `ContainmentService` snapshots while a writer ingests
 //! `--ingest` fresh records in `--ingest-batches` published generations;
@@ -56,7 +67,7 @@
 //! Usage: `query_throughput [--records N] [--queries N] [--budget F]
 //! [--threshold F] [--threads N] [--shards N] [--reps N] [--readers N]
 //! [--ingest N] [--ingest-batches N] [--kernel scalar|vectorized]
-//! [--out PATH]`
+//! [--save PATH] [--load PATH] [--out PATH]`
 //!
 //! `--kernel` pins every engine's finish kernel (default `vectorized`);
 //! CI smokes both settings so the scalar oracle keeps passing the same
@@ -73,6 +84,7 @@ use gbkmv_core::gbkmv::GbKmvRecordSketch;
 use gbkmv_core::index::{
     FinishKernel, GbKmvConfig, GbKmvIndex, PostingFormat, QueryPipeline, SearchHit,
 };
+use gbkmv_core::mem::MemUsage;
 use gbkmv_core::parallel::resolve_threads;
 use gbkmv_core::service::ContainmentService;
 use gbkmv_core::sim::OverlapThreshold;
@@ -251,6 +263,46 @@ struct DenseProfileSection {
     speedup_packed_vs_prefix: f64,
 }
 
+/// The single-file index-arena measurement: save the packed default
+/// engine's index, reopen it zero-copy, and time both against rebuilding
+/// the same index from records. The hit-identity pair and the borrowed
+/// accounting are the load-bearing fields (gated by `bench_check`); the
+/// speedup is the point of the arena format — loading validates and copies
+/// one image instead of re-sketching every record.
+#[derive(Debug, Serialize)]
+struct PersistenceSection {
+    /// Arena file written by this run (`--save`, default `<out>.arena`).
+    arena_path: String,
+    /// Arena file the measured load read — differs from `arena_path` only
+    /// under `--load` (the two-process CI smoke).
+    loaded_from: String,
+    /// Size of the written arena file in bytes.
+    arena_file_bytes: u64,
+    /// Best-of-reps wall time of [`GbKmvIndex::save`], milliseconds.
+    save_ms: f64,
+    /// Best-of-reps wall time of [`GbKmvIndex::open`], milliseconds.
+    load_ms: f64,
+    /// Best-of-reps wall time of rebuilding the same index from the
+    /// dataset (same config and thread count), milliseconds.
+    rebuild_ms: f64,
+    /// `rebuild_ms / load_ms` — floored at full scale by `bench_check`.
+    load_speedup_vs_rebuild: f64,
+    /// Workload hits via the built index (the `packed_pruned` engine).
+    total_hits_built: usize,
+    /// Workload hits via the loaded index; must equal `total_hits_built`.
+    total_hits_loaded: usize,
+    /// Per-component memory breakdown of the built index (nothing
+    /// borrowed: every arena is owned).
+    mem_built: MemUsage,
+    /// Per-component breakdown of the loaded index. Its `borrowed_bytes`
+    /// equals the summed content of every arena-backed component — the
+    /// zero-copy evidence, asserted before this section is written.
+    mem_loaded: MemUsage,
+    /// Reusable per-query scratch the workload pipeline grew (steady-state
+    /// query-time footprint on top of the index itself).
+    scratch_bytes: usize,
+}
+
 #[derive(Debug, Serialize)]
 struct ThroughputReport {
     bench: String,
@@ -260,6 +312,9 @@ struct ThroughputReport {
     batch_shards: usize,
     /// Posting-arena bytes per format (same unsharded index, same data).
     posting_memory: PostingMemorySection,
+    /// Single-file arena save/load/rebuild measurement plus the
+    /// per-component memory accounting of the built and loaded indexes.
+    persistence: PersistenceSection,
     /// Serving-layer readers-vs-writer measurement.
     concurrent: ConcurrentSection,
     /// The dense-postings companion profile (bitmap blocks + vectorized
@@ -402,6 +457,115 @@ fn batch_section(name: &str, best_seconds: f64, num_queries: usize, hits: usize)
         p50_latency_us: amortised_us,
         p99_latency_us: amortised_us,
         total_hits: hits,
+    }
+}
+
+/// Runs the persistence phase: saves `built` to `save_path`, reopens an
+/// index from `load_path` (the same file unless `--load` pointed at one
+/// written by an earlier process), and times a from-scratch `rebuild()` of
+/// the same index. Asserts — before anything is serialised — that the
+/// loaded index answers the workload with exactly the built index's hits
+/// and that its memory accounting reports every content arena as borrowed.
+fn measure_persistence(
+    built: &GbKmvIndex,
+    rebuild: impl Fn() -> GbKmvIndex,
+    queries: &[Record],
+    threshold: f64,
+    reps: usize,
+    save_path: &std::path::Path,
+    load_path: &std::path::Path,
+) -> PersistenceSection {
+    let mut save_secs = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        built
+            .save(save_path)
+            .expect("saving the index arena failed");
+        save_secs = save_secs.min(start.elapsed().as_secs_f64());
+    }
+    let arena_file_bytes = std::fs::metadata(save_path)
+        .expect("stat on the written arena failed")
+        .len();
+
+    // `open` validates the header and checksum, copies the image once into
+    // an aligned arena, and reconstructs every component by borrowing into
+    // it — no per-record work, which is what the speedup below records.
+    let mut load_secs = f64::INFINITY;
+    let mut loaded: Option<GbKmvIndex> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let reopened = GbKmvIndex::open(load_path).expect("loading the index arena failed");
+        load_secs = load_secs.min(start.elapsed().as_secs_f64());
+        loaded = Some(reopened);
+    }
+    let loaded = loaded.expect("at least one load rep");
+
+    let mut rebuild_secs = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(rebuild());
+        rebuild_secs = rebuild_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    // The loaded index must answer the workload exactly as the built one
+    // (under `--load` the built index comes from the same pinned seeds, so
+    // the comparison holds across processes too). Run the loaded side
+    // through its own pipeline so the scratch figure reflects exactly this
+    // workload's steady state.
+    let total_hits_built: usize = queries
+        .iter()
+        .map(|q| built.search_filtered(q, threshold).len())
+        .sum();
+    let mut pipeline = QueryPipeline::new();
+    let total_hits_loaded: usize = queries
+        .iter()
+        .map(|q| {
+            pipeline
+                .search_sorted(&loaded, q.elements(), threshold)
+                .len()
+        })
+        .sum();
+    assert_eq!(
+        total_hits_built, total_hits_loaded,
+        "loaded index diverged from the built index"
+    );
+
+    // Zero-copy proof: every arena-backed component of the loaded index is
+    // served from the leaked file image (the `hash_df` map is the one
+    // rebuilt structure and is deliberately absent from the sum).
+    let mem_built = built.mem_usage();
+    let mem_loaded = loaded.mem_usage();
+    let loaded_content = mem_loaded.hash_arena_bytes
+        + mem_loaded.hash_offsets_bytes
+        + mem_loaded.buffer_arena_bytes
+        + mem_loaded.meta_bytes
+        + mem_loaded.permutation_bytes
+        + mem_loaded.postings_raw_bytes
+        + mem_loaded.postings_packed_bytes
+        + mem_loaded.posting_block_meta_bytes;
+    assert_eq!(
+        mem_loaded.borrowed_bytes, loaded_content,
+        "a loaded component is not borrowed zero-copy from the arena"
+    );
+    assert_eq!(mem_built.borrowed_bytes, 0, "a built index borrowed bytes");
+
+    PersistenceSection {
+        arena_path: save_path.display().to_string(),
+        loaded_from: load_path.display().to_string(),
+        arena_file_bytes,
+        save_ms: save_secs * 1e3,
+        load_ms: load_secs * 1e3,
+        rebuild_ms: rebuild_secs * 1e3,
+        load_speedup_vs_rebuild: if load_secs > 0.0 {
+            rebuild_secs / load_secs
+        } else {
+            0.0
+        },
+        total_hits_built,
+        total_hits_loaded,
+        mem_built,
+        mem_loaded,
+        scratch_bytes: pipeline.scratch_bytes(),
     }
 }
 
@@ -621,6 +785,12 @@ fn main() {
     let ingest: usize = parsed_arg("--ingest", 400);
     let ingest_batches: usize = parsed_arg("--ingest-batches", 8);
     let out = arg_value("--out").unwrap_or_else(|| "BENCH_query_throughput.json".to_string());
+    // `--save` places the arena file this run writes (default: next to the
+    // JSON report); `--load` reads the measured load from an arena written
+    // by an earlier process instead — the pinned dataset seeds make the
+    // cross-process hit-identity assertion valid.
+    let arena_out = arg_value("--save").unwrap_or_else(|| format!("{out}.arena"));
+    let arena_in = arg_value("--load").unwrap_or_else(|| arena_out.clone());
     // `--kernel scalar` runs every engine on the per-slot oracle kernel; CI
     // smokes both settings so the scalar path keeps passing the binary's
     // own bit-identity asserts end-to-end, not just the unit proptests.
@@ -796,6 +966,18 @@ fn main() {
             .sum()
     });
 
+    // Persistence: save the packed default engine's index, reopen it
+    // zero-copy, and time both against rebuilding it from the records.
+    let persistence = measure_persistence(
+        &packed_index,
+        || GbKmvIndex::build(&dataset, engine_config().threads(threads)),
+        queries,
+        threshold,
+        reps,
+        std::path::Path::new(&arena_out),
+        std::path::Path::new(&arena_in),
+    );
+
     // Serving layer: readers on snapshots race a publishing writer. The
     // ingest stream is fresh synthetic data from a different seed, so the
     // inserts exercise real posting splices rather than duplicates.
@@ -880,6 +1062,7 @@ fn main() {
         },
         batch_shards: sharded_index.sharded().shards().len(),
         posting_memory,
+        persistence,
         concurrent,
         dense_profile,
         speedup_accumulator_vs_legacy: qps(&paths, "accumulator") / qps(&paths, "legacy_filtered"),
@@ -981,6 +1164,23 @@ fn main() {
         dense.posting_memory.posting_compression_ratio * 100.0,
         dense.posting_memory.posting_bitmap_blocks,
         dense.speedup_packed_vs_prefix
+    );
+    let persist = &report.persistence;
+    println!(
+        "persistence: arena {} bytes at {}; save {:.2} ms, load {:.2} ms, \
+         rebuild {:.2} ms ({:.1}x load speedup); loaded hits {} == built hits {}; \
+         {} of {} loaded content bytes borrowed zero-copy; query scratch {} bytes",
+        persist.arena_file_bytes,
+        persist.arena_path,
+        persist.save_ms,
+        persist.load_ms,
+        persist.rebuild_ms,
+        persist.load_speedup_vs_rebuild,
+        persist.total_hits_loaded,
+        persist.total_hits_built,
+        persist.mem_loaded.borrowed_bytes,
+        persist.mem_loaded.total_bytes(),
+        persist.scratch_bytes
     );
     println!(
         "concurrent serving: {} readers served {} queries ({:.0}/s) while the \

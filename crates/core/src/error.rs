@@ -38,6 +38,57 @@ pub enum Error {
         /// Description of why the fit is degenerate.
         message: String,
     },
+    /// An I/O operation on an index arena file failed (open, read, write).
+    /// The underlying `std::io::Error` is carried as its display string so
+    /// the error type stays `Clone + PartialEq`.
+    PersistIo {
+        /// Display form of the underlying I/O error.
+        message: String,
+    },
+    /// The file does not start with the index arena magic number — it is
+    /// not an index arena at all (or the first bytes were corrupted).
+    PersistMagic {
+        /// The eight bytes found where the magic number was expected.
+        found: u64,
+    },
+    /// The arena was written by an unsupported format version.
+    PersistVersion {
+        /// Version recorded in the file header.
+        found: u64,
+        /// The version this build reads and writes.
+        supported: u64,
+    },
+    /// The file is shorter than its header claims (or too short to hold a
+    /// header at all).
+    PersistTruncated {
+        /// Bytes the header (or the minimum header size) requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The checksum over the file body does not match the header, meaning
+    /// some bytes were flipped after the arena was written.
+    PersistChecksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed from the file body.
+        actual: u64,
+    },
+    /// A section-table entry points at an offset that is not 8-byte
+    /// aligned, so its contents cannot be borrowed zero-copy.
+    PersistMisaligned {
+        /// Index of the offending section in the section table.
+        section: usize,
+        /// The misaligned byte offset recorded for it.
+        offset: u64,
+    },
+    /// The arena failed a structural validity check after the checksum
+    /// passed (out-of-range offsets, inconsistent section lengths, invalid
+    /// encoded values). The payload names the violated invariant.
+    PersistCorrupt {
+        /// The structural invariant that did not hold.
+        what: &'static str,
+    },
 }
 
 impl Error {
@@ -66,6 +117,33 @@ impl fmt::Display for Error {
             }
             Error::DegeneratePowerLawFit { message } => {
                 write!(f, "degenerate power-law fit: {message}")
+            }
+            Error::PersistIo { message } => {
+                write!(f, "index arena I/O error: {message}")
+            }
+            Error::PersistMagic { found } => write!(
+                f,
+                "not an index arena: expected magic {:#018x}, found {found:#018x}",
+                crate::persist::ARENA_MAGIC
+            ),
+            Error::PersistVersion { found, supported } => write!(
+                f,
+                "unsupported index arena version {found} (this build supports {supported})"
+            ),
+            Error::PersistTruncated { expected, actual } => write!(
+                f,
+                "index arena truncated: header requires {expected} bytes, found {actual}"
+            ),
+            Error::PersistChecksum { expected, actual } => write!(
+                f,
+                "index arena checksum mismatch: header says {expected:#018x}, body hashes to {actual:#018x}"
+            ),
+            Error::PersistMisaligned { section, offset } => write!(
+                f,
+                "index arena section {section} starts at byte {offset}, which is not 8-byte aligned"
+            ),
+            Error::PersistCorrupt { what } => {
+                write!(f, "index arena is structurally corrupt: {what}")
             }
         }
     }
@@ -115,5 +193,35 @@ mod tests {
     fn errors_are_std_error() {
         fn assert_error<E: std::error::Error>(_: &E) {}
         assert_error(&Error::EmptyDataset);
+    }
+
+    #[test]
+    fn display_persist_truncated_mentions_both_lengths() {
+        let msg = Error::PersistTruncated {
+            expected: 48,
+            actual: 13,
+        }
+        .to_string();
+        assert!(msg.contains("48") && msg.contains("13"));
+    }
+
+    #[test]
+    fn display_persist_checksum_mentions_both_sums() {
+        let msg = Error::PersistChecksum {
+            expected: 0xabcd,
+            actual: 0x1234,
+        }
+        .to_string();
+        assert!(msg.contains("0x000000000000abcd") && msg.contains("0x0000000000001234"));
+    }
+
+    #[test]
+    fn display_persist_misaligned_mentions_section_and_offset() {
+        let msg = Error::PersistMisaligned {
+            section: 3,
+            offset: 50,
+        }
+        .to_string();
+        assert!(msg.contains('3') && msg.contains("50"));
     }
 }

@@ -70,6 +70,14 @@ impl Hasher64 {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// Reconstructs a hasher from an already pre-mixed seed, i.e. the value
+    /// [`Hasher64::seed`] reports — the persistence layer's round-trip
+    /// counterpart of [`Hasher64::new`], which would mix the seed a second
+    /// time.
+    pub(crate) fn from_mixed_seed(seed: u64) -> Self {
+        Hasher64 { seed }
+    }
 }
 
 impl Default for Hasher64 {

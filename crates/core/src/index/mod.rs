@@ -218,6 +218,16 @@ impl GbKmvIndex {
         &self.sharded
     }
 
+    /// Per-component memory breakdown of the index's storage layer: every
+    /// arena (hash values, CSR offsets, buffer bitmaps, record metadata,
+    /// permutations) and posting structure reports its owned heap bytes,
+    /// and zero-copy loaded sections (see [`crate::persist`]) report under
+    /// [`MemUsage::borrowed_bytes`](crate::mem::MemUsage::borrowed_bytes)
+    /// instead.
+    pub fn mem_usage(&self) -> crate::mem::MemUsage {
+        self.sharded.mem_usage()
+    }
+
     /// Heap bytes held by the index's inverted posting lists (payload
     /// arenas plus block metadata, summed over shards) — the
     /// memory-footprint number the `query_throughput` bench reports per

@@ -115,6 +115,22 @@ impl QueryPipeline {
         self
     }
 
+    /// Bytes of reusable per-query scratch this pipeline has grown so far:
+    /// the sequential scratch plus every parallel worker scratch. A scratch
+    /// is sized to the largest shard it has queried and then reused, so
+    /// after one warm pass this is the pipeline's steady-state footprint —
+    /// the throughput bench reports it alongside the index's
+    /// [`mem_usage`](GbKmvIndex::mem_usage) breakdown.
+    #[must_use]
+    pub fn scratch_bytes(&self) -> usize {
+        self.scratch.mem_bytes()
+            + self
+                .worker_scratches
+                .iter()
+                .map(QueryScratch::mem_bytes)
+                .sum::<usize>()
+    }
+
     /// Sets the per-query knobs in place (used by the convenience entry
     /// points of [`GbKmvIndex`], which honour the index's config on a
     /// shared thread-local pipeline).

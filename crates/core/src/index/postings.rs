@@ -82,6 +82,9 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ArenaVec;
+use crate::mem::MemUsage;
+
 /// Maximum number of slots per packed block, and the exact slot-range span
 /// of a bitmap block's presence mask. 128 keeps a fully decoded block
 /// (512 bytes) inside a handful of cache lines — the chunk granularity the
@@ -161,24 +164,32 @@ impl PostingChunk<'_> {
 /// A **bitmap block** (`width == BITMAP_WIDTH`) has a fixed two-word
 /// payload: bit `i` of the 128-bit mask is set iff slot `first + i` is
 /// present (bit 0 — `first` itself — is always set).
+///
+/// `#[repr(C)]` pins the field layout (two `u32`s, two `u8`s, 2 padding
+/// bytes — 12 bytes total) so the persistence layer can borrow a saved
+/// block-metadata section zero-copy as `&[BlockMeta]`. Every field is a
+/// plain integer, so any bit pattern is a valid (if possibly nonsensical)
+/// value — the structural checks live in
+/// [`PackedList::validate_loaded`].
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct BlockMeta {
+pub(crate) struct BlockMeta {
     /// The block's first slot (not part of the payload).
-    first: u32,
+    pub(crate) first: u32,
     /// Index of the block's first payload word in [`PackedList::words`].
-    word_offset: u32,
+    pub(crate) word_offset: u32,
     /// Number of slots in the block, `1..=BLOCK_LEN`.
-    len: u8,
+    pub(crate) len: u8,
     /// Bits per stored `(gap − 1)` value; 0 iff the block is a consecutive
     /// run (every gap is exactly 1), in which case there is no payload;
     /// `BITMAP_WIDTH` iff the block is a bitmap.
-    width: u8,
+    pub(crate) width: u8,
 }
 
 impl BlockMeta {
     /// Number of `u64` payload words the block occupies.
     #[inline]
-    fn word_span(&self) -> usize {
+    pub(crate) fn word_span(&self) -> usize {
         if self.width == BITMAP_WIDTH {
             BITMAP_WORDS
         } else if self.width == 0 {
@@ -253,10 +264,11 @@ fn next_chunk(suffix: &[u32]) -> (usize, bool) {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PackedList {
     /// Per-block metadata — **empty** for single-block lists, whose one
-    /// block is described by the inline `first` / `width` fields.
-    blocks: Vec<BlockMeta>,
+    /// block is described by the inline `first` / `width` fields. Owned
+    /// when built, borrowed zero-copy when loaded from an arena file.
+    blocks: ArenaVec<BlockMeta>,
     /// Concatenated block payloads; each block starts on a word boundary.
-    words: Vec<u64>,
+    words: ArenaVec<u64>,
     /// Total number of slots across all blocks.
     len: u32,
     /// The first (smallest) slot; meaningless when `len == 0`. Kept
@@ -344,14 +356,14 @@ impl PackedList {
             return list;
         }
         let mut metas = Vec::new();
-        encode_chunks(slots, &mut list.words, &mut metas);
+        encode_chunks(slots, list.words.to_mut(), &mut metas);
         if metas.len() == 1 {
             list.width = metas[0].width;
         } else {
-            list.blocks = metas;
-            list.blocks.shrink_to_fit();
+            metas.shrink_to_fit();
+            list.blocks = metas.into();
         }
-        list.words.shrink_to_fit();
+        list.words.to_mut().shrink_to_fit();
         list
     }
 
@@ -423,15 +435,16 @@ impl PackedList {
         meta.word_offset = old.word_offset;
         let new_span = fresh.len();
         let start = old.word_offset as usize;
-        self.words.splice(start..start + old_span, fresh);
+        self.words.to_mut().splice(start..start + old_span, fresh);
         if self.blocks.is_empty() {
             self.first = meta.first;
             self.width = meta.width;
         } else {
-            self.blocks[idx] = meta;
+            let blocks = self.blocks.to_mut();
+            blocks[idx] = meta;
             if new_span != old_span {
                 let diff = new_span as isize - old_span as isize;
-                for b in &mut self.blocks[idx + 1..] {
+                for b in &mut blocks[idx + 1..] {
                     b.word_offset = (b.word_offset as isize + diff) as u32;
                 }
             }
@@ -452,14 +465,14 @@ impl PackedList {
         } else {
             self.blocks[idx].word_offset as usize
         };
-        self.words.truncate(word_start);
-        self.blocks.truncate(idx);
-        encode_chunks(decoded, &mut self.words, &mut self.blocks);
+        self.words.to_mut().truncate(word_start);
+        self.blocks.to_mut().truncate(idx);
+        encode_chunks(decoded, self.words.to_mut(), self.blocks.to_mut());
         if self.blocks.len() == 1 {
             // Single block: fold back into the inline form, exactly as a
             // bulk encode of the same contents would.
             let m = self.blocks[0];
-            self.blocks.clear();
+            self.blocks.to_mut().clear();
             self.first = m.first;
             self.width = m.width;
         } else {
@@ -976,10 +989,92 @@ impl PackedList {
         self.len += 1;
     }
 
-    /// Heap bytes held by the list (payload words + block metadata).
+    /// Heap bytes held by the list (payload words + block metadata);
+    /// arenas borrowed from a loaded file count zero, as their bytes
+    /// belong to the file buffer.
     fn heap_bytes(&self) -> usize {
-        self.words.capacity() * std::mem::size_of::<u64>()
-            + self.blocks.capacity() * std::mem::size_of::<BlockMeta>()
+        self.words.owned_capacity_bytes() + self.blocks.owned_capacity_bytes()
+    }
+
+    /// The list's flat parts, in the order the persistence layer writes
+    /// them: `(blocks, words, len, first, last, width)`.
+    pub(crate) fn persist_parts(&self) -> (&[BlockMeta], &[u64], u32, u32, u32, u8) {
+        (
+            &self.blocks,
+            &self.words,
+            self.len,
+            self.first,
+            self.last,
+            self.width,
+        )
+    }
+
+    /// Reassembles a list from its flat parts (typically borrowed
+    /// zero-copy from a loaded arena file). The caller runs
+    /// [`PackedList::validate_loaded`] before the list is queried.
+    pub(crate) fn from_persist_parts(
+        blocks: ArenaVec<BlockMeta>,
+        words: ArenaVec<u64>,
+        len: u32,
+        first: u32,
+        last: u32,
+        width: u8,
+    ) -> Self {
+        PackedList {
+            blocks,
+            words,
+            len,
+            first,
+            last,
+            width,
+        }
+    }
+
+    /// Structural validity of a list deserialized from an arena file:
+    /// every block's payload range must lie inside `words`, widths must be
+    /// decodable, block `first`s must ascend, and every slot must stay
+    /// below `slot_bound` (the store's slot count). The checks bound every
+    /// slice index the walk paths ever compute, without decoding any
+    /// payload, so a corrupt-but-checksummed file can be rejected with a
+    /// typed error instead of a panic.
+    pub(crate) fn validate_loaded(&self, slot_bound: usize) -> bool {
+        fn valid_width(w: u8) -> bool {
+            w <= 32 || w == BITMAP_WIDTH
+        }
+        if self.len == 0 {
+            return self.blocks.is_empty() && self.words.is_empty();
+        }
+        if (self.last as usize) >= slot_bound || self.first > self.last {
+            return false;
+        }
+        if self.blocks.is_empty() {
+            // Single inline block.
+            return self.len as usize <= BLOCK_LEN
+                && valid_width(self.width)
+                && self.meta(0).word_span() <= self.words.len();
+        }
+        if self.width != 0
+            || self.blocks.len() < 2
+            || (self.len as usize) < self.blocks.len()
+            || self.blocks[0].first != self.first
+        {
+            return false;
+        }
+        let mut prev_first: Option<u32> = None;
+        for b in self.blocks.iter() {
+            if b.len == 0 || b.len as usize > BLOCK_LEN || !valid_width(b.width) {
+                return false;
+            }
+            if prev_first.is_some_and(|p| b.first <= p) {
+                return false;
+            }
+            prev_first = Some(b.first);
+            let off = b.word_offset as usize;
+            if off > self.words.len() || b.word_span() > self.words.len() - off {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -987,8 +1082,10 @@ impl PackedList {
 /// numbers behind a build-time [`PostingFormat`]. See the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PostingList {
-    /// Plain ascending `Vec<u32>` (the ablation and correctness oracle).
-    Raw(Vec<u32>),
+    /// Plain ascending slot list (the ablation and correctness oracle) —
+    /// owned when built, borrowed zero-copy when loaded from an arena
+    /// file.
+    Raw(ArenaVec<u32>),
     /// Block-compressed hybrid gap-packed/bitmap representation.
     Packed(PackedList),
 }
@@ -997,7 +1094,7 @@ impl PostingList {
     /// An empty list of the given format.
     pub fn new(format: PostingFormat) -> Self {
         match format {
-            PostingFormat::Raw => PostingList::Raw(Vec::new()),
+            PostingFormat::Raw => PostingList::Raw(ArenaVec::default()),
             PostingFormat::Packed => PostingList::Packed(PackedList::default()),
         }
     }
@@ -1009,7 +1106,7 @@ impl PostingList {
     pub fn from_sorted(format: PostingFormat, slots: Vec<u32>) -> Self {
         debug_assert!(slots.windows(2).all(|w| w[0] < w[1]));
         match format {
-            PostingFormat::Raw => PostingList::Raw(slots),
+            PostingFormat::Raw => PostingList::Raw(slots.into()),
             PostingFormat::Packed => PostingList::Packed(PackedList::from_sorted(&slots)),
         }
     }
@@ -1120,7 +1217,7 @@ impl PostingList {
         match self {
             PostingList::Raw(list) => {
                 let at = list.partition_point(|&s| s < slot);
-                list.insert(at, slot);
+                list.to_mut().insert(at, slot);
             }
             PostingList::Packed(packed) => packed.insert_sorted(slot),
         }
@@ -1128,11 +1225,50 @@ impl PostingList {
 
     /// Heap bytes held by the list — the per-list contribution to the
     /// index's posting-arena footprint (`Vec` capacities, i.e. what the
-    /// allocator actually handed out, not just the live length).
+    /// allocator actually handed out, not just the live length). Arenas
+    /// borrowed from a loaded file count zero.
     pub fn heap_bytes(&self) -> usize {
         match self {
-            PostingList::Raw(list) => list.capacity() * std::mem::size_of::<u32>(),
+            PostingList::Raw(list) => list.owned_capacity_bytes(),
             PostingList::Packed(packed) => packed.heap_bytes(),
+        }
+    }
+
+    /// The raw variant's slot slice, if this is one (persistence).
+    pub(crate) fn raw_slots(&self) -> Option<&[u32]> {
+        match self {
+            PostingList::Raw(list) => Some(list),
+            PostingList::Packed(_) => None,
+        }
+    }
+
+    /// The packed variant, if this is one (persistence).
+    pub(crate) fn packed(&self) -> Option<&PackedList> {
+        match self {
+            PostingList::Raw(_) => None,
+            PostingList::Packed(packed) => Some(packed),
+        }
+    }
+
+    /// Wraps a (typically borrowed) slot arena as a raw list (persistence).
+    pub(crate) fn from_raw_arena(slots: ArenaVec<u32>) -> Self {
+        PostingList::Raw(slots)
+    }
+
+    /// Accumulates this list's content bytes — raw slots vs packed payload
+    /// vs block metadata — and its borrowed-from-file subset into `usage`.
+    pub(crate) fn mem_contrib(&self, usage: &mut MemUsage) {
+        match self {
+            PostingList::Raw(list) => {
+                usage.postings_raw_bytes += std::mem::size_of_val(list.as_slice());
+                usage.borrowed_bytes += list.borrowed_bytes();
+            }
+            PostingList::Packed(packed) => {
+                usage.postings_packed_bytes += std::mem::size_of_val(packed.words.as_slice());
+                usage.posting_block_meta_bytes += std::mem::size_of_val(packed.blocks.as_slice());
+                usage.borrowed_bytes +=
+                    packed.words.borrowed_bytes() + packed.blocks.borrowed_bytes();
+            }
         }
     }
 

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use crate::buffer::set_positions_in;
 use crate::gbkmv::GbKmvRecordSketch;
 use crate::index::postings::{PostingFormat, PostingList};
+use crate::mem::MemUsage;
 use crate::parallel;
 use crate::store::{SketchStore, SketchView};
 
@@ -244,6 +245,51 @@ impl Shard {
                 .map(PostingList::bitmap_blocks)
                 .sum::<usize>()
     }
+
+    /// Reassembles a shard from its parts — the persistence layer's
+    /// constructor. Callers guarantee the store/posting invariants
+    /// (structurally validated by `crate::persist` before this is reached).
+    pub(crate) fn from_parts(
+        base: usize,
+        store: SketchStore,
+        format: PostingFormat,
+        signature_postings: HashMap<u64, PostingList>,
+        buffer_postings: Vec<PostingList>,
+    ) -> Self {
+        Shard {
+            base,
+            store,
+            format,
+            signature_postings,
+            buffer_postings,
+        }
+    }
+
+    /// The full signature posting map (persistence and accounting).
+    pub(crate) fn signature_posting_map(&self) -> &HashMap<u64, PostingList> {
+        &self.signature_postings
+    }
+
+    /// All buffer posting lists, indexed by bit position (persistence and
+    /// accounting).
+    pub(crate) fn buffer_posting_lists(&self) -> &[PostingList] {
+        &self.buffer_postings
+    }
+
+    /// Per-component content bytes of this shard — store arenas plus
+    /// posting lists — including how much is borrowed zero-copy from a
+    /// loaded arena file (see [`MemUsage`]).
+    #[must_use]
+    pub fn mem_usage(&self) -> MemUsage {
+        let mut usage = self.store.mem_usage();
+        for list in self.signature_postings.values() {
+            list.mem_contrib(&mut usage);
+        }
+        for list in &self.buffer_postings {
+            list.mem_contrib(&mut usage);
+        }
+        usage
+    }
 }
 
 /// An ordered sequence of [`Shard`]s covering contiguous, ascending record-id
@@ -332,6 +378,25 @@ impl ShardedIndex {
     /// dense-profile bench's evidence that hybrid blocks engage).
     pub fn bitmap_blocks(&self) -> usize {
         self.shards.iter().map(Shard::bitmap_blocks).sum()
+    }
+
+    /// Reassembles an index from already-reconstructed shards (the
+    /// persistence layer's constructor). Callers guarantee the shards'
+    /// record-id ranges are contiguous and ascending.
+    pub(crate) fn from_shards(shards: Vec<Shard>) -> Self {
+        debug_assert!(!shards.is_empty());
+        ShardedIndex { shards }
+    }
+
+    /// Summed per-component content bytes across all shards, including the
+    /// subset borrowed zero-copy from a loaded arena file.
+    #[must_use]
+    pub fn mem_usage(&self) -> MemUsage {
+        let mut usage = MemUsage::default();
+        for shard in &self.shards {
+            usage.add(&shard.mem_usage());
+        }
+        usage
     }
 
     /// The shard owning a global record id, plus the id local to its store.

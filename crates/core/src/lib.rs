@@ -65,6 +65,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arena;
 pub mod buffer;
 pub mod cost;
 pub mod dataset;
@@ -74,8 +75,10 @@ pub mod gkmv;
 pub mod hash;
 pub mod index;
 pub mod kmv;
+pub mod mem;
 pub mod parallel;
 pub mod partition;
+pub mod persist;
 pub mod powerlaw;
 pub mod scratch;
 pub mod service;
@@ -84,6 +87,7 @@ pub mod stats;
 pub mod store;
 pub mod variants;
 
+pub use arena::ArenaVec;
 pub use buffer::{BufferLayout, ElementBuffer};
 pub use dataset::{Dataset, DatasetBuilder, ElementId, Record, RecordId};
 /// The error type under the name the serving layer's documentation uses.
@@ -97,6 +101,7 @@ pub use index::{
     ShardedIndex,
 };
 pub use kmv::KmvSketch;
+pub use mem::MemUsage;
 pub use service::ContainmentService;
 pub use sim::{containment, jaccard, overlap, SimilarityTransform};
 pub use stats::DatasetStats;

@@ -1,0 +1,1353 @@
+//! Single-file zero-copy index arena: save a built [`GbKmvIndex`] to one
+//! file and load it back by **borrowing** the heavy sections instead of
+//! rebuilding — no re-hashing, no per-record decode, no re-encoding of
+//! posting blocks.
+//!
+//! # File layout
+//!
+//! ```text
+//! offset 0   ┌────────────────────────────────────────────────┐
+//!            │ header: 6 little-endian u64 words (48 bytes)   │
+//!            │   magic | version | endian probe | file length │
+//!            │   | checksum | section count                   │
+//! offset 48  ├────────────────────────────────────────────────┤
+//!            │ section table: (offset u64, length u64) per    │
+//!            │ section; offsets are 8-byte aligned            │
+//!            ├────────────────────────────────────────────────┤
+//!            │ section 0: meta stream (config, summary,       │
+//!            │ sketcher, per-shard counts and posting         │
+//!            │ descriptors — everything small, cursor-parsed) │
+//!            ├────────────────────────────────────────────────┤
+//!            │ sections 1…: 12 arena sections per shard, in a │
+//!            │ fixed order (see below), each padded to the    │
+//!            │ next 8-byte boundary                           │
+//!            └────────────────────────────────────────────────┘
+//! ```
+//!
+//! Per shard, the arena sections are, in order: hash arena (`u64`), CSR
+//! hash offsets (`u64`), buffer bitmap arena (`u64`), record metadata
+//! ([`RecordMeta`], 24 bytes each), slot→record-id permutation (`u32`),
+//! record-id→slot permutation (`u32`), then the signature postings' packed
+//! payload words (`u64`), block metadata (`BlockMeta`, 12 bytes each) and
+//! raw slot arena (`u32`), and the same three for the buffer postings.
+//! Individual posting lists are carved out of the three shared arenas
+//! sequentially, in the order their descriptors appear in the meta stream
+//! (signature lists sorted by hash value, buffer lists by bit position), so
+//! the format needs no per-list offsets and a save→load→save round trip is
+//! byte-identical.
+//!
+//! # Zero-copy loading
+//!
+//! [`GbKmvIndex::from_arena_bytes`] validates everything it can on the raw
+//! bytes first — header fields, the checksum over the whole body, the
+//! section table, the full meta stream, every section length, and the
+//! `bool` byte of every [`RecordMeta`] entry (the one field where a stray
+//! bit pattern would be undefined behaviour rather than merely wrong). Only
+//! then does it copy the file once into an 8-byte-aligned buffer that is
+//! intentionally leaked for the process lifetime, and reconstructs the
+//! index by casting each section to its element type in place: every store
+//! arena and posting payload becomes an
+//! [`ArenaVec::Borrowed`](crate::arena::ArenaVec) pointing into the buffer.
+//! A handful of cheap structural checks (CSR offsets monotonic,
+//! permutations in range, `PackedList::validate_loaded` per packed list)
+//! run on the typed views; if any fails the buffer is reclaimed, so corrupt
+//! loads leak nothing. Truncated files, wrong magic or version, flipped
+//! bits and misaligned section offsets all surface as typed
+//! [`Error`] variants — never a panic.
+//!
+//! The checksum covers bytes `[40, file length)` — everything after the
+//! checksum field itself, including the section count — so any single-bit
+//! flip in a saved arena is caught either by a header field check (bytes
+//! 0–39) or by the checksum (everything else).
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use crate::arena::ArenaVec;
+use crate::buffer::BufferLayout;
+use crate::cost::CostModelConfig;
+use crate::error::{Error, Result};
+use crate::gbkmv::GbKmvSketcher;
+use crate::gkmv::GlobalThreshold;
+use crate::hash::{mix64, Hasher64};
+use crate::index::postings::{BlockMeta, PackedList, PostingList};
+use crate::index::sharded::Shard;
+use crate::index::{
+    BufferSizing, FinishKernel, GbKmvConfig, GbKmvIndex, IndexSummary, PostingFormat, ShardedIndex,
+};
+use crate::store::{RecordMeta, SketchStore};
+
+/// First eight bytes of every index arena file (`"GBKMVAR1"` as a
+/// little-endian integer).
+pub const ARENA_MAGIC: u64 = u64::from_le_bytes(*b"GBKMVAR1");
+
+/// Format version this build writes and reads.
+pub const ARENA_VERSION: u64 = 1;
+
+/// Header word whose *native* byte interpretation must match: a file
+/// written on a little-endian machine refuses to load where the zero-copy
+/// casts would silently byte-swap.
+const ENDIAN_PROBE: u64 = 0x0102_0304_0506_0708;
+
+/// Bytes occupied by the six-word header.
+const HEADER_LEN: usize = 48;
+
+/// Byte offset the checksum covers from (everything after the checksum
+/// field itself).
+const CHECKSUM_COVER_FROM: usize = 40;
+
+/// Arena sections per shard (see the module docs for the order).
+const SECTIONS_PER_SHARD: usize = 12;
+
+// The zero-copy casts below are sound only if these `#[repr(C)]` layouts
+// hold; a platform where they do not fails to compile instead of
+// corrupting loads.
+const _: () = assert!(std::mem::size_of::<RecordMeta>() == 24);
+const _: () = assert!(std::mem::align_of::<RecordMeta>() == 8);
+const _: () = assert!(std::mem::size_of::<BlockMeta>() == 12);
+const _: () = assert!(std::mem::align_of::<BlockMeta>() == 4);
+
+/// Offset of `RecordMeta::saturated` inside its 24-byte layout — the one
+/// byte per entry that must be pre-validated (a `bool` backed by anything
+/// but 0 or 1 is undefined behaviour).
+const META_BOOL_OFFSET: usize = 16;
+
+/// Checksum of a body that is a whole number of little-endian `u64` words:
+/// a [`mix64`] fold, one word at a time.
+fn checksum_of(body: &[u8]) -> u64 {
+    debug_assert_eq!(body.len() % 8, 0);
+    let mut acc = ARENA_MAGIC ^ ARENA_VERSION;
+    for chunk in body.chunks_exact(8) {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8-byte chunks"));
+        acc = mix64(acc ^ word);
+    }
+    acc
+}
+
+/// Recomputes the body checksum of a serialized arena and writes it into
+/// the header — the helper corruption tests use to craft files whose
+/// checksum is valid but whose structure is not.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than the 48-byte header or not a multiple
+/// of 8 bytes long (i.e. not a plausible arena image).
+pub fn rewrite_checksum(bytes: &mut [u8]) {
+    assert!(
+        bytes.len() >= HEADER_LEN && bytes.len().is_multiple_of(8),
+        "not an arena image: {} bytes",
+        bytes.len()
+    );
+    let sum = checksum_of(&bytes[CHECKSUM_COVER_FROM..]);
+    bytes[32..40].copy_from_slice(&sum.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level writers (save side)
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn u64_section(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for &v in values {
+        put_u64(&mut out, v);
+    }
+    out
+}
+
+fn u32_section(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        put_u32(&mut out, v);
+    }
+    out
+}
+
+/// [`RecordMeta`] entries written field by field with explicit zero
+/// padding, so the bytes are deterministic (a struct memcpy would leak
+/// whatever the padding bytes held) and save→load→save is byte-identical.
+fn meta_section(metas: &[RecordMeta]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(std::mem::size_of_val(metas));
+    for m in metas {
+        put_u64(&mut out, m.max_hash);
+        put_u32(&mut out, m.record_size);
+        put_u32(&mut out, m.gkmv_len);
+        put_u8(&mut out, u8::from(m.saturated));
+        out.extend_from_slice(&[0u8; 7]);
+    }
+    out
+}
+
+/// [`BlockMeta`] entries, field by field with explicit zero padding.
+fn append_block_metas(out: &mut Vec<u8>, blocks: &[BlockMeta]) {
+    for b in blocks {
+        put_u32(out, b.first);
+        put_u32(out, b.word_offset);
+        put_u8(out, b.len);
+        put_u8(out, b.width);
+        out.extend_from_slice(&[0u8; 2]);
+    }
+}
+
+fn format_tag(format: PostingFormat) -> u8 {
+    match format {
+        PostingFormat::Packed => 0,
+        PostingFormat::Raw => 1,
+    }
+}
+
+fn kernel_tag(kernel: FinishKernel) -> u8 {
+    match kernel {
+        FinishKernel::Vectorized => 0,
+        FinishKernel::Scalar => 1,
+    }
+}
+
+fn write_config(out: &mut Vec<u8>, c: &GbKmvConfig) {
+    put_f64(out, c.space_fraction);
+    match c.budget_elements {
+        None => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+        Some(b) => {
+            put_u8(out, 1);
+            put_u64(out, b as u64);
+        }
+    }
+    match c.buffer {
+        BufferSizing::Auto => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+        BufferSizing::Fixed(r) => {
+            put_u8(out, 1);
+            put_u64(out, r as u64);
+        }
+    }
+    put_u64(out, c.hash_seed);
+    put_u8(out, u8::from(c.use_candidate_filter));
+    put_u8(out, u8::from(c.use_prefix_filter));
+    put_u64(out, c.threads as u64);
+    put_u64(out, c.shards as u64);
+    put_u8(out, format_tag(c.posting_format));
+    put_u8(out, kernel_tag(c.finish_kernel));
+    put_u64(out, c.cost_model.grid_step as u64);
+    put_u64(out, c.cost_model.max_buffer_size as u64);
+    put_u64(out, c.cost_model.pair_sample_size as u64);
+    put_u64(out, c.ingest_batch as u64);
+}
+
+fn write_summary(out: &mut Vec<u8>, s: &IndexSummary) {
+    put_u64(out, s.budget_elements as u64);
+    put_u64(out, s.buffer_size as u64);
+    put_f64(out, s.tau);
+    put_f64(out, s.space_used_elements);
+    put_f64(out, s.space_used_fraction);
+    put_u64(out, s.num_records as u64);
+}
+
+/// Writes one posting list: a descriptor into the meta stream and its
+/// payload appended to the shard's shared arena sections.
+fn write_posting(
+    meta: &mut Vec<u8>,
+    list: &PostingList,
+    words: &mut Vec<u8>,
+    blocks: &mut Vec<u8>,
+    raw: &mut Vec<u8>,
+) {
+    match list.raw_slots() {
+        Some(slots) => {
+            put_u8(meta, 0);
+            put_u32(meta, slots.len() as u32);
+            for &s in slots {
+                put_u32(raw, s);
+            }
+        }
+        None => {
+            let packed = list.packed().expect("a posting list is raw or packed");
+            let (block_metas, payload, len, first, last, width) = packed.persist_parts();
+            put_u8(meta, 1);
+            put_u32(meta, len);
+            put_u32(meta, first);
+            put_u32(meta, last);
+            put_u8(meta, width);
+            put_u32(meta, block_metas.len() as u32);
+            put_u32(meta, payload.len() as u32);
+            append_block_metas(blocks, block_metas);
+            for &w in payload {
+                put_u64(words, w);
+            }
+        }
+    }
+}
+
+/// Lays the sections out after the header and table (each starting on an
+/// 8-byte boundary), fills in the header, and stamps the checksum.
+fn assemble(sections: Vec<Vec<u8>>) -> Vec<u8> {
+    let table_len = sections.len() * 16;
+    let mut offset = HEADER_LEN + table_len;
+    let mut table: Vec<(usize, usize)> = Vec::with_capacity(sections.len());
+    for s in &sections {
+        table.push((offset, s.len()));
+        offset += s.len().next_multiple_of(8);
+    }
+    let file_len = offset;
+    let mut out = vec![0u8; file_len];
+    out[0..8].copy_from_slice(&ARENA_MAGIC.to_le_bytes());
+    out[8..16].copy_from_slice(&ARENA_VERSION.to_le_bytes());
+    out[16..24].copy_from_slice(&ENDIAN_PROBE.to_ne_bytes());
+    out[24..32].copy_from_slice(&(file_len as u64).to_le_bytes());
+    out[40..48].copy_from_slice(&(sections.len() as u64).to_le_bytes());
+    for (i, &(off, len)) in table.iter().enumerate() {
+        let t = HEADER_LEN + i * 16;
+        out[t..t + 8].copy_from_slice(&(off as u64).to_le_bytes());
+        out[t + 8..t + 16].copy_from_slice(&(len as u64).to_le_bytes());
+    }
+    for ((off, _), s) in table.into_iter().zip(&sections) {
+        out[off..off + s.len()].copy_from_slice(s);
+    }
+    rewrite_checksum(&mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level reader (load side)
+// ---------------------------------------------------------------------------
+
+fn corrupt(what: &'static str) -> Error {
+    Error::PersistCorrupt { what }
+}
+
+fn to_usize(v: u64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| corrupt("a stored count does not fit in usize"))
+}
+
+/// Sequential reader over the meta-stream section.
+struct MetaCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaCursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        MetaCursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.bytes.len() - self.pos < n {
+            return Err(corrupt("meta stream ends early"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take returns 4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take returns 8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn count(&mut self) -> Result<usize> {
+        to_usize(self.u64()?)
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(corrupt("invalid boolean byte in the meta stream")),
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn read_header_word(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(
+        bytes[off..off + 8]
+            .try_into()
+            .expect("caller slices 8 bytes"),
+    )
+}
+
+fn read_config(cur: &mut MetaCursor) -> Result<GbKmvConfig> {
+    let space_fraction = cur.f64()?;
+    let budget_elements = match cur.u8()? {
+        0 => {
+            cur.u64()?;
+            None
+        }
+        1 => Some(to_usize(cur.u64()?)?),
+        _ => return Err(corrupt("invalid budget tag")),
+    };
+    let buffer = match cur.u8()? {
+        0 => {
+            cur.u64()?;
+            BufferSizing::Auto
+        }
+        1 => BufferSizing::Fixed(to_usize(cur.u64()?)?),
+        _ => return Err(corrupt("invalid buffer-sizing tag")),
+    };
+    let hash_seed = cur.u64()?;
+    let use_candidate_filter = cur.bool()?;
+    let use_prefix_filter = cur.bool()?;
+    let threads = to_usize(cur.u64()?)?;
+    let shards = to_usize(cur.u64()?)?;
+    let posting_format = read_format(cur)?;
+    let finish_kernel = match cur.u8()? {
+        0 => FinishKernel::Vectorized,
+        1 => FinishKernel::Scalar,
+        _ => return Err(corrupt("invalid finish-kernel tag")),
+    };
+    let cost_model = CostModelConfig {
+        grid_step: to_usize(cur.u64()?)?,
+        max_buffer_size: to_usize(cur.u64()?)?,
+        pair_sample_size: to_usize(cur.u64()?)?,
+    };
+    let ingest_batch = to_usize(cur.u64()?)?;
+    Ok(GbKmvConfig {
+        space_fraction,
+        budget_elements,
+        buffer,
+        hash_seed,
+        use_candidate_filter,
+        use_prefix_filter,
+        threads,
+        shards,
+        posting_format,
+        finish_kernel,
+        cost_model,
+        ingest_batch,
+    })
+}
+
+fn read_format(cur: &mut MetaCursor) -> Result<PostingFormat> {
+    match cur.u8()? {
+        0 => Ok(PostingFormat::Packed),
+        1 => Ok(PostingFormat::Raw),
+        _ => Err(corrupt("invalid posting-format tag")),
+    }
+}
+
+fn read_summary(cur: &mut MetaCursor) -> Result<IndexSummary> {
+    Ok(IndexSummary {
+        budget_elements: cur.count()?,
+        buffer_size: cur.count()?,
+        tau: cur.f64()?,
+        space_used_elements: cur.f64()?,
+        space_used_fraction: cur.f64()?,
+        num_records: cur.count()?,
+    })
+}
+
+/// Parsed descriptor of one posting list: how many entries to carve out of
+/// the shard's shared posting arenas.
+enum PostingDesc {
+    Raw {
+        count: usize,
+    },
+    Packed {
+        len: u32,
+        first: u32,
+        last: u32,
+        width: u8,
+        nblocks: usize,
+        nwords: usize,
+    },
+}
+
+impl PostingDesc {
+    fn read(cur: &mut MetaCursor, format: PostingFormat) -> Result<Self> {
+        let tag = cur.u8()?;
+        match (tag, format) {
+            (0, PostingFormat::Raw) => Ok(PostingDesc::Raw {
+                count: cur.u32()? as usize,
+            }),
+            (1, PostingFormat::Packed) => Ok(PostingDesc::Packed {
+                len: cur.u32()?,
+                first: cur.u32()?,
+                last: cur.u32()?,
+                width: cur.u8()?,
+                nblocks: cur.u32()? as usize,
+                nwords: cur.u32()? as usize,
+            }),
+            _ => Err(corrupt(
+                "posting descriptor disagrees with the shard format",
+            )),
+        }
+    }
+}
+
+/// One shard's meta-stream record.
+struct ShardPre {
+    base: usize,
+    words_per_record: usize,
+    format: PostingFormat,
+    n: usize,
+    hash_df: Vec<(u64, u32)>,
+    sig: Vec<(u64, PostingDesc)>,
+    buf: Vec<PostingDesc>,
+}
+
+/// Everything validated and parsed from the raw bytes *before* the aligned
+/// copy is made — if construction fails past this point the failure is in
+/// the typed structural checks, and the copy is reclaimed.
+struct PreParsed {
+    config: GbKmvConfig,
+    summary: IndexSummary,
+    total_elements: usize,
+    hasher_seed: u64,
+    threshold_raw: u64,
+    layout_elements: Vec<u32>,
+    shards: Vec<ShardPre>,
+    /// Byte `(offset, length)` of every section, header-validated.
+    sections: Vec<(usize, usize)>,
+}
+
+impl PreParsed {
+    fn parse(bytes: &[u8]) -> Result<Self> {
+        let sections = validate_header(bytes)?;
+        let (moff, mlen) = sections[0];
+        let mut cur = MetaCursor::new(&bytes[moff..moff + mlen]);
+        let config = read_config(&mut cur)?;
+        let summary = read_summary(&mut cur)?;
+        let total_elements = cur.count()?;
+        let hasher_seed = cur.u64()?;
+        let threshold_raw = cur.u64()?;
+        let nelems = cur.count()?;
+        let mut layout_elements = Vec::new();
+        for _ in 0..nelems {
+            layout_elements.push(cur.u32()?);
+        }
+        let layout_words = layout_elements.len().div_ceil(64);
+        let num_shards = cur.count()?;
+        if num_shards == 0 {
+            return Err(corrupt("an index arena holds at least one shard"));
+        }
+        let expected_sections = num_shards
+            .checked_mul(SECTIONS_PER_SHARD)
+            .and_then(|s| s.checked_add(1))
+            .ok_or_else(|| corrupt("shard count overflows"))?;
+        if sections.len() != expected_sections {
+            return Err(corrupt("section count does not match the shard count"));
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut next_base = 0usize;
+        for si in 0..num_shards {
+            let shard = Self::parse_shard(&mut cur)?;
+            if shard.base != next_base {
+                return Err(corrupt("shard record-id ranges are not contiguous"));
+            }
+            if shard.words_per_record != layout_words {
+                return Err(corrupt(
+                    "shard buffer stride disagrees with the buffer layout",
+                ));
+            }
+            if shard.buf.len() != layout_elements.len() {
+                return Err(corrupt(
+                    "buffer posting count disagrees with the buffer layout",
+                ));
+            }
+            next_base = next_base
+                .checked_add(shard.n)
+                .ok_or_else(|| corrupt("record count overflows"))?;
+            let arena_sections = &sections[1 + si * SECTIONS_PER_SHARD..];
+            check_shard_sections(bytes, arena_sections, &shard)?;
+            shards.push(shard);
+        }
+        if summary.num_records != next_base {
+            return Err(corrupt("summary record count disagrees with the shards"));
+        }
+        if !cur.finished() {
+            return Err(corrupt("trailing bytes in the meta stream"));
+        }
+        Ok(PreParsed {
+            config,
+            summary,
+            total_elements,
+            hasher_seed,
+            threshold_raw,
+            layout_elements,
+            shards,
+            sections,
+        })
+    }
+
+    fn parse_shard(cur: &mut MetaCursor) -> Result<ShardPre> {
+        let base = cur.count()?;
+        let words_per_record = cur.count()?;
+        let format = read_format(cur)?;
+        let n = cur.count()?;
+        let ndf = cur.count()?;
+        let mut hash_df = Vec::new();
+        let mut prev_hash: Option<u64> = None;
+        for _ in 0..ndf {
+            let h = cur.u64()?;
+            if prev_hash.is_some_and(|p| h <= p) {
+                return Err(corrupt("document-frequency pairs are not sorted by hash"));
+            }
+            prev_hash = Some(h);
+            hash_df.push((h, cur.u32()?));
+        }
+        let nsig = cur.count()?;
+        let mut sig = Vec::new();
+        let mut prev_sig: Option<u64> = None;
+        for _ in 0..nsig {
+            let h = cur.u64()?;
+            if prev_sig.is_some_and(|p| h <= p) {
+                return Err(corrupt("signature postings are not sorted by hash"));
+            }
+            prev_sig = Some(h);
+            sig.push((h, PostingDesc::read(cur, format)?));
+        }
+        let nbuf = cur.count()?;
+        let mut buf = Vec::new();
+        for _ in 0..nbuf {
+            buf.push(PostingDesc::read(cur, format)?);
+        }
+        Ok(ShardPre {
+            base,
+            words_per_record,
+            format,
+            n,
+            hash_df,
+            sig,
+            buf,
+        })
+    }
+}
+
+/// Header, checksum and section-table validation; returns the byte
+/// `(offset, length)` of every section.
+fn validate_header(bytes: &[u8]) -> Result<Vec<(usize, usize)>> {
+    let actual = bytes.len() as u64;
+    if bytes.len() < HEADER_LEN {
+        return Err(Error::PersistTruncated {
+            expected: HEADER_LEN as u64,
+            actual,
+        });
+    }
+    let magic = read_header_word(bytes, 0);
+    if magic != ARENA_MAGIC {
+        return Err(Error::PersistMagic { found: magic });
+    }
+    let version = read_header_word(bytes, 8);
+    if version != ARENA_VERSION {
+        return Err(Error::PersistVersion {
+            found: version,
+            supported: ARENA_VERSION,
+        });
+    }
+    let probe = u64::from_ne_bytes(bytes[16..24].try_into().expect("header slice is 8 bytes"));
+    if probe != ENDIAN_PROBE {
+        return Err(corrupt(
+            "endianness probe mismatch (arena written on a different byte order)",
+        ));
+    }
+    let file_len = read_header_word(bytes, 24);
+    if file_len != actual {
+        return Err(Error::PersistTruncated {
+            expected: file_len,
+            actual,
+        });
+    }
+    if !bytes.len().is_multiple_of(8) {
+        return Err(corrupt("file length is not a multiple of 8"));
+    }
+    let stored_sum = read_header_word(bytes, 32);
+    let computed = checksum_of(&bytes[CHECKSUM_COVER_FROM..]);
+    if computed != stored_sum {
+        return Err(Error::PersistChecksum {
+            expected: stored_sum,
+            actual: computed,
+        });
+    }
+    let count = to_usize(read_header_word(bytes, 40))?;
+    let table_end = count
+        .checked_mul(16)
+        .and_then(|t| t.checked_add(HEADER_LEN))
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| corrupt("section table reaches past the end of the file"))?;
+    if count == 0 {
+        return Err(corrupt("no sections (missing meta stream)"));
+    }
+    let mut sections = Vec::with_capacity(count);
+    for i in 0..count {
+        let off = read_header_word(bytes, HEADER_LEN + i * 16);
+        let len = read_header_word(bytes, HEADER_LEN + i * 16 + 8);
+        if !off.is_multiple_of(8) {
+            return Err(Error::PersistMisaligned {
+                section: i,
+                offset: off,
+            });
+        }
+        let off = to_usize(off)?;
+        let len = to_usize(len)?;
+        if off < table_end {
+            return Err(corrupt("a section overlaps the header or section table"));
+        }
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| corrupt("a section's extent overflows"))?;
+        if end > bytes.len() {
+            return Err(corrupt("a section reaches past the end of the file"));
+        }
+        sections.push((off, len));
+    }
+    Ok(sections)
+}
+
+/// Pre-leak length (and `bool`-byte) checks of one shard's 12 arena
+/// sections against its meta-stream record.
+fn check_shard_sections(bytes: &[u8], sections: &[(usize, usize)], shard: &ShardPre) -> Result<()> {
+    let n = shard.n;
+    let expect = |idx: usize, want: Option<usize>, what: &'static str| -> Result<()> {
+        let (_, len) = sections[idx];
+        match want {
+            Some(w) if w == len => Ok(()),
+            Some(_) => Err(corrupt(what)),
+            None => Err(corrupt("a section size computation overflows")),
+        }
+    };
+    let (hash_off, hash_len) = sections[0];
+    let _ = hash_off;
+    if hash_len % 8 != 0 {
+        return Err(corrupt("hash arena length is not a multiple of 8"));
+    }
+    expect(
+        1,
+        n.checked_add(1).and_then(|c| c.checked_mul(8)),
+        "hash offset section does not hold n + 1 offsets",
+    )?;
+    expect(
+        2,
+        n.checked_mul(shard.words_per_record)
+            .and_then(|c| c.checked_mul(8)),
+        "buffer arena does not hold n records of the stride",
+    )?;
+    expect(
+        3,
+        n.checked_mul(std::mem::size_of::<RecordMeta>()),
+        "record metadata section does not hold n entries",
+    )?;
+    expect(
+        4,
+        n.checked_mul(4),
+        "record-id permutation does not hold n entries",
+    )?;
+    expect(
+        5,
+        n.checked_mul(4),
+        "slot permutation does not hold n entries",
+    )?;
+
+    // The one byte per RecordMeta entry whose bit pattern matters for
+    // soundness: reject anything but 0/1 before the typed view exists.
+    let (moff, _) = sections[3];
+    for i in 0..n {
+        if bytes[moff + i * std::mem::size_of::<RecordMeta>() + META_BOOL_OFFSET] > 1 {
+            return Err(corrupt("record metadata contains an invalid boolean"));
+        }
+    }
+
+    let sig_descs: Vec<&PostingDesc> = shard.sig.iter().map(|(_, d)| d).collect();
+    let buf_descs: Vec<&PostingDesc> = shard.buf.iter().collect();
+    for (group, descs) in [(6usize, sig_descs), (9usize, buf_descs)] {
+        let mut words = 0usize;
+        let mut blocks = 0usize;
+        let mut raw = 0usize;
+        for d in &descs {
+            match d {
+                PostingDesc::Raw { count } => {
+                    raw = raw
+                        .checked_add(*count)
+                        .ok_or_else(|| corrupt("raw posting counts overflow"))?;
+                }
+                PostingDesc::Packed {
+                    nblocks, nwords, ..
+                } => {
+                    blocks = blocks
+                        .checked_add(*nblocks)
+                        .ok_or_else(|| corrupt("posting block counts overflow"))?;
+                    words = words
+                        .checked_add(*nwords)
+                        .ok_or_else(|| corrupt("posting word counts overflow"))?;
+                }
+            }
+        }
+        expect(
+            group,
+            words.checked_mul(8),
+            "posting payload section disagrees with its descriptors",
+        )?;
+        expect(
+            group + 1,
+            blocks.checked_mul(std::mem::size_of::<BlockMeta>()),
+            "posting block-metadata section disagrees with its descriptors",
+        )?;
+        expect(
+            group + 2,
+            raw.checked_mul(4),
+            "raw posting section disagrees with its descriptors",
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Typed zero-copy views (post-leak)
+// ---------------------------------------------------------------------------
+
+/// Casts an 8-aligned byte section to `&[u64]`. Length divisibility and
+/// offset alignment were validated by [`validate_header`] /
+/// [`check_shard_sections`].
+fn u64_view(bytes: &'static [u8]) -> &'static [u64] {
+    debug_assert_eq!(bytes.len() % 8, 0);
+    debug_assert_eq!(bytes.as_ptr() as usize % 8, 0);
+    // SAFETY: the pointer is 8-aligned (sections start on 8-byte
+    // boundaries of an 8-aligned buffer), the length is a multiple of 8,
+    // and every bit pattern is a valid u64.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) }
+}
+
+fn u32_view(bytes: &'static [u8]) -> &'static [u32] {
+    debug_assert_eq!(bytes.len() % 4, 0);
+    // SAFETY: 8-aligned exceeds u32's alignment; every bit pattern is a
+    // valid u32.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) }
+}
+
+fn record_meta_view(bytes: &'static [u8]) -> &'static [RecordMeta] {
+    let size = std::mem::size_of::<RecordMeta>();
+    debug_assert_eq!(bytes.len() % size, 0);
+    // SAFETY: `RecordMeta` is `#[repr(C)]` with the size/alignment pinned
+    // by the const asserts above; the only field with restricted bit
+    // patterns (the `bool`) was validated byte-wise before this view is
+    // created, and 8-aligned sections satisfy its alignment.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<RecordMeta>(), bytes.len() / size) }
+}
+
+fn block_meta_view(bytes: &'static [u8]) -> &'static [BlockMeta] {
+    let size = std::mem::size_of::<BlockMeta>();
+    debug_assert_eq!(bytes.len() % size, 0);
+    // SAFETY: `BlockMeta` is `#[repr(C)]`, all-integer (any bit pattern is
+    // a valid value; structural sanity is checked separately), and
+    // 8-aligned sections satisfy its 4-byte alignment.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<BlockMeta>(), bytes.len() / size) }
+}
+
+/// Splits `n` leading elements off a borrowed arena.
+fn take<T>(slice: &mut &'static [T], n: usize) -> Result<&'static [T]> {
+    if n > slice.len() {
+        return Err(corrupt("a posting arena ends early"));
+    }
+    let (head, tail) = slice.split_at(n);
+    *slice = tail;
+    Ok(head)
+}
+
+/// Carves one posting list out of the shard's shared posting arenas and
+/// structurally validates it.
+fn take_posting(
+    desc: &PostingDesc,
+    words: &mut &'static [u64],
+    blocks: &mut &'static [BlockMeta],
+    raw: &mut &'static [u32],
+    slot_bound: usize,
+) -> Result<PostingList> {
+    match *desc {
+        PostingDesc::Raw { count } => {
+            let slots = take(raw, count)?;
+            if !slots.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt("a raw posting list is not strictly ascending"));
+            }
+            if slots.last().is_some_and(|&s| (s as usize) >= slot_bound) {
+                return Err(corrupt("a raw posting slot is out of range"));
+            }
+            Ok(PostingList::from_raw_arena(ArenaVec::Borrowed(slots)))
+        }
+        PostingDesc::Packed {
+            len,
+            first,
+            last,
+            width,
+            nblocks,
+            nwords,
+        } => {
+            let block_metas = take(blocks, nblocks)?;
+            let payload = take(words, nwords)?;
+            let packed = PackedList::from_persist_parts(
+                ArenaVec::Borrowed(block_metas),
+                ArenaVec::Borrowed(payload),
+                len,
+                first,
+                last,
+                width,
+            );
+            if !packed.validate_loaded(slot_bound) {
+                return Err(corrupt(
+                    "a packed posting list failed structural validation",
+                ));
+            }
+            Ok(PostingList::Packed(packed))
+        }
+    }
+}
+
+/// Reconstructs the index over the leaked aligned buffer. Every check in
+/// here is a *structural* one on typed views; on failure the caller
+/// reclaims the buffer, so nothing leaks.
+fn assemble_index(buf: &'static [u64], pre: &PreParsed) -> Result<GbKmvIndex> {
+    let base_ptr: *const u8 = buf.as_ptr().cast();
+    let section_bytes = |i: usize| -> &'static [u8] {
+        let (off, len) = pre.sections[i];
+        // SAFETY: `validate_header` bounded every section inside the file,
+        // and `buf` is a bit-exact copy of it.
+        unsafe { std::slice::from_raw_parts(base_ptr.add(off), len) }
+    };
+
+    let mut shards = Vec::with_capacity(pre.shards.len());
+    for (si, sp) in pre.shards.iter().enumerate() {
+        let s = 1 + si * SECTIONS_PER_SHARD;
+        let hash_arena = u64_view(section_bytes(s));
+        let hash_offsets = u64_view(section_bytes(s + 1));
+        let buffer_arena = u64_view(section_bytes(s + 2));
+        let meta = record_meta_view(section_bytes(s + 3));
+        let record_ids = u32_view(section_bytes(s + 4));
+        let slots = u32_view(section_bytes(s + 5));
+
+        if hash_offsets.first() != Some(&0) {
+            return Err(corrupt("hash offsets do not start at zero"));
+        }
+        if !hash_offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(corrupt("hash offsets are not monotonic"));
+        }
+        if hash_offsets.last() != Some(&(hash_arena.len() as u64)) {
+            return Err(corrupt("hash offsets do not cover the hash arena"));
+        }
+        let n = sp.n;
+        if record_ids.iter().any(|&v| (v as usize) >= n) {
+            return Err(corrupt("record-id permutation entry out of range"));
+        }
+        if slots.iter().any(|&v| (v as usize) >= n) {
+            return Err(corrupt("slot permutation entry out of range"));
+        }
+        if !meta
+            .windows(2)
+            .all(|w| w[0].record_size >= w[1].record_size)
+        {
+            return Err(corrupt("record metadata is not size-ordered"));
+        }
+
+        let hash_df: HashMap<u64, u32> = sp.hash_df.iter().copied().collect();
+        let store = SketchStore::from_arena_parts(
+            ArenaVec::Borrowed(hash_arena),
+            ArenaVec::Borrowed(hash_offsets),
+            ArenaVec::Borrowed(buffer_arena),
+            sp.words_per_record,
+            ArenaVec::Borrowed(meta),
+            ArenaVec::Borrowed(record_ids),
+            ArenaVec::Borrowed(slots),
+            hash_df,
+        );
+
+        let mut sig_words = u64_view(section_bytes(s + 6));
+        let mut sig_blocks = block_meta_view(section_bytes(s + 7));
+        let mut sig_raw = u32_view(section_bytes(s + 8));
+        let mut signature_postings = HashMap::with_capacity(sp.sig.len());
+        for (h, desc) in &sp.sig {
+            let list = take_posting(desc, &mut sig_words, &mut sig_blocks, &mut sig_raw, n)?;
+            signature_postings.insert(*h, list);
+        }
+
+        let mut buf_words = u64_view(section_bytes(s + 9));
+        let mut buf_blocks = block_meta_view(section_bytes(s + 10));
+        let mut buf_raw = u32_view(section_bytes(s + 11));
+        let mut buffer_postings = Vec::with_capacity(sp.buf.len());
+        for desc in &sp.buf {
+            buffer_postings.push(take_posting(
+                desc,
+                &mut buf_words,
+                &mut buf_blocks,
+                &mut buf_raw,
+                n,
+            )?);
+        }
+
+        shards.push(Shard::from_parts(
+            sp.base,
+            store,
+            sp.format,
+            signature_postings,
+            buffer_postings,
+        ));
+    }
+
+    let layout = BufferLayout::new(pre.layout_elements.clone());
+    let sketcher = GbKmvSketcher::new(
+        Hasher64::from_mixed_seed(pre.hasher_seed),
+        layout,
+        GlobalThreshold {
+            raw: pre.threshold_raw,
+        },
+    );
+    Ok(GbKmvIndex {
+        sketcher,
+        sharded: ShardedIndex::from_shards(shards),
+        summary: pre.summary,
+        config: pre.config,
+        total_elements: pre.total_elements,
+    })
+}
+
+fn io_error(e: &std::io::Error) -> Error {
+    Error::PersistIo {
+        message: e.to_string(),
+    }
+}
+
+impl GbKmvIndex {
+    /// Serializes the index into a single in-memory arena image — the byte
+    /// form [`GbKmvIndex::save`] writes to disk. Deterministic: the same
+    /// index always produces the same bytes, and a loaded index re-saves
+    /// byte-identically.
+    pub fn to_arena_bytes(&self) -> Vec<u8> {
+        let mut meta = Vec::new();
+        write_config(&mut meta, &self.config);
+        write_summary(&mut meta, &self.summary);
+        put_u64(&mut meta, self.total_elements as u64);
+        put_u64(&mut meta, self.sketcher.hasher().seed());
+        put_u64(&mut meta, self.sketcher.threshold().raw);
+        let elements = self.sketcher.layout().elements();
+        put_u64(&mut meta, elements.len() as u64);
+        for &e in elements {
+            put_u32(&mut meta, e);
+        }
+        let shards = self.sharded.shards();
+        put_u64(&mut meta, shards.len() as u64);
+
+        let mut arenas: Vec<Vec<u8>> = Vec::with_capacity(shards.len() * SECTIONS_PER_SHARD);
+        for shard in shards {
+            let store = shard.store();
+            put_u64(&mut meta, shard.base() as u64);
+            put_u64(&mut meta, store.words_per_record() as u64);
+            put_u8(&mut meta, format_tag(shard.posting_format()));
+            put_u64(&mut meta, store.len() as u64);
+
+            // HashMap iteration order is nondeterministic: sort so the
+            // bytes — and the load-side carve order — are canonical.
+            let mut df: Vec<(u64, u32)> =
+                store.hash_df_map().iter().map(|(&h, &d)| (h, d)).collect();
+            df.sort_unstable_by_key(|&(h, _)| h);
+            put_u64(&mut meta, df.len() as u64);
+            for (h, d) in df {
+                put_u64(&mut meta, h);
+                put_u32(&mut meta, d);
+            }
+
+            arenas.push(u64_section(store.hash_arena_slice()));
+            arenas.push(u64_section(store.hash_offsets_slice()));
+            arenas.push(u64_section(store.buffer_arena_slice()));
+            arenas.push(meta_section(store.meta_slice()));
+            arenas.push(u32_section(store.record_ids_slice()));
+            arenas.push(u32_section(store.slots_slice()));
+
+            let mut sig: Vec<(&u64, &PostingList)> = shard.signature_posting_map().iter().collect();
+            sig.sort_unstable_by_key(|&(h, _)| *h);
+            let mut sig_words = Vec::new();
+            let mut sig_blocks = Vec::new();
+            let mut sig_raw = Vec::new();
+            put_u64(&mut meta, sig.len() as u64);
+            for (&h, list) in sig {
+                put_u64(&mut meta, h);
+                write_posting(
+                    &mut meta,
+                    list,
+                    &mut sig_words,
+                    &mut sig_blocks,
+                    &mut sig_raw,
+                );
+            }
+            arenas.push(sig_words);
+            arenas.push(sig_blocks);
+            arenas.push(sig_raw);
+
+            let buffer_lists = shard.buffer_posting_lists();
+            let mut buf_words = Vec::new();
+            let mut buf_blocks = Vec::new();
+            let mut buf_raw = Vec::new();
+            put_u64(&mut meta, buffer_lists.len() as u64);
+            for list in buffer_lists {
+                write_posting(
+                    &mut meta,
+                    list,
+                    &mut buf_words,
+                    &mut buf_blocks,
+                    &mut buf_raw,
+                );
+            }
+            arenas.push(buf_words);
+            arenas.push(buf_blocks);
+            arenas.push(buf_raw);
+        }
+
+        let mut sections = Vec::with_capacity(arenas.len() + 1);
+        sections.push(meta);
+        sections.extend(arenas);
+        assemble(sections)
+    }
+
+    /// Loads an index from an arena image, borrowing the heavy sections
+    /// zero-copy (see the module docs). The image is fully validated
+    /// first; every corruption class returns a typed error and a failed
+    /// load reclaims every byte it allocated.
+    pub fn from_arena_bytes(bytes: &[u8]) -> Result<Self> {
+        let pre = PreParsed::parse(bytes)?;
+        // One bulk copy into an 8-aligned buffer (a Vec<u64> is the
+        // cheapest aligned allocation std offers); on little-endian
+        // targets — enforced by the probe — this is semantically memcpy.
+        let words: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_ne_bytes(c.try_into().expect("chunks_exact yields 8-byte chunks")))
+            .collect();
+        let leaked: &'static [u64] = Box::leak(words.into_boxed_slice());
+        match assemble_index(leaked, &pre) {
+            Ok(index) => Ok(index),
+            Err(e) => {
+                let ptr =
+                    std::ptr::slice_from_raw_parts_mut(leaked.as_ptr().cast_mut(), leaked.len());
+                // SAFETY: `leaked` came from Box::leak above and no
+                // borrowed view of it escaped the failed assembly, so
+                // reclaiming it is sound — corrupt loads leak nothing.
+                drop(unsafe { Box::from_raw(ptr) });
+                Err(e)
+            }
+        }
+    }
+
+    /// Writes the index to `path` as a single arena file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_arena_bytes()).map_err(|e| io_error(&e))
+    }
+
+    /// Loads an index previously written by [`GbKmvIndex::save`],
+    /// borrowing the file's sections zero-copy instead of rebuilding.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| io_error(&e))?;
+        Self::from_arena_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn dataset() -> Dataset {
+        Dataset::from_records((0..60u32).map(|i| {
+            (0..(3 + i % 17))
+                .map(|j| (j * 13 + i * 7) % 400)
+                .collect::<Vec<_>>()
+        }))
+    }
+
+    fn build(config: GbKmvConfig) -> GbKmvIndex {
+        GbKmvIndex::build(&dataset(), config)
+    }
+
+    fn configs() -> Vec<GbKmvConfig> {
+        vec![
+            GbKmvConfig::with_space_fraction(0.6),
+            GbKmvConfig::with_space_fraction(0.6).shards(3),
+            GbKmvConfig::with_space_fraction(0.6).posting_format(PostingFormat::Raw),
+            GbKmvConfig::with_space_fraction(0.6).candidate_filter(false),
+            GbKmvConfig::with_space_fraction(0.6).buffer_size(0),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_every_component() {
+        for config in configs() {
+            let built = build(config);
+            let bytes = built.to_arena_bytes();
+            let loaded = GbKmvIndex::from_arena_bytes(&bytes).expect("round trip");
+            assert_eq!(loaded.sharded, built.sharded, "storage diverged");
+            assert_eq!(loaded.sketcher, built.sketcher);
+            assert_eq!(loaded.summary, built.summary);
+            assert_eq!(loaded.config, built.config);
+            assert_eq!(loaded.total_elements, built.total_elements);
+        }
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        for config in configs() {
+            let built = build(config);
+            let bytes = built.to_arena_bytes();
+            let loaded = GbKmvIndex::from_arena_bytes(&bytes).expect("load");
+            assert_eq!(loaded.to_arena_bytes(), bytes, "re-save diverged");
+        }
+    }
+
+    #[test]
+    fn loaded_index_borrows_every_arena() {
+        let built = build(GbKmvConfig::with_space_fraction(0.6).shards(2));
+        let loaded = GbKmvIndex::from_arena_bytes(&built.to_arena_bytes()).expect("load");
+        let usage = loaded.mem_usage();
+        let content = usage.hash_arena_bytes
+            + usage.hash_offsets_bytes
+            + usage.buffer_arena_bytes
+            + usage.meta_bytes
+            + usage.permutation_bytes
+            + usage.postings_raw_bytes
+            + usage.postings_packed_bytes
+            + usage.posting_block_meta_bytes;
+        assert_eq!(
+            usage.borrowed_bytes, content,
+            "a freshly loaded index must borrow every arena zero-copy"
+        );
+        assert!(usage.borrowed_bytes > 0);
+        assert_eq!(built.mem_usage().borrowed_bytes, 0);
+    }
+
+    #[test]
+    fn loaded_index_answers_identically() {
+        let built = build(GbKmvConfig::with_space_fraction(0.6).shards(2));
+        let loaded = GbKmvIndex::from_arena_bytes(&built.to_arena_bytes()).expect("load");
+        for q in dataset().records() {
+            for t in [0.3, 0.7] {
+                assert_eq!(
+                    loaded.search_record(q, t),
+                    built.search_record(q, t),
+                    "answers diverged at t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let built = GbKmvIndex::build(
+            &Dataset::from_records(vec![vec![1, 2, 3]]),
+            GbKmvConfig::with_space_fraction(1.0),
+        );
+        let loaded = GbKmvIndex::from_arena_bytes(&built.to_arena_bytes()).expect("load");
+        assert_eq!(loaded.sharded, built.sharded);
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = build(GbKmvConfig::with_space_fraction(0.5)).to_arena_bytes();
+        bytes[0] ^= 0xFF;
+        match GbKmvIndex::from_arena_bytes(&bytes) {
+            Err(Error::PersistMagic { .. }) => {}
+            other => panic!("expected PersistMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut bytes = build(GbKmvConfig::with_space_fraction(0.5)).to_arena_bytes();
+        bytes[8] = 99;
+        match GbKmvIndex::from_arena_bytes(&bytes) {
+            Err(Error::PersistVersion {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, ARENA_VERSION);
+            }
+            other => panic!("expected PersistVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_body_bit_is_a_checksum_error() {
+        let mut bytes = build(GbKmvConfig::with_space_fraction(0.5)).to_arena_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        match GbKmvIndex::from_arena_bytes(&bytes) {
+            Err(Error::PersistChecksum { .. }) => {}
+            other => panic!("expected PersistChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = build(GbKmvConfig::with_space_fraction(0.5)).to_arena_bytes();
+        match GbKmvIndex::from_arena_bytes(&bytes[..bytes.len() - 8]) {
+            Err(Error::PersistTruncated { .. }) => {}
+            other => panic!("expected PersistTruncated, got {other:?}"),
+        }
+        match GbKmvIndex::from_arena_bytes(&bytes[..16]) {
+            Err(Error::PersistTruncated { .. }) => {}
+            other => panic!("expected PersistTruncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misaligned_section_offset_is_typed() {
+        let mut bytes = build(GbKmvConfig::with_space_fraction(0.5)).to_arena_bytes();
+        // Knock section 0's offset off alignment, then re-stamp the
+        // checksum so only the alignment check can reject it.
+        let off = u64::from_le_bytes(bytes[48..56].try_into().unwrap());
+        bytes[48..56].copy_from_slice(&(off + 4).to_le_bytes());
+        rewrite_checksum(&mut bytes);
+        match GbKmvIndex::from_arena_bytes(&bytes) {
+            Err(Error::PersistMisaligned { section: 0, .. }) => {}
+            other => panic!("expected PersistMisaligned, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_open_round_trip_through_a_file() {
+        let dir = std::env::temp_dir().join("gbkmv_persist_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.arena");
+        let built = build(GbKmvConfig::with_space_fraction(0.6));
+        built.save(&path).expect("save");
+        let loaded = GbKmvIndex::open(&path).expect("open");
+        assert_eq!(loaded.sharded, built.sharded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_is_an_io_error() {
+        match GbKmvIndex::open("/nonexistent/gbkmv.arena") {
+            Err(Error::PersistIo { .. }) => {}
+            other => panic!("expected PersistIo, got {other:?}"),
+        }
+    }
+}

@@ -238,6 +238,18 @@ impl QueryScratch {
         }
     }
 
+    /// Heap bytes currently held by the scratch's accumulator arrays — the
+    /// per-pipeline retained-memory number the `query_throughput` bench
+    /// reports alongside the index's
+    /// [`mem_usage`](crate::index::GbKmvIndex::mem_usage) breakdown.
+    pub fn mem_bytes(&self) -> usize {
+        self.stamp.capacity() * std::mem::size_of::<u32>()
+            + self.k_int.capacity() * std::mem::size_of::<u32>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+            + self.hash_order.capacity() * std::mem::size_of::<(u32, u64)>()
+            + self.block_decode.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// The slots touched by the current query, in first-touch order.
     #[inline]
     pub fn candidates(&self) -> &[u32] {

@@ -97,6 +97,29 @@ impl ContainmentService {
         ContainmentService::new(GbKmvIndex::build(dataset, config))
     }
 
+    /// Opens a service over an index arena file previously written by
+    /// [`ContainmentService::checkpoint`] (or [`GbKmvIndex::save`]): the
+    /// index is loaded zero-copy (see [`crate::persist`]) instead of being
+    /// rebuilt, and becomes generation 0 of the new service.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Ok(ContainmentService::new(GbKmvIndex::open(path)?))
+    }
+
+    /// Writes the **current published generation** to `path` as a single
+    /// arena file and returns how many records it contains.
+    ///
+    /// The checkpoint serializes the already-published `Arc` snapshot
+    /// directly — no index clone, no extra generation — so readers and
+    /// writers are completely unaffected while the bytes are written.
+    /// Records still sitting in the ingest queue are *not* part of the
+    /// checkpoint; call [`ContainmentService::flush`] first to include
+    /// them.
+    pub fn checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<u64> {
+        let snapshot = self.snapshot();
+        snapshot.save(path)?;
+        Ok(snapshot.num_records() as u64)
+    }
+
     /// The current generation: an immutable snapshot every query method of
     /// [`GbKmvIndex`] can run against without further coordination.
     ///
@@ -329,6 +352,39 @@ mod tests {
         let service = ContainmentService::build(&dataset(5), config());
         assert_eq!(service.flush(), 0);
         assert_eq!(service.generation(), 0);
+    }
+
+    #[test]
+    fn checkpoint_and_open_round_trip_the_published_generation() {
+        let dir = std::env::temp_dir().join("gbkmv_service_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.arena");
+
+        let service = ContainmentService::build(&dataset(10), config());
+        // Pending (unflushed) records are not part of the checkpoint.
+        let extra: Vec<Record> = dataset(12).records()[10..].to_vec();
+        for r in &extra[..2.min(extra.len())] {
+            service.submit(r.clone()).unwrap();
+        }
+        let n = service.checkpoint(&path).unwrap();
+        assert_eq!(n, 10, "checkpoint covers the published generation only");
+
+        let reopened = ContainmentService::open(&path).unwrap();
+        assert_eq!(reopened.generation(), 0);
+        assert_eq!(reopened.snapshot().num_records(), 10);
+        let query: Vec<u32> = dataset(10).records()[2].elements().to_vec();
+        assert_eq!(
+            reopened.search(&query, 0.3),
+            GbKmvIndex::build(&dataset(10), config()).search_elements(&query, 0.3),
+            "reopened service diverged from build-from-scratch"
+        );
+        // The reopened service keeps ingesting through the same path.
+        for r in extra {
+            reopened.submit(r).unwrap();
+        }
+        reopened.flush();
+        assert_eq!(reopened.snapshot().num_records(), 12);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -53,14 +53,21 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::ArenaVec;
 use crate::buffer::ElementBuffer;
 use crate::gbkmv::GbKmvRecordSketch;
 use crate::gkmv::{GKmvPairEstimate, GKmvSketch};
 use crate::kmv::sorted_intersection_count;
+use crate::mem::MemUsage;
 
 pub use crate::scratch::QueryScratch;
 
 /// Per-slot scalar summary: everything the accumulator's O(1) finish needs.
+///
+/// `#[repr(C)]` pins the field layout (8-byte `max_hash`, two `u32`s, one
+/// `bool` byte, 7 padding bytes — 24 bytes total) so the persistence layer
+/// can borrow a saved meta section zero-copy as `&[RecordMeta]`.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecordMeta {
     /// Largest stored hash value (0 for an empty signature).
@@ -92,21 +99,23 @@ pub struct SketchView<'a> {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SketchStore {
     /// Concatenated, per-slot-sorted G-KMV hash values.
-    hash_arena: Vec<u64>,
-    /// `hash_offsets[s]..hash_offsets[s + 1]` is slot `s`'s hash range.
-    hash_offsets: Vec<usize>,
+    hash_arena: ArenaVec<u64>,
+    /// `hash_offsets[s]..hash_offsets[s + 1]` is slot `s`'s hash range
+    /// (`u64` rather than `usize` so the on-disk arena layout is
+    /// platform-independent and borrows zero-copy).
+    hash_offsets: ArenaVec<u64>,
     /// Concatenated buffer bitmap words, `words_per_record` per slot.
-    buffer_arena: Vec<u64>,
+    buffer_arena: ArenaVec<u64>,
     /// Fixed per-slot stride of `buffer_arena` (the shared layout's word
     /// count; 0 when the buffer is disabled).
     words_per_record: usize,
     /// Per-slot scalar summaries. `meta[s].record_size` is non-increasing in
     /// `s` — the invariant behind [`SketchStore::live_prefix`].
-    meta: Vec<RecordMeta>,
+    meta: ArenaVec<RecordMeta>,
     /// Slot → the (store-local) record id held in that slot.
-    record_ids: Vec<u32>,
+    record_ids: ArenaVec<u32>,
     /// (Store-local) record id → the slot holding it.
-    slots: Vec<u32>,
+    slots: ArenaVec<u32>,
     /// Signature hash value → number of records containing it (document
     /// frequency). Equals the posting-list length when postings are built.
     hash_df: HashMap<u64, u32>,
@@ -125,14 +134,99 @@ impl SketchStore {
     /// An empty store whose buffers have `words_per_record` 64-bit words.
     pub fn new(words_per_record: usize) -> Self {
         SketchStore {
-            hash_arena: Vec::new(),
-            hash_offsets: vec![0],
-            buffer_arena: Vec::new(),
+            hash_arena: ArenaVec::default(),
+            hash_offsets: vec![0].into(),
+            buffer_arena: ArenaVec::default(),
             words_per_record,
-            meta: Vec::new(),
-            record_ids: Vec::new(),
-            slots: Vec::new(),
+            meta: ArenaVec::default(),
+            record_ids: ArenaVec::default(),
+            slots: ArenaVec::default(),
             hash_df: HashMap::new(),
+        }
+    }
+
+    /// Reassembles a store from its flat parts — the persistence layer's
+    /// constructor. The arenas are typically `ArenaVec::Borrowed` views into
+    /// a loaded arena file; callers guarantee the CSR invariants (validated
+    /// structurally by `crate::persist` before this is reached).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_arena_parts(
+        hash_arena: ArenaVec<u64>,
+        hash_offsets: ArenaVec<u64>,
+        buffer_arena: ArenaVec<u64>,
+        words_per_record: usize,
+        meta: ArenaVec<RecordMeta>,
+        record_ids: ArenaVec<u32>,
+        slots: ArenaVec<u32>,
+        hash_df: HashMap<u64, u32>,
+    ) -> Self {
+        SketchStore {
+            hash_arena,
+            hash_offsets,
+            buffer_arena,
+            words_per_record,
+            meta,
+            record_ids,
+            slots,
+            hash_df,
+        }
+    }
+
+    /// The raw hash arena (persistence and accounting).
+    pub(crate) fn hash_arena_slice(&self) -> &[u64] {
+        &self.hash_arena
+    }
+
+    /// The raw CSR offset array (persistence and accounting).
+    pub(crate) fn hash_offsets_slice(&self) -> &[u64] {
+        &self.hash_offsets
+    }
+
+    /// The raw buffer bitmap arena (persistence and accounting).
+    pub(crate) fn buffer_arena_slice(&self) -> &[u64] {
+        &self.buffer_arena
+    }
+
+    /// The raw per-slot metadata array (persistence and accounting).
+    pub(crate) fn meta_slice(&self) -> &[RecordMeta] {
+        &self.meta
+    }
+
+    /// The slot → record-id permutation (persistence and accounting).
+    pub(crate) fn record_ids_slice(&self) -> &[u32] {
+        &self.record_ids
+    }
+
+    /// The record-id → slot permutation (persistence and accounting).
+    pub(crate) fn slots_slice(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// The full document-frequency map (persistence).
+    pub(crate) fn hash_df_map(&self) -> &HashMap<u64, u32> {
+        &self.hash_df
+    }
+
+    /// Per-component content bytes of this store, including how much is
+    /// borrowed zero-copy from a loaded arena file (see [`MemUsage`]).
+    #[must_use]
+    pub fn mem_usage(&self) -> MemUsage {
+        MemUsage {
+            hash_arena_bytes: std::mem::size_of_val(self.hash_arena.as_slice()),
+            hash_offsets_bytes: std::mem::size_of_val(self.hash_offsets.as_slice()),
+            buffer_arena_bytes: std::mem::size_of_val(self.buffer_arena.as_slice()),
+            meta_bytes: std::mem::size_of_val(self.meta.as_slice()),
+            permutation_bytes: std::mem::size_of_val(self.record_ids.as_slice())
+                + std::mem::size_of_val(self.slots.as_slice()),
+            hash_df_bytes: self.hash_df.len()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>()),
+            borrowed_bytes: self.hash_arena.borrowed_bytes()
+                + self.hash_offsets.borrowed_bytes()
+                + self.buffer_arena.borrowed_bytes()
+                + self.meta.borrowed_bytes()
+                + self.record_ids.borrowed_bytes()
+                + self.slots.borrowed_bytes(),
+            ..MemUsage::default()
         }
     }
 
@@ -151,7 +245,7 @@ impl SketchStore {
         order.sort_by_key(|&i| std::cmp::Reverse(sketches[i as usize].record_size));
 
         let mut store = SketchStore::new(words_per_record);
-        store.slots = vec![0; sketches.len()];
+        store.slots = vec![0; sketches.len()].into();
         for &rid in &order {
             let slot = store.meta.len() as u32;
             store.append_slot(sketches[rid as usize], rid);
@@ -170,14 +264,18 @@ impl SketchStore {
         for &h in hashes {
             *self.hash_df.entry(h).or_insert(0) += 1;
         }
-        self.hash_arena.extend_from_slice(hashes);
-        self.hash_offsets.push(self.hash_arena.len());
+        self.hash_arena.to_mut().extend_from_slice(hashes);
+        self.hash_offsets
+            .to_mut()
+            .push(self.hash_arena.len() as u64);
         let words = self.padded_words(sketch);
         let pad = self.pad_len(sketch);
-        self.buffer_arena.extend_from_slice(words);
-        self.buffer_arena.extend(std::iter::repeat_n(0, pad));
-        self.meta.push(Self::meta_of(sketch));
-        self.record_ids.push(record_id);
+        self.buffer_arena.to_mut().extend_from_slice(words);
+        self.buffer_arena
+            .to_mut()
+            .extend(std::iter::repeat_n(0, pad));
+        self.meta.to_mut().push(Self::meta_of(sketch));
+        self.record_ids.to_mut().push(record_id);
     }
 
     /// The prefix of the sketch's buffer words that fits the stride.
@@ -230,11 +328,15 @@ impl SketchStore {
         for &h in hashes {
             *self.hash_df.entry(h).or_insert(0) += 1;
         }
-        let pos = self.hash_offsets[slot];
-        self.hash_arena.splice(pos..pos, hashes.iter().copied());
-        self.hash_offsets.insert(slot + 1, pos + hashes.len());
-        for offset in &mut self.hash_offsets[slot + 2..] {
-            *offset += hashes.len();
+        let pos = self.hash_offsets[slot] as usize;
+        self.hash_arena
+            .to_mut()
+            .splice(pos..pos, hashes.iter().copied());
+        self.hash_offsets
+            .to_mut()
+            .insert(slot + 1, (pos + hashes.len()) as u64);
+        for offset in &mut self.hash_offsets.to_mut()[slot + 2..] {
+            *offset += hashes.len() as u64;
         }
 
         let wpos = slot * self.words_per_record;
@@ -245,16 +347,16 @@ impl SketchStore {
             .copied()
             .chain(std::iter::repeat_n(0, pad))
             .collect();
-        self.buffer_arena.splice(wpos..wpos, words);
+        self.buffer_arena.to_mut().splice(wpos..wpos, words);
 
-        self.meta.insert(slot, Self::meta_of(sketch));
-        self.record_ids.insert(slot, record_id);
-        for s in &mut self.slots {
+        self.meta.to_mut().insert(slot, Self::meta_of(sketch));
+        self.record_ids.to_mut().insert(slot, record_id);
+        for s in self.slots.to_mut().iter_mut() {
             if *s >= slot as u32 {
                 *s += 1;
             }
         }
-        self.slots.push(slot as u32);
+        self.slots.to_mut().push(slot as u32);
         (record_id as usize, slot)
     }
 
@@ -305,7 +407,7 @@ impl SketchStore {
     /// Slot `slot`'s sorted G-KMV hash values.
     #[inline]
     pub fn hashes(&self, slot: usize) -> &[u64] {
-        &self.hash_arena[self.hash_offsets[slot]..self.hash_offsets[slot + 1]]
+        &self.hash_arena[self.hash_offsets[slot] as usize..self.hash_offsets[slot + 1] as usize]
     }
 
     /// Slot `slot`'s buffer bitmap words (`words_per_record` of them).
@@ -594,6 +696,27 @@ mod tests {
         assert_eq!(rid, 0);
         assert_eq!(store.hashes(slot).len(), 3);
         assert_eq!(store.gkmv_len(slot), 3);
+    }
+
+    #[test]
+    fn mem_usage_reports_content_sizes_and_no_borrows_for_built_stores() {
+        let layout = BufferLayout::new(vec![1, 2, 3]);
+        let sketches = vec![sketch(&[1, 2, 10, 20], &layout), sketch(&[3, 30], &layout)];
+        let store = SketchStore::from_sketches(layout.words(), &sketches);
+        let usage = store.mem_usage();
+        assert_eq!(usage.hash_arena_bytes, store.total_hashes() * 8);
+        assert_eq!(usage.hash_offsets_bytes, (store.len() + 1) * 8);
+        assert_eq!(
+            usage.buffer_arena_bytes,
+            store.len() * store.words_per_record() * 8
+        );
+        assert_eq!(
+            usage.meta_bytes,
+            store.len() * std::mem::size_of::<RecordMeta>()
+        );
+        assert_eq!(usage.permutation_bytes, store.len() * 2 * 4);
+        assert_eq!(usage.borrowed_bytes, 0, "built stores own every arena");
+        assert!(usage.total_bytes() > 0);
     }
 
     #[test]

@@ -351,6 +351,21 @@ proptest! {
         let topk_reference = reference.search_topk(&query, k);
         let inserted: Vec<Record> = extra.into_iter().map(Record::new).collect();
 
+        // The persistence dimension: a save→load round trip through the
+        // arena format (in memory — same bytes `save`/`open` move through
+        // a file) is pure storage. The loaded index borrows its arenas
+        // zero-copy yet must be bit-identical in storage and in answers,
+        // and a re-save must reproduce the bytes exactly.
+        let arena = reference.to_arena_bytes();
+        let loaded = GbKmvIndex::from_arena_bytes(&arena).expect("arena round trip failed");
+        prop_assert_eq!(loaded.sharded(), reference.sharded(),
+            "loaded storage diverged from the built index ({} shards)", shards);
+        prop_assert_eq!(&scan, &loaded.search_filtered(&query, t_star),
+            "loaded index answers diverged (t*={})", t_star);
+        prop_assert_eq!(&topk_reference, &loaded.search_topk(&query, k),
+            "loaded index top-k diverged (k={})", k);
+        prop_assert_eq!(loaded.to_arena_bytes(), arena, "re-saved arena bytes diverged");
+
         for kernel in [FinishKernel::Scalar, FinishKernel::Vectorized] {
             for format in [PostingFormat::Packed, PostingFormat::Raw] {
                 for prefix in [true, false] {
