@@ -44,16 +44,38 @@
 //!   deliberately *not* floored: the CI container is single-core, so the
 //!   concurrent numbers only document time-slicing there.
 //!
-//! If the report file does not exist, the smoke-scale bench is run first via
-//! the sibling `query_throughput` binary, so `bench_check` is usable as a
-//! one-command local gate too.
+//! The gate also re-reads the scale-sweep report (`--sweep`, by default the
+//! smoke-scale one CI produces with `scale_sweep --scales 1000`) and fails
+//! unless, at every swept scale:
 //!
-//! Usage: `bench_check [--report PATH]`
+//! * every required variant cell is present ([`REQUIRED_SWEEP_VARIANTS`]),
+//! * all cells report the identical `total_hits` — the variants encode one
+//!   index, so a hit delta is a correctness regression at that scale,
+//! * the packed cell's posting arena is at most [`MAX_PACKED_RATIO`] of the
+//!   raw cell's — the compression floor must hold at *every* scale, not
+//!   just the committed full-scale throughput profile,
+//! * the committed Pareto frontier is non-empty and exactly matches the
+//!   frontier recomputed here (with the same shared [`pareto_frontier`]
+//!   function the sweep used) over the cells' `(mem_total_bytes,
+//!   queries_per_sec)` points — no dominated cell on it, no non-dominated
+//!   cell missing from it,
+//!
+//! and, across scales, that every variant's `mem_total_bytes` grows
+//! strictly with the record count — memory monotone in scale, the basic
+//! sanity a space-accounting refactor would break first.
+//!
+//! If a report file does not exist, the corresponding smoke-scale bench is
+//! run first via the sibling `query_throughput` / `scale_sweep` binary, so
+//! `bench_check` is usable as a one-command local gate too.
+//!
+//! Usage: `bench_check [--report PATH] [--sweep PATH]`
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use gbkmv_bench::harness::arg_value;
+use gbkmv_bench::report::{find_named, json_array, json_f64, json_i64, pareto_frontier};
 use serde_json::Value;
 
 /// Every path the throughput report must contain. Extending the bench with
@@ -75,6 +97,17 @@ const REQUIRED_PATHS: [&str; 10] = [
 /// Entries the `dense_profile` companion section must contain: the scan
 /// reference plus the raw- and packed-format default engines.
 const DENSE_REQUIRED_PATHS: [&str; 3] = ["scan", "prefix_pruned", "packed_pruned"];
+
+/// Every engine variant the scale-sweep report must measure at every
+/// scale. Extending the sweep grid means extending this list.
+const REQUIRED_SWEEP_VARIANTS: [&str; 6] = [
+    "raw",
+    "raw_noprefix",
+    "packed",
+    "packed_noprefix",
+    "packed_scalar",
+    "packed_sharded4",
+];
 
 /// Multiplicative slack on the "indexed ≥ scan" comparison: CI runners
 /// time-share, and the smoke workload is microseconds per query, so a hard
@@ -159,6 +192,44 @@ fn run_smoke_bench(report: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the smoke-scale sweep (the smallest scale only) via the sibling
+/// `scale_sweep` binary, writing its report to `report`.
+fn run_smoke_sweep(report: &Path) -> Result<(), String> {
+    let sibling = std::env::current_exe()
+        .map_err(|e| format!("cannot locate current executable: {e}"))?
+        .with_file_name("scale_sweep");
+    if !sibling.exists() {
+        return Err(format!(
+            "sweep report {} does not exist and sibling bench binary {} was not found \
+             (build with `cargo build --release -p gbkmv-bench`)",
+            report.display(),
+            sibling.display()
+        ));
+    }
+    eprintln!(
+        "bench_check: {} missing — running smoke sweep via {}",
+        report.display(),
+        sibling.display()
+    );
+    let status = Command::new(&sibling)
+        .args([
+            "--scales",
+            "1000",
+            "--queries",
+            "50",
+            "--reps",
+            "2",
+            "--out",
+        ])
+        .arg(report)
+        .status()
+        .map_err(|e| format!("failed to spawn {}: {e}", sibling.display()))?;
+    if !status.success() {
+        return Err(format!("smoke sweep exited with {status}"));
+    }
+    Ok(())
+}
+
 fn check(report_path: &Path) -> Result<Vec<String>, String> {
     let text = std::fs::read_to_string(report_path)
         .map_err(|e| format!("cannot read {}: {e}", report_path.display()))?;
@@ -166,15 +237,8 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
         .map_err(|e| format!("cannot parse {}: {e}", report_path.display()))?;
     let mut summary = Vec::new();
 
-    let paths = report
-        .get("paths")
-        .and_then(Value::as_array)
-        .ok_or("report has no `paths` array")?;
-    let lookup = |name: &str| -> Option<&Value> {
-        paths
-            .iter()
-            .find(|p| p.get("name").and_then(Value::as_str) == Some(name))
-    };
+    let paths = json_array(&report, "report", "paths")?;
+    let lookup = |name: &str| find_named(paths, "name", name);
 
     // 1. Required entries.
     for name in REQUIRED_PATHS {
@@ -196,10 +260,7 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
             .get("name")
             .and_then(Value::as_str)
             .ok_or("path entry without a name")?;
-        let h = path
-            .get("total_hits")
-            .and_then(Value::as_i64)
-            .ok_or_else(|| format!("path `{name}` has no integral total_hits"))?;
+        let h = json_i64(path, &format!("path `{name}`"), "total_hits")?;
         match &hits {
             None => hits = Some((h, name.to_string())),
             Some((expected, first)) if *expected != h => {
@@ -217,10 +278,11 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
     // 3. Every indexed path at least as fast as the scan reference — on
     // workloads big enough for indexing to win at all.
     let qps = |name: &str| -> Result<f64, String> {
-        lookup(name)
-            .and_then(|p| p.get("queries_per_sec"))
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("path `{name}` has no queries_per_sec"))
+        json_f64(
+            lookup(name).ok_or_else(|| format!("no path named `{name}`"))?,
+            &format!("path `{name}`"),
+            "queries_per_sec",
+        )
     };
     let scan_qps = qps("scan")?;
     if scan_qps <= 0.0 {
@@ -271,12 +333,7 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
     let memory = report
         .get("posting_memory")
         .ok_or("report has no `posting_memory` section")?;
-    let mem_bytes = |key: &str| -> Result<i64, String> {
-        memory
-            .get(key)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| format!("posting_memory has no integral `{key}`"))
-    };
+    let mem_bytes = |key: &str| json_i64(memory, "posting_memory", key);
     let raw_bytes = mem_bytes("posting_bytes_raw")?;
     let packed_bytes = mem_bytes("posting_bytes_packed")?;
     if raw_bytes <= 0 || packed_bytes <= 0 {
@@ -306,15 +363,8 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
     let dense = report
         .get("dense_profile")
         .ok_or("report has no `dense_profile` section")?;
-    let dense_paths = dense
-        .get("paths")
-        .and_then(Value::as_array)
-        .ok_or("dense_profile has no `paths` array")?;
-    let dense_lookup = |name: &str| -> Option<&Value> {
-        dense_paths
-            .iter()
-            .find(|p| p.get("name").and_then(Value::as_str) == Some(name))
-    };
+    let dense_paths = json_array(dense, "dense_profile", "paths")?;
+    let dense_lookup = |name: &str| find_named(dense_paths, "name", name);
     for name in DENSE_REQUIRED_PATHS {
         if dense_lookup(name).is_none() {
             return Err(format!("dense_profile path entry `{name}` is missing"));
@@ -326,10 +376,7 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
             .get("name")
             .and_then(Value::as_str)
             .ok_or("dense_profile path entry without a name")?;
-        let h = path
-            .get("total_hits")
-            .and_then(Value::as_i64)
-            .ok_or_else(|| format!("dense_profile path `{name}` has no integral total_hits"))?;
+        let h = json_i64(path, &format!("dense_profile path `{name}`"), "total_hits")?;
         match dense_hits {
             None => dense_hits = Some(h),
             Some(expected) if expected != h => {
@@ -357,10 +404,11 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
         .and_then(Value::as_i64)
         .unwrap_or(i64::MAX);
     let dense_qps = |name: &str| -> Result<f64, String> {
-        dense_lookup(name)
-            .and_then(|p| p.get("queries_per_sec"))
-            .and_then(Value::as_f64)
-            .ok_or_else(|| format!("dense_profile path `{name}` has no queries_per_sec"))
+        json_f64(
+            dense_lookup(name).ok_or_else(|| format!("no dense_profile path named `{name}`"))?,
+            &format!("dense_profile path `{name}`"),
+            "queries_per_sec",
+        )
     };
     if dense_records >= MIN_RECORDS_FOR_SPEED_GATE {
         let dense_ratio = dense_qps("packed_pruned")? / dense_qps("prefix_pruned")?;
@@ -387,12 +435,7 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
     let persistence = report
         .get("persistence")
         .ok_or("report has no `persistence` section")?;
-    let persist_int = |key: &str| -> Result<i64, String> {
-        persistence
-            .get(key)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| format!("persistence section has no integral `{key}`"))
-    };
+    let persist_int = |key: &str| json_i64(persistence, "persistence section", key);
     let hits_built = persist_int("total_hits_built")?;
     let hits_loaded = persist_int("total_hits_loaded")?;
     if hits_loaded != hits_built {
@@ -447,12 +490,7 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
     let concurrent = report
         .get("concurrent")
         .ok_or("report has no `concurrent` serving-layer section")?;
-    let concurrent_int = |key: &str| -> Result<i64, String> {
-        concurrent
-            .get(key)
-            .and_then(Value::as_i64)
-            .ok_or_else(|| format!("concurrent section has no integral `{key}`"))
-    };
+    let concurrent_int = |key: &str| json_i64(concurrent, "concurrent section", key);
     let readers = concurrent_int("readers")?;
     let generations = concurrent_int("generations_published")?;
     if readers < 1 || generations < 1 {
@@ -504,10 +542,177 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
     Ok(summary)
 }
 
+/// Gates the scale-sweep report: required cells, identical hits per scale,
+/// the compression floor at every scale, a committed frontier that exactly
+/// matches the recomputed one, and memory monotone in scale per variant.
+fn check_sweep(sweep_path: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(sweep_path)
+        .map_err(|e| format!("cannot read {}: {e}", sweep_path.display()))?;
+    let report = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse {}: {e}", sweep_path.display()))?;
+    let mut summary = Vec::new();
+
+    let scales = json_array(&report, "sweep report", "scales")?;
+    if scales.is_empty() {
+        return Err("sweep report has an empty `scales` array".to_string());
+    }
+
+    // Per-variant (num_records, mem_total_bytes) trail for the cross-scale
+    // monotonicity gate below.
+    let mut mem_trail: HashMap<String, Vec<(i64, i64)>> = HashMap::new();
+
+    for scale in scales {
+        let records = json_i64(scale, "sweep scale entry", "num_records")?;
+        let ctx = format!("sweep scale {records}");
+        let cells = json_array(scale, &ctx, "cells")?;
+
+        // 1. Required variant cells.
+        for name in REQUIRED_SWEEP_VARIANTS {
+            if find_named(cells, "variant", name).is_none() {
+                return Err(format!("{ctx}: required cell `{name}` is missing"));
+            }
+        }
+
+        // 2. Identical total_hits across every cell: the variants are
+        // different encodings of one index at this scale.
+        let mut hits: Option<(i64, String)> = None;
+        for cell in cells {
+            let name = cell
+                .get("variant")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{ctx}: cell without a variant name"))?;
+            let h = json_i64(cell, &format!("{ctx} cell `{name}`"), "total_hits")?;
+            match &hits {
+                None => hits = Some((h, name.to_string())),
+                Some((expected, first)) if *expected != h => {
+                    return Err(format!(
+                        "{ctx}: total_hits disagree: `{first}` reports {expected}, \
+                         `{name}` reports {h}"
+                    ));
+                }
+                Some(_) => {}
+            }
+            let mem = json_i64(cell, &format!("{ctx} cell `{name}`"), "mem_total_bytes")?;
+            mem_trail
+                .entry(name.to_string())
+                .or_default()
+                .push((records, mem));
+        }
+        let scale_hits = hits.map(|(h, _)| h).unwrap_or(0);
+
+        // 3. The compression floor, at this scale: the packed cell's
+        // posting arena vs the raw cell's.
+        let cell_i64 = |name: &str, key: &str| -> Result<i64, String> {
+            let cell = find_named(cells, "variant", name)
+                .unwrap_or_else(|| panic!("cell `{name}` presence checked above"));
+            json_i64(cell, &format!("{ctx} cell `{name}`"), key)
+        };
+        let raw_bytes = cell_i64("raw", "posting_bytes")?;
+        let packed_bytes = cell_i64("packed", "posting_bytes")?;
+        if raw_bytes <= 0 || packed_bytes <= 0 {
+            return Err(format!(
+                "{ctx}: posting byte counts must be positive (raw {raw_bytes}, \
+                 packed {packed_bytes})"
+            ));
+        }
+        let ratio = packed_bytes as f64 / raw_bytes as f64;
+        if ratio > MAX_PACKED_RATIO {
+            return Err(format!(
+                "{ctx}: packed posting arena is {packed_bytes} bytes = {:.1}% of the raw \
+                 {raw_bytes} bytes, above the {:.0}% compression floor",
+                ratio * 100.0,
+                MAX_PACKED_RATIO * 100.0
+            ));
+        }
+
+        // 4. The committed frontier must be non-empty and exactly the one
+        // this gate recomputes with the shared `pareto_frontier` over the
+        // cells' (memory, throughput) points.
+        let points: Vec<(f64, f64)> = cells
+            .iter()
+            .map(|cell| {
+                let name = cell.get("variant").and_then(Value::as_str).unwrap_or("?");
+                let cell_ctx = format!("{ctx} cell `{name}`");
+                Ok((
+                    json_i64(cell, &cell_ctx, "mem_total_bytes")? as f64,
+                    json_f64(cell, &cell_ctx, "queries_per_sec")?,
+                ))
+            })
+            .collect::<Result<_, String>>()?;
+        let recomputed: Vec<&str> = pareto_frontier(&points)
+            .iter()
+            .map(|&i| {
+                cells[i]
+                    .get("variant")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+            })
+            .collect();
+        let stored: Vec<&str> = json_array(scale, &ctx, "frontier")?
+            .iter()
+            .map(|f| {
+                f.get("variant")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("{ctx}: frontier entry without a variant name"))
+            })
+            .collect::<Result<_, String>>()?;
+        if stored.is_empty() {
+            return Err(format!("{ctx}: the committed Pareto frontier is empty"));
+        }
+        if stored != recomputed {
+            return Err(format!(
+                "{ctx}: committed frontier [{}] disagrees with the recomputed frontier [{}] \
+                 — a dominated cell sits on it or a non-dominated cell is missing",
+                stored.join(", "),
+                recomputed.join(", ")
+            ));
+        }
+
+        summary.push(format!(
+            "scale {records}: {} cells, identical total_hits ({scale_hits}), packed postings \
+             {:.1}% of raw (floor {:.0}%), frontier [{}]",
+            cells.len(),
+            ratio * 100.0,
+            MAX_PACKED_RATIO * 100.0,
+            stored.join(", ")
+        ));
+    }
+
+    // 5. Memory monotone in scale, per variant: more records must never
+    // cost less index memory — the first casualty of a broken accounting
+    // or a sweep that silently reused a dataset across scales.
+    if scales.len() > 1 {
+        for name in REQUIRED_SWEEP_VARIANTS {
+            let mut trail = mem_trail.remove(name).unwrap_or_default();
+            trail.sort_by_key(|&(records, _)| records);
+            for pair in trail.windows(2) {
+                let ((r1, m1), (r2, m2)) = (pair[0], pair[1]);
+                if m2 <= m1 {
+                    return Err(format!(
+                        "sweep memory is not monotone in scale: variant `{name}` reports \
+                         {m2} bytes at {r2} records but {m1} bytes at {r1} records"
+                    ));
+                }
+            }
+        }
+        summary.push(format!(
+            "memory strictly monotone in scale across {} scales for every variant",
+            scales.len()
+        ));
+    } else {
+        summary.push("memory monotonicity skipped (single swept scale)".to_string());
+    }
+
+    Ok(summary)
+}
+
 fn main() {
     let report = PathBuf::from(
         arg_value("--report")
             .unwrap_or_else(|| "target/BENCH_query_throughput.smoke.json".to_string()),
+    );
+    let sweep = PathBuf::from(
+        arg_value("--sweep").unwrap_or_else(|| "target/BENCH_scale_sweep.smoke.json".to_string()),
     );
     if !report.exists() {
         if let Err(message) = run_smoke_bench(&report) {
@@ -515,16 +720,27 @@ fn main() {
             std::process::exit(1);
         }
     }
-    match check(&report) {
-        Ok(summary) => {
-            println!("bench_check: PASS ({})", report.display());
-            for line in summary {
-                println!("  - {line}");
-            }
-        }
-        Err(message) => {
-            eprintln!("bench_check: FAIL ({}): {message}", report.display());
+    if !sweep.exists() {
+        if let Err(message) = run_smoke_sweep(&sweep) {
+            eprintln!("bench_check: FAIL: {message}");
             std::process::exit(1);
+        }
+    }
+    for (label, path, result) in [
+        ("throughput", &report, check(&report)),
+        ("sweep", &sweep, check_sweep(&sweep)),
+    ] {
+        match result {
+            Ok(summary) => {
+                println!("bench_check: PASS {label} ({})", path.display());
+                for line in summary {
+                    println!("  - {line}");
+                }
+            }
+            Err(message) => {
+                eprintln!("bench_check: FAIL {label} ({}): {message}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -933,6 +1149,156 @@ mod tests {
         // 1.9x on four cores: fine.
         let p = write_report(&report_json(&full_paths(100.0, 500.0, 7), 4, 1.9));
         assert!(check(&p).is_ok());
+        std::fs::remove_file(p).unwrap();
+    }
+
+    /// One sweep cell carrying exactly the fields the sweep gates read.
+    fn sweep_cell(variant: &str, hits: i64, posting: i64, mem: i64, qps: f64) -> String {
+        format!(
+            "{{\"variant\": \"{variant}\", \"total_hits\": {hits}, \
+             \"posting_bytes\": {posting}, \"mem_total_bytes\": {mem}, \
+             \"queries_per_sec\": {qps}}}"
+        )
+    }
+
+    /// The frontier of the cells [`sweep_scale`] constructs: `packed`
+    /// (cheapest non-dominated) then `raw` (fastest).
+    fn sweep_frontier(unit: i64) -> String {
+        format!(
+            "[{{\"variant\": \"packed\", \"mem_total_bytes\": {}, \
+             \"queries_per_sec\": 950}}, {{\"variant\": \"raw\", \
+             \"mem_total_bytes\": {}, \"queries_per_sec\": 1000}}]",
+            60_000 * unit,
+            100_000 * unit
+        )
+    }
+
+    /// A healthy scale section at `records` with every required variant;
+    /// all byte figures scale with `unit` so stacked sections grow
+    /// monotonically. `raw` is the fastest cell, `packed` the smallest
+    /// non-dominated one; everything else is dominated.
+    fn sweep_scale(records: i64, unit: i64) -> String {
+        let cells = [
+            sweep_cell("raw", 42, 10_000 * unit, 100_000 * unit, 1_000.0),
+            sweep_cell("raw_noprefix", 42, 10_000 * unit, 100_000 * unit, 900.0),
+            sweep_cell("packed", 42, 3_000 * unit, 60_000 * unit, 950.0),
+            sweep_cell("packed_noprefix", 42, 3_000 * unit, 60_000 * unit, 850.0),
+            sweep_cell("packed_scalar", 42, 3_000 * unit, 60_000 * unit, 940.0),
+            sweep_cell("packed_sharded4", 42, 3_200 * unit, 70_000 * unit, 800.0),
+        ];
+        format!(
+            "{{\"num_records\": {records}, \"cells\": [{}], \"frontier\": {}}}",
+            cells.join(", "),
+            sweep_frontier(unit)
+        )
+    }
+
+    fn sweep_json(scales: &[String]) -> String {
+        format!(
+            "{{\"bench\": \"scale_sweep\", \"scales\": [{}]}}",
+            scales.join(", ")
+        )
+    }
+
+    #[test]
+    fn sweep_accepts_a_healthy_two_scale_report() {
+        let p = write_report(&sweep_json(&[
+            sweep_scale(1_000, 1),
+            sweep_scale(100_000, 10),
+        ]));
+        let summary = check_sweep(&p).unwrap();
+        assert!(summary.iter().any(|l| l.contains("strictly monotone")));
+        assert!(summary.iter().any(|l| l.contains("frontier [packed, raw]")));
+        std::fs::remove_file(p).unwrap();
+
+        // A single-scale report (the CI smoke) passes too, with the
+        // monotonicity gate explicitly reported as skipped.
+        let p = write_report(&sweep_json(&[sweep_scale(1_000, 1)]));
+        let summary = check_sweep(&p).unwrap();
+        assert!(summary.iter().any(|l| l.contains("monotonicity skipped")));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_a_missing_cell() {
+        // Renaming a cell out of the grid drops the required variant.
+        let broken = sweep_json(&[sweep_scale(1_000, 1)]).replace(
+            "\"variant\": \"packed_scalar\"",
+            "\"variant\": \"packed_scalar_gone\"",
+        );
+        let p = write_report(&broken);
+        assert_eq!(
+            check_sweep(&p).unwrap_err(),
+            "sweep scale 1000: required cell `packed_scalar` is missing"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_a_hit_mismatch() {
+        let broken = sweep_json(&[sweep_scale(1_000, 1)]).replace(
+            &sweep_cell("packed_sharded4", 42, 3_200, 70_000, 800.0),
+            &sweep_cell("packed_sharded4", 41, 3_200, 70_000, 800.0),
+        );
+        let p = write_report(&broken);
+        let err = check_sweep(&p).unwrap_err();
+        assert!(
+            err.contains("total_hits disagree") && err.contains("`packed_sharded4` reports 41"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_non_monotone_memory() {
+        // Same sizes at 1k and 100k records: memory failed to grow.
+        let p = write_report(&sweep_json(&[
+            sweep_scale(1_000, 1),
+            sweep_scale(100_000, 1),
+        ]));
+        let err = check_sweep(&p).unwrap_err();
+        assert!(
+            err.contains("not monotone in scale"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_a_dominated_or_empty_frontier() {
+        // A dominated cell (`packed_scalar`) on the committed frontier.
+        let broken = sweep_json(&[sweep_scale(1_000, 1)]).replace(
+            "\"frontier\": [{\"variant\": \"packed\"",
+            "\"frontier\": [{\"variant\": \"packed_scalar\"",
+        );
+        let p = write_report(&broken);
+        let err = check_sweep(&p).unwrap_err();
+        assert!(
+            err.contains("disagrees with the recomputed frontier"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(p).unwrap();
+
+        // An empty committed frontier.
+        let broken = sweep_json(&[sweep_scale(1_000, 1)]).replace(&sweep_frontier(1), "[]");
+        let p = write_report(&broken);
+        assert_eq!(
+            check_sweep(&p).unwrap_err(),
+            "sweep scale 1000: the committed Pareto frontier is empty"
+        );
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn sweep_rejects_a_regressed_compression_ratio() {
+        // The packed cell's posting arena at 60% of raw: above the floor.
+        let broken = sweep_json(&[sweep_scale(1_000, 1)]).replace(
+            &sweep_cell("packed", 42, 3_000, 60_000, 950.0),
+            &sweep_cell("packed", 42, 6_000, 60_000, 950.0),
+        );
+        let p = write_report(&broken);
+        let err = check_sweep(&p).unwrap_err();
+        assert!(err.contains("compression floor"), "unexpected error: {err}");
         std::fs::remove_file(p).unwrap();
     }
 }

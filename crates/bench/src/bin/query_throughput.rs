@@ -79,6 +79,7 @@ use std::time::Instant;
 use serde::Serialize;
 
 use gbkmv_bench::harness::arg_value;
+use gbkmv_bench::report::{latency_stats, measure, parsed_arg};
 use gbkmv_core::dataset::Record;
 use gbkmv_core::gbkmv::GbKmvRecordSketch;
 use gbkmv_core::index::{
@@ -341,51 +342,6 @@ struct ThroughputReport {
     speedup_packed_vs_prefix: f64,
 }
 
-fn parsed_arg<T: std::str::FromStr>(name: &str, default: T) -> T {
-    match arg_value(name) {
-        // A present-but-unparseable value must fail loudly: this binary
-        // records the perf trajectory, so silently benchmarking the default
-        // config under a mistyped flag would corrupt the record.
-        Some(v) => v
-            .parse()
-            .unwrap_or_else(|_| panic!("invalid value {v:?} for {name}")),
-        None => default,
-    }
-}
-
-/// Measures a query path over `reps` timed passes and returns the per-query
-/// latencies of the fastest pass (best-of-N suppresses scheduler noise on
-/// the microsecond-scale passes) plus the per-pass hit count.
-fn measure<F>(queries: &[Record], reps: usize, mut run: F) -> (Vec<f64>, usize)
-where
-    F: FnMut(&Record) -> usize,
-{
-    // One warm-up pass populates caches (and the thread-local scratch).
-    let mut total_hits = 0usize;
-    for q in queries {
-        total_hits += run(q);
-    }
-    let mut best: Option<Vec<f64>> = None;
-    for _ in 0..reps.max(1) {
-        let mut latencies = Vec::with_capacity(queries.len());
-        let mut check_hits = 0usize;
-        for q in queries {
-            let start = Instant::now();
-            check_hits += run(q);
-            latencies.push(start.elapsed().as_secs_f64() * 1e6);
-        }
-        assert_eq!(total_hits, check_hits, "non-deterministic query path");
-        let faster = match &best {
-            None => true,
-            Some(b) => latencies.iter().sum::<f64>() < b.iter().sum::<f64>(),
-        };
-        if faster {
-            best = Some(latencies);
-        }
-    }
-    (best.expect("at least one rep"), total_hits)
-}
-
 /// Queries/s of a named path (the speedup fields reference paths by name so
 /// reordering the table can never silently skew the trajectory record).
 fn qps(paths: &[PathSection], name: &str) -> f64 {
@@ -396,27 +352,13 @@ fn qps(paths: &[PathSection], name: &str) -> f64 {
         .queries_per_sec
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 fn path_section(name: &str, latencies: Vec<f64>, total_hits: usize) -> PathSection {
-    let total_us: f64 = latencies.iter().sum();
-    let mut sorted = latencies;
-    sorted.sort_by(f64::total_cmp);
+    let stats = latency_stats(latencies);
     PathSection {
         name: name.to_string(),
-        queries_per_sec: if total_us > 0.0 {
-            sorted.len() as f64 / (total_us * 1e-6)
-        } else {
-            0.0
-        },
-        p50_latency_us: percentile(&sorted, 0.50),
-        p99_latency_us: percentile(&sorted, 0.99),
+        queries_per_sec: stats.queries_per_sec,
+        p50_latency_us: stats.p50_latency_us,
+        p99_latency_us: stats.p99_latency_us,
         total_hits,
     }
 }
@@ -535,16 +477,9 @@ fn measure_persistence(
     // rebuilt structure and is deliberately absent from the sum).
     let mem_built = built.mem_usage();
     let mem_loaded = loaded.mem_usage();
-    let loaded_content = mem_loaded.hash_arena_bytes
-        + mem_loaded.hash_offsets_bytes
-        + mem_loaded.buffer_arena_bytes
-        + mem_loaded.meta_bytes
-        + mem_loaded.permutation_bytes
-        + mem_loaded.postings_raw_bytes
-        + mem_loaded.postings_packed_bytes
-        + mem_loaded.posting_block_meta_bytes;
     assert_eq!(
-        mem_loaded.borrowed_bytes, loaded_content,
+        mem_loaded.borrowed_bytes,
+        mem_loaded.arena_content_bytes(),
         "a loaded component is not borrowed zero-copy from the arena"
     );
     assert_eq!(mem_built.borrowed_bytes, 0, "a built index borrowed bytes");

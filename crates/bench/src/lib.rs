@@ -28,6 +28,7 @@
 #![warn(clippy::all)]
 
 pub mod harness;
+pub mod report;
 
 pub use harness::{
     build_gbkmv, build_lshe, default_profiles, evaluate_on_profile, quick_profiles, ExperimentEnv,

@@ -1,0 +1,269 @@
+//! Shared report plumbing for the flag-taking bench binaries
+//! (`query_throughput`, `scale_sweep`, `bench_check`): typed CLI flag
+//! parsing, latency statistics over measured query loops, `serde_json`
+//! accessors for re-reading committed reports, and the space-vs-throughput
+//! Pareto-frontier arithmetic.
+//!
+//! The JSON accessors exist so the *producer* (`scale_sweep`,
+//! `query_throughput`) and the *gate* (`bench_check`) read reports through
+//! one vocabulary: a gate failure message always names the section and key
+//! it was probing, and the frontier a sweep writes is recomputed by the
+//! gate with the very same [`pareto_frontier`] function — the two cannot
+//! disagree about what "dominated" means.
+
+use std::time::Instant;
+
+use gbkmv_core::dataset::Record;
+use serde_json::Value;
+
+use crate::harness::arg_value;
+
+/// Typed value of a space-separated `--name value` CLI flag, falling back
+/// to `default` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics on a present-but-unparseable value: the bench binaries record the
+/// perf trajectory, so silently benchmarking the default config under a
+/// mistyped flag would corrupt the record.
+pub fn parsed_arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg_value(name) {
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("invalid value {v:?} for {name}")),
+        None => default,
+    }
+}
+
+/// Value at percentile `p` (0.0–1.0) of an ascending-sorted slice, using
+/// nearest-rank interpolation; 0.0 on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Throughput and tail-latency summary of one measured query loop.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    /// Queries per second over the whole pass.
+    pub queries_per_sec: f64,
+    /// Median per-query latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile per-query latency, microseconds.
+    pub p99_latency_us: f64,
+}
+
+/// Summarises per-query latencies (microseconds) into q/s and percentiles.
+pub fn latency_stats(latencies: Vec<f64>) -> LatencyStats {
+    let total_us: f64 = latencies.iter().sum();
+    let mut sorted = latencies;
+    sorted.sort_by(f64::total_cmp);
+    LatencyStats {
+        queries_per_sec: if total_us > 0.0 {
+            sorted.len() as f64 / (total_us * 1e-6)
+        } else {
+            0.0
+        },
+        p50_latency_us: percentile(&sorted, 0.50),
+        p99_latency_us: percentile(&sorted, 0.99),
+    }
+}
+
+/// Measures a query path over `reps` timed passes and returns the per-query
+/// latencies (µs) of the fastest pass (best-of-N suppresses scheduler noise
+/// on the microsecond-scale passes) plus the per-pass hit count.
+///
+/// One untimed warm-up pass populates caches (and any reusable scratch)
+/// first; every timed pass must reproduce the warm-up pass's hit count.
+pub fn measure<F>(queries: &[Record], reps: usize, mut run: F) -> (Vec<f64>, usize)
+where
+    F: FnMut(&Record) -> usize,
+{
+    let mut total_hits = 0usize;
+    for q in queries {
+        total_hits += run(q);
+    }
+    let mut best: Option<Vec<f64>> = None;
+    for _ in 0..reps.max(1) {
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut check_hits = 0usize;
+        for q in queries {
+            let start = Instant::now();
+            check_hits += run(q);
+            latencies.push(start.elapsed().as_secs_f64() * 1e6);
+        }
+        assert_eq!(total_hits, check_hits, "non-deterministic query path");
+        let faster = match &best {
+            None => true,
+            Some(b) => latencies.iter().sum::<f64>() < b.iter().sum::<f64>(),
+        };
+        if faster {
+            best = Some(latencies);
+        }
+    }
+    (best.expect("at least one rep"), total_hits)
+}
+
+/// The field of `value` named `key`, or an error naming both the enclosing
+/// context and the missing key.
+pub fn json_field<'a>(value: &'a Value, ctx: &str, key: &str) -> Result<&'a Value, String> {
+    value
+        .get(key)
+        .ok_or_else(|| format!("{ctx} has no `{key}`"))
+}
+
+/// Integral field accessor: `value[key]` as an `i64`.
+pub fn json_i64(value: &Value, ctx: &str, key: &str) -> Result<i64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| format!("{ctx} has no integral `{key}`"))
+}
+
+/// Float field accessor: `value[key]` as an `f64` (integers coerce).
+pub fn json_f64(value: &Value, ctx: &str, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{ctx} has no numeric `{key}`"))
+}
+
+/// Array field accessor: `value[key]` as a JSON array.
+pub fn json_array<'a>(value: &'a Value, ctx: &str, key: &str) -> Result<&'a [Value], String> {
+    value
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx} has no `{key}` array"))
+}
+
+/// The first entry of `entries` whose string field `field` equals `name`
+/// (how the reports key their per-path / per-variant tables).
+pub fn find_named<'a>(entries: &'a [Value], field: &str, name: &str) -> Option<&'a Value> {
+    entries
+        .iter()
+        .find(|e| e.get(field).and_then(Value::as_str) == Some(name))
+}
+
+/// Whether cell `a` dominates cell `b` on the space-vs-throughput plane:
+/// no more memory, no less throughput, and strictly better on at least one
+/// axis. Ties on both axes dominate in neither direction, so duplicated
+/// measurements both stay on the frontier.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    let (mem_a, qps_a) = a;
+    let (mem_b, qps_b) = b;
+    mem_a <= mem_b && qps_a >= qps_b && (mem_a < mem_b || qps_a > qps_b)
+}
+
+/// Indices of the Pareto-optimal `(memory_bytes, queries_per_sec)` points —
+/// the cells no other cell dominates — ordered by ascending memory (ties by
+/// descending throughput, then input order).
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            points
+                .iter()
+                .enumerate()
+                .all(|(j, &other)| j == i || !dominates(other, points[i]))
+        })
+        .collect();
+    frontier.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[b].1.total_cmp(&points[a].1))
+            .then(a.cmp(&b))
+    });
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    #[test]
+    fn latency_stats_summarise_a_pass() {
+        let stats = latency_stats(vec![4.0, 1.0, 2.0, 3.0]);
+        // 4 queries over 10 µs total.
+        assert!((stats.queries_per_sec - 400_000.0).abs() < 1e-6);
+        assert_eq!(stats.p50_latency_us, 3.0);
+        assert_eq!(stats.p99_latency_us, 4.0);
+        assert_eq!(latency_stats(Vec::new()).queries_per_sec, 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn json_accessors_name_context_and_key() {
+        let v: Value = serde_json::from_str(r#"{"a": 3, "b": 1.5, "c": [1], "d": "x"}"#).unwrap();
+        assert_eq!(json_i64(&v, "obj", "a").unwrap(), 3);
+        assert_eq!(json_f64(&v, "obj", "a").unwrap(), 3.0);
+        assert_eq!(json_f64(&v, "obj", "b").unwrap(), 1.5);
+        assert_eq!(json_array(&v, "obj", "c").unwrap().len(), 1);
+        assert!(json_field(&v, "obj", "d").is_ok());
+        assert_eq!(
+            json_i64(&v, "obj", "missing").unwrap_err(),
+            "obj has no integral `missing`"
+        );
+        assert_eq!(
+            json_i64(&v, "obj", "b").unwrap_err(),
+            "obj has no integral `b`"
+        );
+        assert_eq!(
+            json_array(&v, "obj", "a").unwrap_err(),
+            "obj has no `a` array"
+        );
+        assert_eq!(json_field(&v, "obj", "e").unwrap_err(), "obj has no `e`");
+    }
+
+    #[test]
+    fn find_named_matches_on_the_given_field() {
+        let v: Value =
+            serde_json::from_str(r#"[{"name": "a", "x": 1}, {"variant": "b", "x": 2}]"#).unwrap();
+        let arr = v.as_array().unwrap();
+        assert!(find_named(arr, "name", "a").is_some());
+        assert!(find_named(arr, "variant", "b").is_some());
+        assert!(find_named(arr, "name", "b").is_none());
+    }
+
+    #[test]
+    fn domination_is_strict_somewhere() {
+        assert!(dominates((10.0, 5.0), (20.0, 5.0)));
+        assert!(dominates((10.0, 6.0), (10.0, 5.0)));
+        assert!(
+            !dominates((10.0, 5.0), (10.0, 5.0)),
+            "ties dominate nothing"
+        );
+        assert!(
+            !dominates((20.0, 6.0), (10.0, 5.0)),
+            "more memory never dominates less"
+        );
+    }
+
+    #[test]
+    fn frontier_drops_dominated_points_and_sorts_by_memory() {
+        // (mem, qps): b dominates c (less memory, more qps); a and d trade off.
+        let points = [
+            (100.0, 50.0), // a: frontier (cheapest)
+            (200.0, 80.0), // b: frontier
+            (250.0, 70.0), // c: dominated by b
+            (300.0, 90.0), // d: frontier (fastest)
+        ];
+        assert_eq!(pareto_frontier(&points), vec![0, 1, 3]);
+        // A single point is always its own frontier; an empty input has none.
+        assert_eq!(pareto_frontier(&[(1.0, 1.0)]), vec![0]);
+        assert!(pareto_frontier(&[]).is_empty());
+        // Exact duplicates both survive (neither dominates the other).
+        assert_eq!(pareto_frontier(&[(5.0, 5.0), (5.0, 5.0)]), vec![0, 1]);
+    }
+}

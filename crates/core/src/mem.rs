@@ -58,6 +58,17 @@ impl MemUsage {
             + self.posting_block_meta_bytes
     }
 
+    /// Content bytes that live in (or, after a load, are borrowed from) the
+    /// persisted arena sections: everything except the `hash_df` map, which
+    /// is the one structure the loader rebuilds rather than borrows. On a
+    /// freshly loaded index this equals
+    /// [`borrowed_bytes`](Self::borrowed_bytes) exactly — the zero-copy
+    /// equality the persistence bench and tests assert.
+    #[must_use]
+    pub fn arena_content_bytes(&self) -> usize {
+        self.total_bytes() - self.hash_df_bytes
+    }
+
     /// Accumulates another breakdown into this one, field by field.
     pub(crate) fn add(&mut self, other: &MemUsage) {
         self.hash_arena_bytes += other.hash_arena_bytes;
@@ -92,6 +103,8 @@ mod tests {
             borrowed_bytes: 10_000,
         };
         assert_eq!(usage.total_bytes(), 511);
+        // Arena content excludes only the rebuilt hash_df map.
+        assert_eq!(usage.arena_content_bytes(), 511 - 32);
     }
 
     #[test]

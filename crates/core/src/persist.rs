@@ -1227,16 +1227,9 @@ mod tests {
         let built = build(GbKmvConfig::with_space_fraction(0.6).shards(2));
         let loaded = GbKmvIndex::from_arena_bytes(&built.to_arena_bytes()).expect("load");
         let usage = loaded.mem_usage();
-        let content = usage.hash_arena_bytes
-            + usage.hash_offsets_bytes
-            + usage.buffer_arena_bytes
-            + usage.meta_bytes
-            + usage.permutation_bytes
-            + usage.postings_raw_bytes
-            + usage.postings_packed_bytes
-            + usage.posting_block_meta_bytes;
         assert_eq!(
-            usage.borrowed_bytes, content,
+            usage.borrowed_bytes,
+            usage.arena_content_bytes(),
             "a freshly loaded index must borrow every arena zero-copy"
         );
         assert!(usage.borrowed_bytes > 0);

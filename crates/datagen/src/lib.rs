@@ -13,7 +13,8 @@
 //!
 //! * [`zipf`] — a deterministic Zipf sampler over ranked elements;
 //! * [`synthetic`] — the dataset generator (power-law record sizes ×
-//!   power-law element frequencies, plus a uniform mode for Figure 19a);
+//!   power-law element frequencies, plus a uniform mode for Figure 19a and
+//!   a streaming/chunked path for multi-million-record profiles);
 //! * [`profiles`] — scaled-down profiles of the paper's seven datasets
 //!   (NETFLIX, DELIC, COD, ENRON, REUTERS, WEBSPAM, WDC);
 //! * [`queries`] — query workload sampling ("200 queries randomly chosen
@@ -29,5 +30,5 @@ pub mod zipf;
 
 pub use profiles::{DatasetProfile, ProfileSpec};
 pub use queries::QueryWorkload;
-pub use synthetic::{SyntheticConfig, SyntheticDataset};
+pub use synthetic::{SyntheticConfig, SyntheticDataset, SyntheticStream};
 pub use zipf::ZipfSampler;

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use gbkmv_core::dataset::{Dataset, ElementId};
+use gbkmv_core::dataset::{Dataset, ElementId, Record};
 
 use crate::zipf::ZipfSampler;
 
@@ -91,41 +91,117 @@ pub struct SyntheticDataset {
 
 impl SyntheticDataset {
     /// Generates a dataset from the configuration.
+    ///
+    /// Equivalent to collecting [`SyntheticStream::new`] — the stream *is*
+    /// the generator, so the two can never drift apart distributionally.
     pub fn generate(config: SyntheticConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let element_sampler = ZipfSampler::new(
-            config.universe_size.max(1),
-            config.alpha_element_freq.max(0.0),
-        );
-
-        let min_len = config.min_record_len.max(1);
-        let max_len = config.max_record_len.max(min_len);
-
-        let mut records: Vec<Vec<ElementId>> = Vec::with_capacity(config.num_records);
-        for _ in 0..config.num_records {
-            let size = sample_record_size(&mut rng, min_len, max_len, config.alpha_record_size);
-            let mut elements: Vec<ElementId> = Vec::with_capacity(size);
-            let mut seen = std::collections::HashSet::with_capacity(size * 2);
-            // Rejection-sample distinct elements; cap the attempts so a tiny
-            // universe cannot loop forever (the record is then shorter).
-            let max_attempts = size * 20 + 100;
-            let mut attempts = 0;
-            while elements.len() < size && attempts < max_attempts {
-                attempts += 1;
-                let e = element_sampler.sample(&mut rng) as ElementId;
-                if seen.insert(e) {
-                    elements.push(e);
-                }
-            }
-            records.push(elements);
-        }
-
         SyntheticDataset {
-            dataset: Dataset::from_records(records),
+            dataset: Dataset::from_records(SyntheticStream::new(config)),
             config,
         }
     }
 }
+
+/// Streaming record generator: yields the exact record sequence of
+/// [`SyntheticDataset::generate`] one record at a time, so multi-million
+/// record profiles (the scale-sweep bench) can be consumed chunk-by-chunk —
+/// or fed straight into an index/dataset builder — without ever
+/// materialising a second full copy of the raw element vectors.
+///
+/// The stream owns its RNG; two streams with the same configuration yield
+/// bit-identical sequences, and a partially consumed stream continues from
+/// where it stopped (chunk boundaries cannot change the output — tested).
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    rng: StdRng,
+    element_sampler: ZipfSampler,
+    config: SyntheticConfig,
+    min_len: usize,
+    max_len: usize,
+    emitted: usize,
+    /// Reused rejection-sampling scratch (cleared per record).
+    seen: std::collections::HashSet<ElementId>,
+}
+
+impl SyntheticStream {
+    /// A stream over the records of `config`, in generation order.
+    pub fn new(config: SyntheticConfig) -> Self {
+        let min_len = config.min_record_len.max(1);
+        SyntheticStream {
+            rng: StdRng::seed_from_u64(config.seed),
+            element_sampler: ZipfSampler::new(
+                config.universe_size.max(1),
+                config.alpha_element_freq.max(0.0),
+            ),
+            min_len,
+            max_len: config.max_record_len.max(min_len),
+            config,
+            emitted: 0,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Records not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.config.num_records - self.emitted
+    }
+
+    /// Drains the stream `chunk_size` records at a time, invoking `consume`
+    /// on each chunk (the last one may be shorter). The chunk buffer is
+    /// reused across calls, so peak memory is one chunk regardless of the
+    /// configured record count.
+    pub fn for_each_chunk(mut self, chunk_size: usize, mut consume: impl FnMut(&[Record])) {
+        let chunk_size = chunk_size.max(1);
+        let mut chunk: Vec<Record> = Vec::with_capacity(chunk_size);
+        loop {
+            chunk.clear();
+            chunk.extend(self.by_ref().take(chunk_size));
+            if chunk.is_empty() {
+                break;
+            }
+            consume(&chunk);
+        }
+    }
+}
+
+impl Iterator for SyntheticStream {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        if self.emitted >= self.config.num_records {
+            return None;
+        }
+        self.emitted += 1;
+        let size = sample_record_size(
+            &mut self.rng,
+            self.min_len,
+            self.max_len,
+            self.config.alpha_record_size,
+        );
+        let mut elements: Vec<ElementId> = Vec::with_capacity(size);
+        self.seen.clear();
+        self.seen.reserve(size * 2);
+        // Rejection-sample distinct elements; cap the attempts so a tiny
+        // universe cannot loop forever (the record is then shorter).
+        let max_attempts = size * 20 + 100;
+        let mut attempts = 0;
+        while elements.len() < size && attempts < max_attempts {
+            attempts += 1;
+            let e = self.element_sampler.sample(&mut self.rng) as ElementId;
+            if self.seen.insert(e) {
+                elements.push(e);
+            }
+        }
+        Some(Record::new(elements))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.remaining();
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SyntheticStream {}
 
 /// Samples a record size from a truncated power law `p(x) ∝ x^{-α}` on
 /// `[min_len, max_len]` (uniform when `α = 0`), via inverse-CDF sampling of
@@ -277,6 +353,54 @@ mod tests {
         assert_eq!(d.len(), 20);
         for record in d.records() {
             assert!(record.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_generated_dataset() {
+        let config = SyntheticConfig {
+            num_records: 250,
+            universe_size: 3_000,
+            ..Default::default()
+        };
+        let whole = SyntheticDataset::generate(config).dataset;
+        let streamed: Vec<Record> = SyntheticStream::new(config).collect();
+        assert_eq!(whole.records(), streamed.as_slice());
+    }
+
+    #[test]
+    fn stream_reports_remaining_and_exact_size() {
+        let config = SyntheticConfig {
+            num_records: 40,
+            ..Default::default()
+        };
+        let mut stream = SyntheticStream::new(config);
+        assert_eq!(stream.len(), 40);
+        assert_eq!(stream.remaining(), 40);
+        let _ = stream.by_ref().take(15).count();
+        assert_eq!(stream.remaining(), 25);
+        assert_eq!(stream.count(), 25);
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_change_the_output() {
+        let config = SyntheticConfig {
+            num_records: 103,
+            universe_size: 2_000,
+            seed: 7,
+            ..Default::default()
+        };
+        let whole: Vec<Record> = SyntheticStream::new(config).collect();
+        for chunk_size in [1, 7, 64, 103, 500] {
+            let mut chunked: Vec<Record> = Vec::new();
+            let mut calls = 0usize;
+            SyntheticStream::new(config).for_each_chunk(chunk_size, |chunk| {
+                assert!(chunk.len() <= chunk_size.max(1));
+                chunked.extend_from_slice(chunk);
+                calls += 1;
+            });
+            assert_eq!(whole, chunked, "chunk size {chunk_size} changed the stream");
+            assert_eq!(calls, 103usize.div_ceil(chunk_size));
         }
     }
 
