@@ -42,7 +42,15 @@
 //!   (`total_hits_service == total_hits_direct` — snapshot consistency
 //!   survived into the serialised record). Reader/writer throughput is
 //!   deliberately *not* floored: the CI container is single-core, so the
-//!   concurrent numbers only document time-slicing there.
+//!   concurrent numbers only document time-slicing there,
+//! * the `ingest` section is present with service hits equal to the
+//!   directly grown index's, a positive `shared_bytes` (consecutive COW
+//!   generations genuinely share shard storage), and a measured delta
+//!   checkpoint that reused at least one clean shard section without
+//!   falling back to a full rewrite; at full scale the 1-record COW flush
+//!   must beat the pre-COW whole-index clone by
+//!   [`MIN_FLUSH_SPEEDUP_VS_CLONE`] and the 1-dirty-shard delta checkpoint
+//!   must beat the full rewrite by [`MIN_DELTA_CHECKPOINT_SPEEDUP`].
 //!
 //! The gate also re-reads the scale-sweep report (`--sweep`, by default the
 //! smoke-scale one CI produces with `scale_sweep --scales 1000`) and fails
@@ -153,6 +161,23 @@ const MIN_PACKED_VS_PREFIX: f64 = 0.9;
 ///-record rebuild is itself sub-millisecond and the ratio of two timer-
 /// noise-scale numbers proves nothing.
 const MIN_LOAD_SPEEDUP: f64 = 5.0;
+
+/// Minimum acceptable `deep_clone_flush_ms / cow_flush_ms` ratio of the
+/// ingest section at full scale: publishing a 1-record generation on the
+/// 16-shard ingest index must beat the pre-COW whole-index-clone baseline
+/// (measured in the same run) by at least this much, or copy-on-write
+/// publication has regressed back toward O(index) flushes. The committed
+/// full-scale report holds well above this.
+const MIN_FLUSH_SPEEDUP_VS_CLONE: f64 = 5.0;
+
+/// Minimum acceptable `full_checkpoint_ms / delta_checkpoint_ms` ratio at
+/// full scale: a delta checkpoint of an index with 1 dirty shard out of
+/// `--shards` must beat the full arena rewrite of the same state by at
+/// least this much — the point of copying clean sections byte-for-byte
+/// instead of re-serializing them. Skipped at smoke scale, where reading
+/// the previous image back dominates both sides of a sub-millisecond
+/// ratio.
+const MIN_DELTA_CHECKPOINT_SPEEDUP: f64 = 2.0;
 
 /// Runs the smoke-scale throughput bench via the sibling binary, writing
 /// its report to `report`.
@@ -512,7 +537,89 @@ fn check(report_path: &Path) -> Result<Vec<String>, String> {
          service hits == direct hits ({service_hits})"
     ));
 
-    // 8. Parallel build speedup — only meaningful with real parallelism.
+    // 8. The ingest section: structural gates at every scale (service hit
+    // identity, genuine `Arc` sharing across the snapshot pair, a delta
+    // checkpoint that reused sections without falling back), plus the two
+    // speedup floors at full scale.
+    let ingest = report
+        .get("ingest")
+        .ok_or("report has no `ingest` section")?;
+    let ingest_int = |key: &str| json_i64(ingest, "ingest section", key);
+    let ingest_service = ingest_int("total_hits_service")?;
+    let ingest_direct = ingest_int("total_hits_direct")?;
+    if ingest_service != ingest_direct {
+        return Err(format!(
+            "ingest service diverged: the quiesced snapshot answered {ingest_service} hits, \
+             the directly grown index {ingest_direct}"
+        ));
+    }
+    let shared_bytes = ingest_int("shared_bytes")?;
+    if shared_bytes <= 0 {
+        return Err(format!(
+            "consecutive COW generations share {shared_bytes} bytes — copy-on-write \
+             publication has regressed into full copies"
+        ));
+    }
+    let delta = ingest
+        .get("delta")
+        .ok_or("ingest section has no `delta` checkpoint stats")?;
+    let fallback = delta
+        .get("fallback")
+        .and_then(Value::as_bool)
+        .ok_or("ingest delta stats have no boolean `fallback`")?;
+    if fallback {
+        return Err(
+            "the measured delta checkpoint fell back to a full rewrite — section reuse \
+             never engaged"
+                .to_string(),
+        );
+    }
+    let reused = json_i64(delta, "ingest delta stats", "reused_shards")?;
+    if reused < 1 {
+        return Err(format!(
+            "the delta checkpoint reused {reused} clean shard sections — dirty-shard \
+             tracking has regressed"
+        ));
+    }
+    let flush_speedup = ingest
+        .get("flush_speedup_vs_deep_clone")
+        .and_then(Value::as_f64)
+        .ok_or("ingest section has no `flush_speedup_vs_deep_clone`")?;
+    let delta_speedup = ingest
+        .get("delta_speedup_vs_full")
+        .and_then(Value::as_f64)
+        .ok_or("ingest section has no `delta_speedup_vs_full`")?;
+    if num_records >= MIN_RECORDS_FOR_SPEED_GATE {
+        if flush_speedup < MIN_FLUSH_SPEEDUP_VS_CLONE {
+            return Err(format!(
+                "a 1-record COW flush is only {flush_speedup:.1}x faster than the pre-COW \
+                 whole-index clone, below the {MIN_FLUSH_SPEEDUP_VS_CLONE}x floor — \
+                 O(dirty) ingest has regressed"
+            ));
+        }
+        if delta_speedup < MIN_DELTA_CHECKPOINT_SPEEDUP {
+            return Err(format!(
+                "a 1-dirty-shard delta checkpoint is only {delta_speedup:.1}x faster than \
+                 the full arena rewrite, below the {MIN_DELTA_CHECKPOINT_SPEEDUP}x floor — \
+                 clean-section reuse has regressed"
+            ));
+        }
+        summary.push(format!(
+            "ingest: COW flush {flush_speedup:.1}x vs whole-index clone (floor \
+             {MIN_FLUSH_SPEEDUP_VS_CLONE}x), delta checkpoint {delta_speedup:.1}x vs full \
+             (floor {MIN_DELTA_CHECKPOINT_SPEEDUP}x, {reused} sections reused), \
+             {shared_bytes} bytes shared, service hits == direct hits ({ingest_service})"
+        ));
+    } else {
+        summary.push(format!(
+            "ingest: {reused} delta sections reused, {shared_bytes} bytes shared, service \
+             hits == direct hits ({ingest_service}) (speedup gates skipped at \
+             {num_records} records; measured flush {flush_speedup:.1}x, delta \
+             {delta_speedup:.1}x)"
+        ));
+    }
+
+    // 9. Parallel build speedup — only meaningful with real parallelism.
     let build = report.get("build").ok_or("report has no `build` section")?;
     let threads = build
         .get("parallel_threads")
@@ -773,9 +880,10 @@ mod tests {
              \"parallel_speedup\": {speedup}}}, \"posting_memory\": \
              {{\"posting_bytes_raw\": {raw_bytes}, \"posting_bytes_packed\": {packed_bytes}, \
              \"posting_compression_ratio\": 0.0}}, \"persistence\": {}, \"concurrent\": {}, \
-             \"dense_profile\": {}, \"paths\": [{}]}}",
+             \"ingest\": {}, \"dense_profile\": {}, \"paths\": [{}]}}",
             persistence_json(42, 42, 25.0, 5_000),
             concurrent_json(2, 4, 42, 42),
+            ingest_json(12.0, 3.0, 3, false, 40_000, 42, 42),
             dense_json(10_000, 12, 500.0, 600.0, 42),
             entries.join(", ")
         )
@@ -835,6 +943,43 @@ mod tests {
         match dense {
             Some(section) => healthy.replace(&default, &section),
             None => healthy.replace(&format!("\"dense_profile\": {default}, "), ""),
+        }
+    }
+
+    /// An `ingest` section with the given COW-flush and delta-checkpoint
+    /// speedups, delta reuse/fallback stats, shared-byte total and
+    /// service/direct hit counts.
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_json(
+        flush_speedup: f64,
+        delta_speedup: f64,
+        reused: i64,
+        fallback: bool,
+        shared: i64,
+        service: i64,
+        direct: i64,
+    ) -> String {
+        format!(
+            "{{\"ingest_shards\": 16, \"base_records\": 10000, \"batches\": \
+             [{{\"batch_size\": 1, \"flush_ms\": 0.1, \"records_per_sec\": 10000.0}}], \
+             \"cow_flush_ms\": 0.1, \"deep_clone_flush_ms\": 1.2, \
+             \"flush_speedup_vs_deep_clone\": {flush_speedup}, \"shared_bytes\": {shared}, \
+             \"checkpoint_shards\": 4, \"full_checkpoint_ms\": 3.0, \
+             \"delta_checkpoint_ms\": 1.0, \"delta_speedup_vs_full\": {delta_speedup}, \
+             \"delta\": {{\"reused_shards\": {reused}, \"rewritten_shards\": 1, \
+             \"fallback\": {fallback}}}, \"delta_arena_path\": \"x.delta.arena\", \
+             \"total_hits_service\": {service}, \"total_hits_direct\": {direct}}}"
+        )
+    }
+
+    /// A healthy report with the ingest section replaced (or dropped, when
+    /// `ingest` is `None`).
+    fn report_with_ingest(ingest: Option<String>) -> String {
+        let healthy = report_json(&full_paths(100.0, 500.0, 42), 1, 1.0);
+        let default = ingest_json(12.0, 3.0, 3, false, 40_000, 42, 42);
+        match ingest {
+            Some(section) => healthy.replace(&default, &section),
+            None => healthy.replace(&format!("\"ingest\": {default}, "), ""),
         }
     }
 
@@ -1131,6 +1276,84 @@ mod tests {
         let p = write_report(&report_with_concurrent(Some(concurrent_json(3, 6, 42, 42))));
         let summary = check(&p).unwrap();
         assert!(summary.iter().any(|l| l.contains("serving layer")));
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_or_regressed_ingest_section() {
+        // Section missing entirely.
+        let p = write_report(&report_with_ingest(None));
+        assert!(check(&p).unwrap_err().contains("ingest"));
+        std::fs::remove_file(p).unwrap();
+
+        // The quiesced ingest service lost answers.
+        let p = write_report(&report_with_ingest(Some(ingest_json(
+            12.0, 3.0, 3, false, 40_000, 42, 41,
+        ))));
+        assert!(check(&p).unwrap_err().contains("ingest service diverged"));
+        std::fs::remove_file(p).unwrap();
+
+        // Consecutive generations share nothing: COW regressed to copies.
+        let p = write_report(&report_with_ingest(Some(ingest_json(
+            12.0, 3.0, 3, false, 0, 42, 42,
+        ))));
+        assert!(check(&p)
+            .unwrap_err()
+            .contains("regressed into full copies"));
+        std::fs::remove_file(p).unwrap();
+
+        // The delta checkpoint fell back to a full rewrite.
+        let p = write_report(&report_with_ingest(Some(ingest_json(
+            12.0, 3.0, 0, true, 40_000, 42, 42,
+        ))));
+        assert!(check(&p).unwrap_err().contains("fell back"));
+        std::fs::remove_file(p).unwrap();
+
+        // No fallback, but nothing reused either.
+        let p = write_report(&report_with_ingest(Some(ingest_json(
+            12.0, 3.0, 0, false, 40_000, 42, 42,
+        ))));
+        assert!(check(&p)
+            .unwrap_err()
+            .contains("dirty-shard tracking has regressed"));
+        std::fs::remove_file(p).unwrap();
+
+        // Full scale (no dataset section): a slow COW flush fails…
+        let p = write_report(&report_with_ingest(Some(ingest_json(
+            2.0, 3.0, 3, false, 40_000, 42, 42,
+        ))));
+        assert!(check(&p)
+            .unwrap_err()
+            .contains("O(dirty) ingest has regressed"));
+        std::fs::remove_file(p).unwrap();
+
+        // …and so does a slow delta checkpoint.
+        let p = write_report(&report_with_ingest(Some(ingest_json(
+            12.0, 1.1, 3, false, 40_000, 42, 42,
+        ))));
+        assert!(check(&p)
+            .unwrap_err()
+            .contains("clean-section reuse has regressed"));
+        std::fs::remove_file(p).unwrap();
+
+        // At smoke scale the two speedup floors are skipped, but the
+        // structural gates still apply.
+        let slow_smoke = report_with_ingest(Some(ingest_json(2.0, 0.7, 3, false, 40_000, 42, 42)))
+            .replace(
+                "\"bench\": \"query_throughput\",",
+                "\"bench\": \"query_throughput\", \"dataset\": {\"num_records\": 800},",
+            );
+        let p = write_report(&slow_smoke);
+        let summary = check(&p).unwrap();
+        assert!(summary.iter().any(|l| l.contains("speedup gates skipped")));
+        std::fs::remove_file(p).unwrap();
+        let fallback_smoke =
+            report_with_ingest(Some(ingest_json(2.0, 0.7, 0, true, 40_000, 42, 42))).replace(
+                "\"bench\": \"query_throughput\",",
+                "\"bench\": \"query_throughput\", \"dataset\": {\"num_records\": 800},",
+            );
+        let p = write_report(&fallback_smoke);
+        assert!(check(&p).unwrap_err().contains("fell back"));
         std::fs::remove_file(p).unwrap();
     }
 

@@ -64,6 +64,19 @@
 //! a direct index grown by the same inserts (asserted here and gated by
 //! `bench_check`).
 //!
+//! An `ingest` section measures the cost side of that publication model on
+//! a deliberately wide (16-shard) index: the latency of a 1-record
+//! copy-on-write flush against the pre-COW baseline it replaced (a
+//! whole-index deep clone plus the same insert, re-run in the same
+//! process so the speedup is measured, not assumed), flush latency and
+//! records/s at several batch sizes, the bytes a snapshot pair shares
+//! behind `Arc`s (`mem_usage_shared` — the copying the COW publish
+//! avoided), and a delta checkpoint of the `--shards`-way index with one
+//! dirty shard against a full arena rewrite of the same state. The delta
+//! image is asserted byte-identical to the full serialization and left on
+//! disk at `<out>.delta.arena` for the CI artifact; `bench_check` floors
+//! the two speedups at full scale and the structural fields always.
+//!
 //! Usage: `query_throughput [--records N] [--queries N] [--budget F]
 //! [--threshold F] [--threads N] [--shards N] [--reps N] [--readers N]
 //! [--ingest N] [--ingest-batches N] [--kernel scalar|vectorized]
@@ -87,6 +100,7 @@ use gbkmv_core::index::{
 };
 use gbkmv_core::mem::MemUsage;
 use gbkmv_core::parallel::resolve_threads;
+use gbkmv_core::persist::DeltaStats;
 use gbkmv_core::service::ContainmentService;
 use gbkmv_core::sim::OverlapThreshold;
 use gbkmv_datagen::queries::QueryWorkload;
@@ -228,6 +242,60 @@ struct ConcurrentSection {
     total_hits_direct: usize,
 }
 
+/// One flush-latency point of the ingest section: `batch_size` queued
+/// records published in a single copy-on-write flush.
+#[derive(Debug, Serialize)]
+struct IngestBatchPoint {
+    batch_size: usize,
+    flush_ms: f64,
+    records_per_sec: f64,
+}
+
+/// The ingest-cost measurement: what publishing a new generation costs
+/// under copy-on-write, against the pre-COW whole-index clone it replaced,
+/// plus the delta-vs-full checkpoint comparison on an index with exactly
+/// one dirty shard. The speedups are gated at full scale by `bench_check`;
+/// the structural fields (`delta.fallback`, `delta.reused_shards`,
+/// `shared_bytes`, the hit-identity pair) are gated at every scale.
+#[derive(Debug, Serialize)]
+struct IngestSection {
+    /// Shard count of the ingest index — deliberately wide (16) so the
+    /// O(dirty) flush has room to beat the O(index) clone it replaced.
+    ingest_shards: usize,
+    /// Records in the ingest index before any measured flush.
+    base_records: usize,
+    /// Flush latency / throughput at several batch sizes.
+    batches: Vec<IngestBatchPoint>,
+    /// Best-of-reps latency of a 1-record copy-on-write flush.
+    cow_flush_ms: f64,
+    /// Best-of-reps latency of the pre-COW publication path: deep-clone
+    /// the whole index, then apply the same 1-record insert.
+    deep_clone_flush_ms: f64,
+    /// `deep_clone_flush_ms / cow_flush_ms` — floored at full scale.
+    flush_speedup_vs_deep_clone: f64,
+    /// Bytes the post-flush snapshot shares with the pre-flush one behind
+    /// `Arc`s (`mem_usage_shared`): the copying the COW publish avoided.
+    shared_bytes: usize,
+    /// Shard count of the checkpointed (`--shards`-way) index.
+    checkpoint_shards: usize,
+    /// Best-of-reps full arena rewrite of the 1-dirty-shard index, ms.
+    full_checkpoint_ms: f64,
+    /// Best-of-reps delta checkpoint of the same state against the
+    /// pre-insert arena file, ms.
+    delta_checkpoint_ms: f64,
+    /// `full_checkpoint_ms / delta_checkpoint_ms` — floored at full scale.
+    delta_speedup_vs_full: f64,
+    /// Section-reuse accounting of the measured delta checkpoint.
+    delta: DeltaStats,
+    /// Where the delta-produced arena was left for the CI artifact.
+    delta_arena_path: String,
+    /// Workload hits via the quiesced ingest service.
+    total_hits_service: usize,
+    /// Workload hits via a direct index grown by the same inserts; must
+    /// equal `total_hits_service`.
+    total_hits_direct: usize,
+}
+
 /// Posting-arena memory accounting per storage format (bytes actually
 /// allocated for the inverted lists, summed over shards).
 #[derive(Debug, Serialize)]
@@ -318,6 +386,10 @@ struct ThroughputReport {
     persistence: PersistenceSection,
     /// Serving-layer readers-vs-writer measurement.
     concurrent: ConcurrentSection,
+    /// Ingest-cost measurement: COW flush vs the pre-COW whole-index
+    /// clone, batch flush throughput, snapshot sharing, and the
+    /// delta-vs-full checkpoint comparison.
+    ingest: IngestSection,
     /// The dense-postings companion profile (bitmap blocks + vectorized
     /// finish at their target shape).
     dense_profile: DenseProfileSection,
@@ -597,6 +669,206 @@ fn measure_concurrent(
     }
 }
 
+/// Where the checkpoint comparison writes its two arena files: the full
+/// baseline re-saves to `full`, the delta path patches `delta` in place.
+struct CheckpointPaths<'a> {
+    full: &'a std::path::Path,
+    delta: &'a std::path::Path,
+}
+
+/// Runs the ingest-cost phase. `base` is the wide (16-shard) ingest index;
+/// `checkpoint_index` is the `--shards`-way index the delta-vs-full
+/// checkpoint comparison runs on. Asserts, while measuring:
+///
+/// * the quiesced ingest service answers the workload with exactly the
+///   hits of a direct index grown by the same inserts,
+/// * consecutive snapshots actually share shard storage (`shared_bytes`),
+/// * the delta checkpoint reused sections without falling back, and its
+///   file is byte-identical to the full serialization of the same index.
+fn measure_ingest(
+    base: &GbKmvIndex,
+    checkpoint_index: &GbKmvIndex,
+    stream: &[Record],
+    queries: &[Record],
+    threshold: f64,
+    reps: usize,
+    paths: CheckpointPaths<'_>,
+) -> IngestSection {
+    let CheckpointPaths {
+        full: full_path,
+        delta: delta_path,
+    } = paths;
+    let service = ContainmentService::new(base.clone());
+    let mut submitted: Vec<Record> = Vec::new();
+    let mut cursor = 0usize;
+    let mut draw = |n: usize| -> Vec<Record> {
+        (0..n)
+            .map(|_| {
+                let record = stream[cursor % stream.len()].clone();
+                cursor += 1;
+                record
+            })
+            .collect()
+    };
+
+    // 1-record COW flush: clone is O(shards) `Arc` bumps, the insert
+    // copy-on-writes the tail shard only. Each rep submits one record so
+    // `flush` always publishes (an empty flush short-circuits).
+    let flush_reps = (reps.max(1) * 5).max(10);
+    let mut cow_secs = f64::INFINITY;
+    for record in draw(flush_reps) {
+        submitted.push(record.clone());
+        service
+            .submit(record)
+            .expect("synthetic ingest records are non-empty");
+        let start = Instant::now();
+        let flushed = service.flush();
+        cow_secs = cow_secs.min(start.elapsed().as_secs_f64());
+        assert_eq!(flushed, 1, "the 1-record flush published a wrong count");
+    }
+
+    // The pre-COW baseline, re-run in the same process: publication used
+    // to deep-clone every shard before applying the batch. Same insert,
+    // same index size — only the clone strategy differs.
+    let probe = draw(1).remove(0);
+    let snapshot = service.snapshot();
+    let mut deep_secs = f64::INFINITY;
+    for _ in 0..flush_reps {
+        let start = Instant::now();
+        let mut cloned = snapshot.deep_clone();
+        cloned.insert(&probe);
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(&cloned);
+        deep_secs = deep_secs.min(secs);
+    }
+
+    // Flush latency and records/s at growing batch sizes (informational —
+    // the gated number is the 1-record speedup above).
+    let mut batches = Vec::new();
+    for batch_size in [1usize, 16, 128] {
+        let batch = draw(batch_size);
+        submitted.extend(batch.iter().cloned());
+        service
+            .submit_batch(batch)
+            .expect("synthetic ingest records are non-empty");
+        let start = Instant::now();
+        let flushed = service.flush();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(flushed, batch_size, "a batch flush published a wrong count");
+        batches.push(IngestBatchPoint {
+            batch_size,
+            flush_ms: secs * 1e3,
+            records_per_sec: if secs > 0.0 {
+                batch_size as f64 / secs
+            } else {
+                0.0
+            },
+        });
+    }
+
+    // The sharing a COW publish leaves behind: everything but the tail
+    // shard of the pre-flush snapshot is the same `Arc` in the post-flush
+    // one, and `mem_usage_shared` reports those bytes exactly once.
+    let prev = service.snapshot();
+    let record = draw(1).remove(0);
+    submitted.push(record.clone());
+    service
+        .submit(record)
+        .expect("synthetic ingest records are non-empty");
+    service.flush();
+    let next = service.snapshot();
+    let pair = GbKmvIndex::mem_usage_shared([&*prev, &*next]);
+    assert!(
+        pair.shared_bytes > 0,
+        "consecutive COW generations share no shard storage"
+    );
+
+    // Hit identity: the quiesced service vs a direct index grown by the
+    // same inserts in the same order.
+    let mut direct = base.clone();
+    for record in &submitted {
+        direct.insert(record);
+    }
+    let quiesced = service.snapshot();
+    let total_hits_service: usize = queries
+        .iter()
+        .map(|q| quiesced.search_filtered(q, threshold).len())
+        .sum();
+    let total_hits_direct: usize = queries
+        .iter()
+        .map(|q| direct.search_filtered(q, threshold).len())
+        .sum();
+    assert_eq!(
+        total_hits_service, total_hits_direct,
+        "ingest service snapshot diverged from the directly grown index"
+    );
+
+    // Delta vs full checkpoint at the serving cadence: grow the
+    // `--shards`-way index by one record (dirtying the tail shard only),
+    // checkpoint, repeat. The full baseline re-serializes and rewrites the
+    // whole arena each round; the delta path re-serializes one shard and
+    // patches the file in place, leaving the clean sections untouched on
+    // disk.
+    let ckpt_reps = (reps.max(1) * 3).max(5);
+    let mut full_ckpt = checkpoint_index.clone();
+    let mut full_secs = f64::INFINITY;
+    for record in draw(ckpt_reps) {
+        full_ckpt.insert(&record);
+        let start = Instant::now();
+        full_ckpt.save(full_path).expect("full checkpoint failed");
+        full_secs = full_secs.min(start.elapsed().as_secs_f64());
+    }
+    let mut delta_ckpt = checkpoint_index.clone();
+    delta_ckpt
+        .save(delta_path)
+        .expect("seeding the delta checkpoint file failed");
+    let mut delta_secs = f64::INFINITY;
+    let mut delta = DeltaStats::default();
+    for record in draw(ckpt_reps) {
+        delta_ckpt.insert(&record);
+        let start = Instant::now();
+        delta = delta_ckpt
+            .save_delta(delta_path, delta_path)
+            .expect("delta checkpoint failed");
+        delta_secs = delta_secs.min(start.elapsed().as_secs_f64());
+    }
+    assert!(
+        !delta.fallback && delta.reused_shards >= 1,
+        "the delta checkpoint fell back or reused nothing ({delta:?})"
+    );
+    assert_eq!(
+        std::fs::read(delta_path).expect("reading the delta arena back failed"),
+        delta_ckpt.to_arena_bytes(),
+        "the delta-produced arena diverged from the full serialization"
+    );
+
+    IngestSection {
+        ingest_shards: base.sharded().shards().len(),
+        base_records: base.num_records(),
+        batches,
+        cow_flush_ms: cow_secs * 1e3,
+        deep_clone_flush_ms: deep_secs * 1e3,
+        flush_speedup_vs_deep_clone: if cow_secs > 0.0 {
+            deep_secs / cow_secs
+        } else {
+            0.0
+        },
+        shared_bytes: pair.shared_bytes,
+        checkpoint_shards: checkpoint_index.sharded().shards().len(),
+        full_checkpoint_ms: full_secs * 1e3,
+        delta_checkpoint_ms: delta_secs * 1e3,
+        delta_speedup_vs_full: if delta_secs > 0.0 {
+            full_secs / delta_secs
+        } else {
+            0.0
+        },
+        delta,
+        delta_arena_path: delta_path.display().to_string(),
+        total_hits_service,
+        total_hits_direct,
+    }
+}
+
 /// Builds and measures the dense-postings companion profile: near-uniform
 /// element frequencies (`α1 = 1.01`) over a 160-element universe with
 /// records covering most of it, so the globally smallest signature hashes
@@ -726,6 +998,10 @@ fn main() {
     // cross-process hit-identity assertion valid.
     let arena_out = arg_value("--save").unwrap_or_else(|| format!("{out}.arena"));
     let arena_in = arg_value("--load").unwrap_or_else(|| arena_out.clone());
+    // The ingest section's checkpoint files: the pre-insert image the delta
+    // reuses sections from, and the delta-produced arena CI uploads.
+    let full_out = format!("{out}.full.arena");
+    let delta_out = format!("{out}.delta.arena");
     // `--kernel scalar` runs every engine on the per-slot oracle kernel; CI
     // smokes both settings so the scalar path keeps passing the binary's
     // own bit-identity asserts end-to-end, not just the unit proptests.
@@ -933,6 +1209,32 @@ fn main() {
         ingest_batches,
     );
 
+    // Ingest cost: a deliberately wide (16-shard) index so the O(dirty)
+    // COW flush has room against the O(index) deep clone it replaced, and
+    // the `--shards`-way index for the delta-vs-full checkpoint pair. The
+    // delta arena is left at `<out>.delta.arena` for the CI artifact.
+    // `ingest_batch` is pinned high so publication happens only at the
+    // measured explicit `flush()` calls, never inline in `submit_batch`.
+    let ingest_index = GbKmvIndex::build(
+        &dataset,
+        engine_config()
+            .threads(threads)
+            .shards(16)
+            .ingest_batch(1_000_000),
+    );
+    let ingest_section = measure_ingest(
+        &ingest_index,
+        &sharded_index,
+        &ingest_stream,
+        queries,
+        threshold,
+        reps,
+        CheckpointPaths {
+            full: std::path::Path::new(&full_out),
+            delta: std::path::Path::new(&delta_out),
+        },
+    );
+
     // The dense-postings companion profile (bitmap blocks + vectorized
     // finish at their target shape).
     let dense_profile = measure_dense_profile(
@@ -999,6 +1301,7 @@ fn main() {
         posting_memory,
         persistence,
         concurrent,
+        ingest: ingest_section,
         dense_profile,
         speedup_accumulator_vs_legacy: qps(&paths, "accumulator") / qps(&paths, "legacy_filtered"),
         speedup_accumulator_vs_baseline: qps(&paths, "accumulator")
@@ -1130,6 +1433,43 @@ fn main() {
         report.concurrent.ingest_records_per_sec,
         report.concurrent.total_hits_service,
         report.concurrent.total_hits_direct
+    );
+    let ingest = &report.ingest;
+    println!(
+        "ingest ({} shards, {} base records): 1-record COW flush {:.3} ms vs \
+         {:.3} ms whole-index clone ({:.1}x); snapshot pair shares {} bytes; \
+         service hits {} == direct hits {}",
+        ingest.ingest_shards,
+        ingest.base_records,
+        ingest.cow_flush_ms,
+        ingest.deep_clone_flush_ms,
+        ingest.flush_speedup_vs_deep_clone,
+        ingest.shared_bytes,
+        ingest.total_hits_service,
+        ingest.total_hits_direct
+    );
+    let batch_cols: Vec<String> = ingest
+        .batches
+        .iter()
+        .map(|b| {
+            format!(
+                "{} rec {:.3} ms ({:.0}/s)",
+                b.batch_size, b.flush_ms, b.records_per_sec
+            )
+        })
+        .collect();
+    println!("ingest flush batches: {}", batch_cols.join(", "));
+    println!(
+        "ingest checkpoint ({} shards, 1 dirty): delta {:.2} ms vs full {:.2} ms \
+         ({:.1}x, {} reused / {} rewritten shard sections, fallback {}) at {}",
+        ingest.checkpoint_shards,
+        ingest.delta_checkpoint_ms,
+        ingest.full_checkpoint_ms,
+        ingest.delta_speedup_vs_full,
+        ingest.delta.reused_shards,
+        ingest.delta.rewritten_shards,
+        ingest.delta.fallback,
+        ingest.delta_arena_path
     );
 
     write_json_report(std::path::Path::new(&out), &report).expect("failed to write report");

@@ -66,7 +66,7 @@ impl GbKmvIndex {
         };
 
         GbKmvIndex {
-            sketcher,
+            sketcher: std::sync::Arc::new(sketcher),
             sharded,
             summary,
             config,

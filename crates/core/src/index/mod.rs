@@ -183,9 +183,15 @@ pub(crate) fn with_canonical_query<R>(query: &[ElementId], f: impl FnOnce(&[Elem
 }
 
 /// The GB-KMV containment similarity search index.
+///
+/// Cloning is **copy-on-write cheap**: the shards (via
+/// [`ShardedIndex`]) and the sketcher live behind [`Arc`](std::sync::Arc)s,
+/// so a clone is a handful of pointer bumps and storage is duplicated only
+/// when a shared shard is actually mutated (see `ShardedIndex::insert`).
+/// The serving layer's per-generation publish depends on this.
 #[derive(Debug, Clone)]
 pub struct GbKmvIndex {
-    pub(crate) sketcher: GbKmvSketcher,
+    pub(crate) sketcher: std::sync::Arc<GbKmvSketcher>,
     pub(crate) sharded: ShardedIndex,
     pub(crate) summary: IndexSummary,
     pub(crate) config: GbKmvConfig,
@@ -196,6 +202,21 @@ impl GbKmvIndex {
     /// The shared sketching state (hash function, layout, threshold).
     pub fn sketcher(&self) -> &GbKmvSketcher {
         &self.sketcher
+    }
+
+    /// A clone that duplicates every shard's storage up front instead of
+    /// sharing it copy-on-write — exactly what `Clone` did before the
+    /// serving layer went COW. Kept as the measured baseline of the ingest
+    /// bench's flush-cost comparison; nothing on the serving path uses it.
+    #[must_use]
+    pub fn deep_clone(&self) -> Self {
+        GbKmvIndex {
+            sketcher: std::sync::Arc::new(GbKmvSketcher::clone(&self.sketcher)),
+            sharded: self.sharded.deep_clone(),
+            summary: self.summary,
+            config: self.config,
+            total_elements: self.total_elements,
+        }
     }
 
     /// Build-time summary (budget, buffer size, τ, space used).
@@ -226,6 +247,33 @@ impl GbKmvIndex {
     /// instead.
     pub fn mem_usage(&self) -> crate::mem::MemUsage {
         self.sharded.mem_usage()
+    }
+
+    /// Combined memory breakdown of several indexes that may share shards
+    /// behind `Arc`s — e.g. the snapshot pair around a copy-on-write flush.
+    ///
+    /// Each distinct shard (by `Arc` identity) contributes its component
+    /// bytes exactly once; every further sighting of the same shard lands
+    /// in [`MemUsage::shared_bytes`](crate::mem::MemUsage::shared_bytes)
+    /// instead, so [`MemUsage::total_bytes`](crate::mem::MemUsage::total_bytes)
+    /// reports what the set actually holds in memory and `shared_bytes`
+    /// reports the copying the COW publish avoided.
+    pub fn mem_usage_shared<'a>(
+        indexes: impl IntoIterator<Item = &'a GbKmvIndex>,
+    ) -> crate::mem::MemUsage {
+        let mut seen: std::collections::HashSet<*const Shard> = std::collections::HashSet::new();
+        let mut usage = crate::mem::MemUsage::default();
+        for index in indexes {
+            for shard in index.sharded.shards() {
+                let contribution = shard.mem_usage();
+                if seen.insert(std::sync::Arc::as_ptr(shard)) {
+                    usage.add(&contribution);
+                } else {
+                    usage.add(&contribution.into_shared());
+                }
+            }
+        }
+        usage
     }
 
     /// Heap bytes held by the index's inverted posting lists (payload

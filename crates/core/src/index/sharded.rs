@@ -24,13 +24,39 @@
 //! made once here and every query path inherits it transparently.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::buffer::set_positions_in;
 use crate::gbkmv::GbKmvRecordSketch;
+use crate::hash::mix64;
 use crate::index::postings::{PostingFormat, PostingList};
 use crate::mem::MemUsage;
 use crate::parallel;
 use crate::store::{SketchStore, SketchView};
+
+/// Issues process-unique 64-bit stamps for shard epochs and index lineages.
+///
+/// The counter starts at a mixed seed of the process id and the wall clock,
+/// so stamps issued by different processes (which may each load, mutate and
+/// re-checkpoint the *same* arena file) occupy effectively disjoint ranges:
+/// a delta checkpoint only reuses a shard's bytes when both the lineage and
+/// the shard epoch match, and a cross-process stamp collision is the one
+/// event that could make that reuse unsound. Within a process the counter
+/// is strictly increasing, so two distinct mutations never share an epoch.
+pub(crate) fn next_stamp() -> u64 {
+    static COUNTER: OnceLock<AtomicU64> = OnceLock::new();
+    COUNTER
+        .get_or_init(|| {
+            let pid = u64::from(std::process::id());
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            AtomicU64::new(mix64(pid ^ nanos.rotate_left(32)))
+        })
+        .fetch_add(1, Ordering::Relaxed)
+}
 
 /// One storage shard: a size-ordered sketch store plus the inverted posting
 /// lists over its slots.
@@ -294,9 +320,43 @@ impl Shard {
 
 /// An ordered sequence of [`Shard`]s covering contiguous, ascending record-id
 /// ranges (shard `i + 1`'s base is shard `i`'s base plus its length).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Shards are held behind [`Arc`]s, so **cloning an index is N pointer
+/// bumps**, not a storage copy: the serving layer's per-generation publish
+/// clones the current index, splices the batch into the tail shard through
+/// [`Arc::make_mut`] (copy-on-write — only the touched shard's storage is
+/// duplicated, and only when a previous generation still shares it), and
+/// publishes. Untouched shards stay pointer-equal across generations, which
+/// both the race tests and the `mem_usage_shared` accounting rely on.
+///
+/// Each shard carries a **dirty epoch** and the index a **lineage** stamp
+/// (see `next_stamp`): every mutation of shard `i` replaces `epochs[i]`,
+/// while clones (and the arena save/load round trip) preserve both. A
+/// matching `(lineage, epoch)` pair is therefore proof that a shard's
+/// storage is bit-identical to the one a previous checkpoint serialised —
+/// the delta-checkpoint reuse criterion in `crate::persist`.
+#[derive(Debug, Clone)]
 pub struct ShardedIndex {
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Shard>>,
+    /// Stamp identifying the mutation history these epochs belong to.
+    lineage: u64,
+    /// Per-shard dirty epoch, replaced on every mutation of that shard.
+    epochs: Vec<u64>,
+}
+
+/// Equality is *storage* equality: the lineage and epoch stamps are
+/// process-unique bookkeeping, so a grown index and a from-scratch rebuild
+/// with identical shard contents must still compare equal (the
+/// insert-equals-rebuild tests depend on this).
+impl PartialEq for ShardedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.shards.len() == other.shards.len()
+            && self
+                .shards
+                .iter()
+                .zip(&other.shards)
+                .all(|(a, b)| **a == **b)
+    }
 }
 
 impl ShardedIndex {
@@ -317,50 +377,68 @@ impl ShardedIndex {
         threads: usize,
     ) -> Self {
         let num_shards = num_shards.max(1);
-        if num_shards == 1 || sketches.len() <= 1 {
-            return ShardedIndex {
-                shards: vec![Shard::build(
-                    0,
-                    sketches,
-                    words_per_record,
-                    buffer_len,
-                    build_postings,
-                    format,
-                    threads,
-                )],
-            };
-        }
-        let chunk = sketches.len().div_ceil(num_shards);
-        let bounds: Vec<usize> = (0..sketches.len()).step_by(chunk).collect();
-        let shards = parallel::par_map(&bounds, threads, |&lo| {
-            let hi = (lo + chunk).min(sketches.len());
-            Shard::build(
-                lo,
-                &sketches[lo..hi],
+        let shards = if num_shards == 1 || sketches.len() <= 1 {
+            vec![Shard::build(
+                0,
+                sketches,
                 words_per_record,
                 buffer_len,
                 build_postings,
                 format,
-                1,
-            )
-        });
-        ShardedIndex { shards }
+                threads,
+            )]
+        } else {
+            let chunk = sketches.len().div_ceil(num_shards);
+            let bounds: Vec<usize> = (0..sketches.len()).step_by(chunk).collect();
+            parallel::par_map(&bounds, threads, |&lo| {
+                let hi = (lo + chunk).min(sketches.len());
+                Shard::build(
+                    lo,
+                    &sketches[lo..hi],
+                    words_per_record,
+                    buffer_len,
+                    build_postings,
+                    format,
+                    1,
+                )
+            })
+        };
+        let epochs = shards.iter().map(|_| next_stamp()).collect();
+        ShardedIndex {
+            shards: shards.into_iter().map(Arc::new).collect(),
+            lineage: next_stamp(),
+            epochs,
+        }
     }
 
-    /// The shards, in ascending record-id order.
+    /// The shards, in ascending record-id order. Exposing the [`Arc`]s lets
+    /// callers observe sharing across snapshots (`Arc::ptr_eq`), which the
+    /// COW race tests and the shared-memory accounting use.
     #[inline]
-    pub fn shards(&self) -> &[Shard] {
+    pub fn shards(&self) -> &[Arc<Shard>] {
         &self.shards
+    }
+
+    /// The lineage stamp these shard epochs belong to (see the type docs).
+    #[inline]
+    pub fn lineage(&self) -> u64 {
+        self.lineage
+    }
+
+    /// Per-shard dirty epochs, parallel to [`ShardedIndex::shards`].
+    #[inline]
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
     }
 
     /// Total number of records across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Shard::len).sum()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// Whether the index holds no records.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(Shard::is_empty)
+        self.shards.iter().all(|s| s.is_empty())
     }
 
     /// Total number of stored hash values (space accounting).
@@ -371,21 +449,44 @@ impl ShardedIndex {
     /// Total heap bytes held by all shards' posting lists (the per-format
     /// memory number of the bench report).
     pub fn posting_bytes(&self) -> usize {
-        self.shards.iter().map(Shard::posting_bytes).sum()
+        self.shards.iter().map(|s| s.posting_bytes()).sum()
     }
 
     /// Total bitmap-encoded posting blocks across all shards (the
     /// dense-profile bench's evidence that hybrid blocks engage).
     pub fn bitmap_blocks(&self) -> usize {
-        self.shards.iter().map(Shard::bitmap_blocks).sum()
+        self.shards.iter().map(|s| s.bitmap_blocks()).sum()
     }
 
-    /// Reassembles an index from already-reconstructed shards (the
-    /// persistence layer's constructor). Callers guarantee the shards'
-    /// record-id ranges are contiguous and ascending.
-    pub(crate) fn from_shards(shards: Vec<Shard>) -> Self {
+    /// Reassembles an index from already-reconstructed shards plus the
+    /// persisted lineage/epoch stamps (the persistence layer's
+    /// constructor). Callers guarantee the shards' record-id ranges are
+    /// contiguous and ascending and that `epochs` parallels `shards`.
+    pub(crate) fn from_parts(shards: Vec<Shard>, lineage: u64, epochs: Vec<u64>) -> Self {
         debug_assert!(!shards.is_empty());
-        ShardedIndex { shards }
+        debug_assert_eq!(shards.len(), epochs.len());
+        ShardedIndex {
+            shards: shards.into_iter().map(Arc::new).collect(),
+            lineage,
+            epochs,
+        }
+    }
+
+    /// A clone that duplicates every shard's storage instead of sharing it
+    /// — the pre-COW whole-index copy. Kept as the baseline the ingest
+    /// bench measures the copy-on-write [`Clone`] against; nothing on the
+    /// serving path uses it.
+    #[must_use]
+    pub fn deep_clone(&self) -> Self {
+        ShardedIndex {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| Arc::new(Shard::clone(s)))
+                .collect(),
+            lineage: self.lineage,
+            epochs: self.epochs.clone(),
+        }
     }
 
     /// Summed per-component content bytes across all shards, including the
@@ -417,14 +518,24 @@ impl ShardedIndex {
 
     /// Appends one record to the tail shard (the one owning the highest id
     /// range, keeping the ranges contiguous) and returns its global id.
+    ///
+    /// Copy-on-write: if the tail shard is shared with another index clone
+    /// (a published reader snapshot), [`Arc::make_mut`] duplicates that one
+    /// shard's storage first — every other shard stays shared untouched, so
+    /// growing a cloned index costs O(tail shard + record), not O(index).
+    /// The tail shard's epoch is restamped; clean shards keep theirs.
     pub(crate) fn insert(&mut self, sketch: &GbKmvRecordSketch, build_postings: bool) -> usize {
         // Infallible: `ShardedIndex::build` always creates at least one
         // shard (the empty dataset builds one empty shard) and shards are
         // never removed.
-        self.shards
-            .last_mut()
-            .expect("a ShardedIndex always has at least one shard")
-            .insert(sketch, build_postings)
+        let tail = self
+            .shards
+            .len()
+            .checked_sub(1)
+            .expect("a ShardedIndex always has at least one shard");
+        let id = Arc::make_mut(&mut self.shards[tail]).insert(sketch, build_postings);
+        self.epochs[tail] = next_stamp();
+        id
     }
 }
 

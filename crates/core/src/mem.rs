@@ -41,6 +41,13 @@ pub struct MemUsage {
     pub posting_block_meta_bytes: usize,
     /// Subset of all the above served zero-copy from a loaded arena file.
     pub borrowed_bytes: usize,
+    /// Bytes belonging to shards that several accounted indexes share
+    /// behind one `Arc` — counted **once** in the component fields and
+    /// recorded here for every additional sighting, so summing
+    /// [`MemUsage::total_bytes`] over a snapshot pair never double-counts
+    /// copy-on-write storage. Zero when accounting a single index; see
+    /// `GbKmvIndex::mem_usage_shared`.
+    pub shared_bytes: usize,
 }
 
 impl MemUsage {
@@ -81,6 +88,18 @@ impl MemUsage {
         self.postings_packed_bytes += other.postings_packed_bytes;
         self.posting_block_meta_bytes += other.posting_block_meta_bytes;
         self.borrowed_bytes += other.borrowed_bytes;
+        self.shared_bytes += other.shared_bytes;
+    }
+
+    /// Moves this breakdown's component content into
+    /// [`shared_bytes`](Self::shared_bytes): the accounting applied to a
+    /// shard that an earlier index in a `mem_usage_shared` walk already
+    /// counted in full.
+    pub(crate) fn into_shared(self) -> MemUsage {
+        MemUsage {
+            shared_bytes: self.total_bytes(),
+            ..MemUsage::default()
+        }
     }
 }
 
@@ -101,10 +120,26 @@ mod tests {
             postings_packed_bytes: 128,
             posting_block_meta_bytes: 256,
             borrowed_bytes: 10_000,
+            shared_bytes: 20_000,
         };
+        // Neither informational field (borrowed, shared) joins the total.
         assert_eq!(usage.total_bytes(), 511);
         // Arena content excludes only the rebuilt hash_df map.
         assert_eq!(usage.arena_content_bytes(), 511 - 32);
+    }
+
+    #[test]
+    fn into_shared_moves_the_total_and_drops_components() {
+        let usage = MemUsage {
+            hash_arena_bytes: 100,
+            hash_df_bytes: 11,
+            borrowed_bytes: 100,
+            ..MemUsage::default()
+        };
+        let shared = usage.into_shared();
+        assert_eq!(shared.shared_bytes, 111);
+        assert_eq!(shared.total_bytes(), 0);
+        assert_eq!(shared.borrowed_bytes, 0);
     }
 
     #[test]
@@ -120,11 +155,13 @@ mod tests {
             postings_packed_bytes: 1,
             posting_block_meta_bytes: 1,
             borrowed_bytes: 1,
+            shared_bytes: 1,
         };
         let mut acc = MemUsage::default();
         acc.add(&unit);
         acc.add(&unit);
         assert_eq!(acc.total_bytes(), 18);
         assert_eq!(acc.borrowed_bytes, 2);
+        assert_eq!(acc.shared_bytes, 2);
     }
 }

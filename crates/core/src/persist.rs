@@ -3,23 +3,26 @@
 //! rebuilding — no re-hashing, no per-record decode, no re-encoding of
 //! posting blocks.
 //!
-//! # File layout
+//! # File layout (format version 2)
 //!
 //! ```text
 //! offset 0   ┌────────────────────────────────────────────────┐
 //!            │ header: 6 little-endian u64 words (48 bytes)   │
 //!            │   magic | version | endian probe | file length │
-//!            │   | checksum | section count                   │
+//!            │   | header checksum | section count            │
 //! offset 48  ├────────────────────────────────────────────────┤
-//!            │ section table: (offset u64, length u64) per    │
-//!            │ section; offsets are 8-byte aligned            │
+//!            │ section table: (offset u64, length u64,        │
+//!            │ checksum u64) per section; offsets 8-aligned   │
 //!            ├────────────────────────────────────────────────┤
-//!            │ section 0: meta stream (config, summary,       │
-//!            │ sketcher, per-shard counts and posting         │
-//!            │ descriptors — everything small, cursor-parsed) │
+//!            │ section 0: global meta head (config, summary,  │
+//!            │ sketcher, shard count — cursor-parsed)         │
 //!            ├────────────────────────────────────────────────┤
-//!            │ sections 1…: 12 arena sections per shard, in a │
-//!            │ fixed order (see below), each padded to the    │
+//!            │ section 1: shard directory (lineage stamp +    │
+//!            │ one dirty epoch per shard)                     │
+//!            ├────────────────────────────────────────────────┤
+//!            │ sections 2…: 13 per shard — the shard's meta   │
+//!            │ stream (counts, df pairs, posting descriptors) │
+//!            │ then its 12 arena sections, each padded to the │
 //!            │ next 8-byte boundary                           │
 //!            └────────────────────────────────────────────────┘
 //! ```
@@ -31,22 +34,22 @@
 //! payload words (`u64`), block metadata (`BlockMeta`, 12 bytes each) and
 //! raw slot arena (`u32`), and the same three for the buffer postings.
 //! Individual posting lists are carved out of the three shared arenas
-//! sequentially, in the order their descriptors appear in the meta stream
-//! (signature lists sorted by hash value, buffer lists by bit position), so
-//! the format needs no per-list offsets and a save→load→save round trip is
-//! byte-identical.
+//! sequentially, in the order their descriptors appear in the shard's meta
+//! section (signature lists sorted by hash value, buffer lists by bit
+//! position), so the format needs no per-list offsets and a
+//! save→load→save round trip is byte-identical.
 //!
 //! # Zero-copy loading
 //!
 //! [`GbKmvIndex::from_arena_bytes`] validates everything it can on the raw
-//! bytes first — header fields, the checksum over the whole body, the
-//! section table, the full meta stream, every section length, and the
-//! `bool` byte of every [`RecordMeta`] entry (the one field where a stray
-//! bit pattern would be undefined behaviour rather than merely wrong). Only
-//! then does it copy the file once into an 8-byte-aligned buffer that is
-//! intentionally leaked for the process lifetime, and reconstructs the
-//! index by casting each section to its element type in place: every store
-//! arena and posting payload becomes an
+//! bytes first — header fields, the header checksum, every per-section
+//! checksum, the section table, the full meta streams, every section
+//! length, and the `bool` byte of every [`RecordMeta`] entry (the one
+//! field where a stray bit pattern would be undefined behaviour rather
+//! than merely wrong). Only then does it copy the file once into an
+//! 8-byte-aligned buffer that is intentionally leaked for the process
+//! lifetime, and reconstructs the index by casting each section to its
+//! element type in place: every store arena and posting payload becomes an
 //! [`ArenaVec::Borrowed`](crate::arena::ArenaVec) pointing into the buffer.
 //! A handful of cheap structural checks (CSR offsets monotonic,
 //! permutations in range, `PackedList::validate_loaded` per packed list)
@@ -55,10 +58,34 @@
 //! bits and misaligned section offsets all surface as typed
 //! [`Error`] variants — never a panic.
 //!
-//! The checksum covers bytes `[40, file length)` — everything after the
-//! checksum field itself, including the section count — so any single-bit
-//! flip in a saved arena is caught either by a header field check (bytes
-//! 0–39) or by the checksum (everything else).
+//! # Integrity is two-level (and that is what makes deltas cheap)
+//!
+//! The header checksum covers bytes `[40, end of section table)` — the
+//! section count plus every `(offset, length, checksum)` entry — and each
+//! section's own checksum covers that section's padded extent. Every byte
+//! of the file is therefore protected (header fields by direct validation,
+//! the table by the header checksum, payloads by the per-section sums),
+//! and any single-bit flip is caught, but re-stamping a file whose
+//! sections are partially reused costs O(reused table entries), not
+//! O(reused bytes).
+//!
+//! # Delta checkpoints
+//!
+//! [`GbKmvIndex::to_arena_bytes_delta`] serialises against a previous
+//! arena image: shards whose `(lineage, epoch)` stamps (see
+//! [`ShardedIndex`]) match the previous file's shard directory have their
+//! 13 sections — meta stream included — **copied byte-for-byte with their
+//! stored checksums**, and only dirty shards (plus the small head,
+//! directory and table) are re-serialised and re-summed, so a checkpoint
+//! costs O(dirty shards), not O(index). The output is byte-identical to a
+//! full [`GbKmvIndex::to_arena_bytes`] of the same index. The previous
+//! image's skeleton (header words, header checksum, table bounds,
+//! directory) is validated first and any mismatch — including a foreign
+//! lineage — falls back to a full rewrite ([`DeltaStats::fallback`]);
+//! reused payload bytes are deliberately *not* re-verified, so latent
+//! corruption in the previous file is inherited together with its
+//! now-mismatching stored checksum and still surfaces as a typed error
+//! when the new file is opened.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -82,7 +109,7 @@ use crate::store::{RecordMeta, SketchStore};
 pub const ARENA_MAGIC: u64 = u64::from_le_bytes(*b"GBKMVAR1");
 
 /// Format version this build writes and reads.
-pub const ARENA_VERSION: u64 = 1;
+pub const ARENA_VERSION: u64 = 2;
 
 /// Header word whose *native* byte interpretation must match: a file
 /// written on a little-endian machine refuses to load where the zero-copy
@@ -92,12 +119,21 @@ const ENDIAN_PROBE: u64 = 0x0102_0304_0506_0708;
 /// Bytes occupied by the six-word header.
 const HEADER_LEN: usize = 48;
 
-/// Byte offset the checksum covers from (everything after the checksum
-/// field itself).
+/// Byte offset the header checksum covers from (the section count and the
+/// section table — everything after the checksum field itself up to the
+/// end of the table; section payloads carry their own checksums).
 const CHECKSUM_COVER_FROM: usize = 40;
 
-/// Arena sections per shard (see the module docs for the order).
-const SECTIONS_PER_SHARD: usize = 12;
+/// Bytes per section-table entry: offset, length, checksum.
+const TABLE_ENTRY_LEN: usize = 24;
+
+/// Sections before the per-shard groups: the global meta head and the
+/// shard directory.
+const FIXED_SECTIONS: usize = 2;
+
+/// Sections per shard: the shard's meta stream plus its 12 arena sections
+/// (see the module docs for the order).
+const SECTIONS_PER_SHARD: usize = 13;
 
 // The zero-copy casts below are sound only if these `#[repr(C)]` layouts
 // hold; a platform where they do not fails to compile instead of
@@ -124,21 +160,50 @@ fn checksum_of(body: &[u8]) -> u64 {
     acc
 }
 
-/// Recomputes the body checksum of a serialized arena and writes it into
-/// the header — the helper corruption tests use to craft files whose
-/// checksum is valid but whose structure is not.
+/// Recomputes every checksum of a serialized arena — each section's sum
+/// over its padded extent, then the header sum over the section table —
+/// and writes them back. This is the helper corruption tests use to craft
+/// files whose checksums are valid but whose structure is not, so it is
+/// deliberately lenient: table entries whose extents fall outside the
+/// image keep their stored checksum (the loader rejects them
+/// structurally), and an implausible section count leaves the header sum
+/// covering whatever tail fits.
 ///
 /// # Panics
 ///
 /// Panics if `bytes` is shorter than the 48-byte header or not a multiple
-/// of 8 bytes long (i.e. not a plausible arena image).
+/// of 8 bytes long (i.e. not even the shape of an arena image).
 pub fn rewrite_checksum(bytes: &mut [u8]) {
     assert!(
         bytes.len() >= HEADER_LEN && bytes.len().is_multiple_of(8),
         "not an arena image: {} bytes",
         bytes.len()
     );
-    let sum = checksum_of(&bytes[CHECKSUM_COVER_FROM..]);
+    let count = usize::try_from(read_header_word(bytes, 40)).unwrap_or(usize::MAX);
+    let table_end = count
+        .checked_mul(TABLE_ENTRY_LEN)
+        .and_then(|t| t.checked_add(HEADER_LEN))
+        .filter(|&end| end <= bytes.len())
+        .unwrap_or(bytes.len());
+    let entries = (table_end - HEADER_LEN) / TABLE_ENTRY_LEN;
+    for i in 0..entries {
+        let t = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let off = read_header_word(bytes, t);
+        let len = read_header_word(bytes, t + 8);
+        let extent = usize::try_from(off).ok().and_then(|o| {
+            usize::try_from(len)
+                .ok()
+                .and_then(|l| l.checked_next_multiple_of(8))
+                .and_then(|p| p.checked_add(o))
+                .filter(|&end| end <= bytes.len())
+                .map(|end| (o, end))
+        });
+        if let Some((off, end)) = extent {
+            let sum = checksum_of(&bytes[off..end]);
+            bytes[t + 16..t + 24].copy_from_slice(&sum.to_le_bytes());
+        }
+    }
+    let sum = checksum_of(&bytes[CHECKSUM_COVER_FROM..table_end]);
     bytes[32..40].copy_from_slice(&sum.to_le_bytes());
 }
 
@@ -297,15 +362,35 @@ fn write_posting(
     }
 }
 
+/// One section destined for an assembled arena image: freshly serialized
+/// bytes (checksum computed here), or an extent reused verbatim from a
+/// previous image together with its already-stored checksum.
+enum SectionSrc<'a> {
+    Fresh(Vec<u8>),
+    Reused { bytes: &'a [u8], checksum: u64 },
+}
+
+impl SectionSrc<'_> {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            SectionSrc::Fresh(v) => v,
+            SectionSrc::Reused { bytes, .. } => bytes,
+        }
+    }
+}
+
 /// Lays the sections out after the header and table (each starting on an
-/// 8-byte boundary), fills in the header, and stamps the checksum.
-fn assemble(sections: Vec<Vec<u8>>) -> Vec<u8> {
-    let table_len = sections.len() * 16;
-    let mut offset = HEADER_LEN + table_len;
+/// 8-byte boundary), fills in the header, and stamps the per-section and
+/// header checksums. Reused sections keep their stored checksum — that is
+/// what makes a delta O(dirty): clean payloads are copied, never
+/// re-summed.
+fn assemble_from(sections: Vec<SectionSrc>) -> Vec<u8> {
+    let table_end = HEADER_LEN + sections.len() * TABLE_ENTRY_LEN;
+    let mut offset = table_end;
     let mut table: Vec<(usize, usize)> = Vec::with_capacity(sections.len());
     for s in &sections {
-        table.push((offset, s.len()));
-        offset += s.len().next_multiple_of(8);
+        table.push((offset, s.bytes().len()));
+        offset += s.bytes().len().next_multiple_of(8);
     }
     let file_len = offset;
     let mut out = vec![0u8; file_len];
@@ -314,15 +399,26 @@ fn assemble(sections: Vec<Vec<u8>>) -> Vec<u8> {
     out[16..24].copy_from_slice(&ENDIAN_PROBE.to_ne_bytes());
     out[24..32].copy_from_slice(&(file_len as u64).to_le_bytes());
     out[40..48].copy_from_slice(&(sections.len() as u64).to_le_bytes());
-    for (i, &(off, len)) in table.iter().enumerate() {
-        let t = HEADER_LEN + i * 16;
+    for (i, (&(off, len), s)) in table.iter().zip(&sections).enumerate() {
+        out[off..off + len].copy_from_slice(s.bytes());
+        let sum = match s {
+            SectionSrc::Fresh(_) => checksum_of(&out[off..off + len.next_multiple_of(8)]),
+            SectionSrc::Reused { checksum, .. } => {
+                debug_assert_eq!(
+                    checksum_of(&out[off..off + len.next_multiple_of(8)]),
+                    *checksum,
+                    "a reused section's stored checksum does not match its bytes"
+                );
+                *checksum
+            }
+        };
+        let t = HEADER_LEN + i * TABLE_ENTRY_LEN;
         out[t..t + 8].copy_from_slice(&(off as u64).to_le_bytes());
         out[t + 8..t + 16].copy_from_slice(&(len as u64).to_le_bytes());
+        out[t + 16..t + 24].copy_from_slice(&sum.to_le_bytes());
     }
-    for ((off, _), s) in table.into_iter().zip(&sections) {
-        out[off..off + s.len()].copy_from_slice(s);
-    }
-    rewrite_checksum(&mut out);
+    let sum = checksum_of(&out[CHECKSUM_COVER_FROM..table_end]);
+    out[32..40].copy_from_slice(&sum.to_le_bytes());
     out
 }
 
@@ -532,6 +628,8 @@ struct PreParsed {
     hasher_seed: u64,
     threshold_raw: u64,
     layout_elements: Vec<u32>,
+    lineage: u64,
+    epochs: Vec<u64>,
     shards: Vec<ShardPre>,
     /// Byte `(offset, length)` of every section, header-validated.
     sections: Vec<(usize, usize)>,
@@ -540,8 +638,8 @@ struct PreParsed {
 impl PreParsed {
     fn parse(bytes: &[u8]) -> Result<Self> {
         let sections = validate_header(bytes)?;
-        let (moff, mlen) = sections[0];
-        let mut cur = MetaCursor::new(&bytes[moff..moff + mlen]);
+        let (hoff, hlen) = sections[0];
+        let mut cur = MetaCursor::new(&bytes[hoff..hoff + hlen]);
         let config = read_config(&mut cur)?;
         let summary = read_summary(&mut cur)?;
         let total_elements = cur.count()?;
@@ -557,17 +655,30 @@ impl PreParsed {
         if num_shards == 0 {
             return Err(corrupt("an index arena holds at least one shard"));
         }
+        if !cur.finished() {
+            return Err(corrupt("trailing bytes in the meta head"));
+        }
         let expected_sections = num_shards
             .checked_mul(SECTIONS_PER_SHARD)
-            .and_then(|s| s.checked_add(1))
+            .and_then(|s| s.checked_add(FIXED_SECTIONS))
             .ok_or_else(|| corrupt("shard count overflows"))?;
         if sections.len() != expected_sections {
             return Err(corrupt("section count does not match the shard count"));
         }
+        let (doff, dlen) = sections[1];
+        let (lineage, epochs) = parse_directory(&bytes[doff..doff + dlen])?;
+        if epochs.len() != num_shards {
+            return Err(corrupt("shard directory disagrees with the shard count"));
+        }
         let mut shards = Vec::with_capacity(num_shards);
         let mut next_base = 0usize;
         for si in 0..num_shards {
+            let (moff, mlen) = sections[FIXED_SECTIONS + si * SECTIONS_PER_SHARD];
+            let mut cur = MetaCursor::new(&bytes[moff..moff + mlen]);
             let shard = Self::parse_shard(&mut cur)?;
+            if !cur.finished() {
+                return Err(corrupt("trailing bytes in a shard meta stream"));
+            }
             if shard.base != next_base {
                 return Err(corrupt("shard record-id ranges are not contiguous"));
             }
@@ -584,15 +695,12 @@ impl PreParsed {
             next_base = next_base
                 .checked_add(shard.n)
                 .ok_or_else(|| corrupt("record count overflows"))?;
-            let arena_sections = &sections[1 + si * SECTIONS_PER_SHARD..];
+            let arena_sections = &sections[FIXED_SECTIONS + si * SECTIONS_PER_SHARD + 1..];
             check_shard_sections(bytes, arena_sections, &shard)?;
             shards.push(shard);
         }
         if summary.num_records != next_base {
             return Err(corrupt("summary record count disagrees with the shards"));
-        }
-        if !cur.finished() {
-            return Err(corrupt("trailing bytes in the meta stream"));
         }
         Ok(PreParsed {
             config,
@@ -601,6 +709,8 @@ impl PreParsed {
             hasher_seed,
             threshold_raw,
             layout_elements,
+            lineage,
+            epochs,
             shards,
             sections,
         })
@@ -650,9 +760,15 @@ impl PreParsed {
     }
 }
 
-/// Header, checksum and section-table validation; returns the byte
-/// `(offset, length)` of every section.
-fn validate_header(bytes: &[u8]) -> Result<Vec<(usize, usize)>> {
+/// Header and section-table validation *without* touching section
+/// payloads — header words, the header checksum (which covers the table),
+/// and every entry's alignment and bounds. O(header + table). Returns the
+/// `(offset, length, stored checksum)` of every section.
+///
+/// This is the "skeleton" a delta serialisation trusts: it proves the
+/// table itself is intact, so stored per-section checksums can be carried
+/// into the new image without re-reading the payloads they cover.
+fn parse_table(bytes: &[u8]) -> Result<Vec<(usize, usize, u64)>> {
     let actual = bytes.len() as u64;
     if bytes.len() < HEADER_LEN {
         return Err(Error::PersistTruncated {
@@ -687,27 +803,29 @@ fn validate_header(bytes: &[u8]) -> Result<Vec<(usize, usize)>> {
     if !bytes.len().is_multiple_of(8) {
         return Err(corrupt("file length is not a multiple of 8"));
     }
+    let count = to_usize(read_header_word(bytes, 40))?;
+    if count == 0 {
+        return Err(corrupt("no sections (missing meta streams)"));
+    }
+    let table_end = count
+        .checked_mul(TABLE_ENTRY_LEN)
+        .and_then(|t| t.checked_add(HEADER_LEN))
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| corrupt("section table reaches past the end of the file"))?;
     let stored_sum = read_header_word(bytes, 32);
-    let computed = checksum_of(&bytes[CHECKSUM_COVER_FROM..]);
+    let computed = checksum_of(&bytes[CHECKSUM_COVER_FROM..table_end]);
     if computed != stored_sum {
         return Err(Error::PersistChecksum {
             expected: stored_sum,
             actual: computed,
         });
     }
-    let count = to_usize(read_header_word(bytes, 40))?;
-    let table_end = count
-        .checked_mul(16)
-        .and_then(|t| t.checked_add(HEADER_LEN))
-        .filter(|&end| end <= bytes.len())
-        .ok_or_else(|| corrupt("section table reaches past the end of the file"))?;
-    if count == 0 {
-        return Err(corrupt("no sections (missing meta stream)"));
-    }
     let mut sections = Vec::with_capacity(count);
     for i in 0..count {
-        let off = read_header_word(bytes, HEADER_LEN + i * 16);
-        let len = read_header_word(bytes, HEADER_LEN + i * 16 + 8);
+        let t = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let off = read_header_word(bytes, t);
+        let len = read_header_word(bytes, t + 8);
+        let sum = read_header_word(bytes, t + 16);
         if !off.is_multiple_of(8) {
             return Err(Error::PersistMisaligned {
                 section: i,
@@ -719,15 +837,54 @@ fn validate_header(bytes: &[u8]) -> Result<Vec<(usize, usize)>> {
         if off < table_end {
             return Err(corrupt("a section overlaps the header or section table"));
         }
-        let end = off
-            .checked_add(len)
+        let padded_end = len
+            .checked_next_multiple_of(8)
+            .and_then(|p| p.checked_add(off))
             .ok_or_else(|| corrupt("a section's extent overflows"))?;
-        if end > bytes.len() {
+        if padded_end > bytes.len() {
             return Err(corrupt("a section reaches past the end of the file"));
+        }
+        sections.push((off, len, sum));
+    }
+    Ok(sections)
+}
+
+/// Full header validation for a load: the table checks of [`parse_table`]
+/// plus every section's payload checksum. Returns the byte
+/// `(offset, length)` of every section.
+fn validate_header(bytes: &[u8]) -> Result<Vec<(usize, usize)>> {
+    let table = parse_table(bytes)?;
+    let mut sections = Vec::with_capacity(table.len());
+    for (off, len, stored) in table {
+        let actual = checksum_of(&bytes[off..off + len.next_multiple_of(8)]);
+        if actual != stored {
+            return Err(Error::PersistChecksum {
+                expected: stored,
+                actual,
+            });
         }
         sections.push((off, len));
     }
     Ok(sections)
+}
+
+/// Parses the shard directory (section 1): lineage stamp plus one dirty
+/// epoch per shard.
+fn parse_directory(bytes: &[u8]) -> Result<(u64, Vec<u64>)> {
+    let mut cur = MetaCursor::new(bytes);
+    let lineage = cur.u64()?;
+    let n = cur.count()?;
+    if n == 0 {
+        return Err(corrupt("an index arena holds at least one shard"));
+    }
+    let mut epochs = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        epochs.push(cur.u64()?);
+    }
+    if !cur.finished() {
+        return Err(corrupt("trailing bytes in the shard directory"));
+    }
+    Ok((lineage, epochs))
 }
 
 /// Pre-leak length (and `bool`-byte) checks of one shard's 12 arena
@@ -941,7 +1098,7 @@ fn assemble_index(buf: &'static [u64], pre: &PreParsed) -> Result<GbKmvIndex> {
 
     let mut shards = Vec::with_capacity(pre.shards.len());
     for (si, sp) in pre.shards.iter().enumerate() {
-        let s = 1 + si * SECTIONS_PER_SHARD;
+        let s = FIXED_SECTIONS + si * SECTIONS_PER_SHARD + 1;
         let hash_arena = u64_view(section_bytes(s));
         let hash_offsets = u64_view(section_bytes(s + 1));
         let buffer_arena = u64_view(section_bytes(s + 2));
@@ -1025,8 +1182,8 @@ fn assemble_index(buf: &'static [u64], pre: &PreParsed) -> Result<GbKmvIndex> {
         },
     );
     Ok(GbKmvIndex {
-        sketcher,
-        sharded: ShardedIndex::from_shards(shards),
+        sketcher: std::sync::Arc::new(sketcher),
+        sharded: ShardedIndex::from_parts(shards, pre.lineage, pre.epochs.clone()),
         summary: pre.summary,
         config: pre.config,
         total_elements: pre.total_elements,
@@ -1039,12 +1196,129 @@ fn io_error(e: &std::io::Error) -> Error {
     }
 }
 
+/// Serializes one shard into its 13 sections: the shard's meta stream
+/// followed by the 12 arena sections, in the fixed order the module docs
+/// describe. Deterministic — sorted orders make the bytes canonical — so
+/// an unchanged shard re-serializes byte-identically, which is what lets a
+/// delta checkpoint skip it entirely.
+fn shard_sections(shard: &Shard) -> Vec<Vec<u8>> {
+    let store = shard.store();
+    let mut meta = Vec::new();
+    put_u64(&mut meta, shard.base() as u64);
+    put_u64(&mut meta, store.words_per_record() as u64);
+    put_u8(&mut meta, format_tag(shard.posting_format()));
+    put_u64(&mut meta, store.len() as u64);
+
+    // HashMap iteration order is nondeterministic: sort so the bytes —
+    // and the load-side carve order — are canonical.
+    let mut df: Vec<(u64, u32)> = store.hash_df_map().iter().map(|(&h, &d)| (h, d)).collect();
+    df.sort_unstable_by_key(|&(h, _)| h);
+    put_u64(&mut meta, df.len() as u64);
+    for (h, d) in df {
+        put_u64(&mut meta, h);
+        put_u32(&mut meta, d);
+    }
+
+    let mut arenas: Vec<Vec<u8>> = Vec::with_capacity(SECTIONS_PER_SHARD - 1);
+    arenas.push(u64_section(store.hash_arena_slice()));
+    arenas.push(u64_section(store.hash_offsets_slice()));
+    arenas.push(u64_section(store.buffer_arena_slice()));
+    arenas.push(meta_section(store.meta_slice()));
+    arenas.push(u32_section(store.record_ids_slice()));
+    arenas.push(u32_section(store.slots_slice()));
+
+    let mut sig: Vec<(&u64, &PostingList)> = shard.signature_posting_map().iter().collect();
+    sig.sort_unstable_by_key(|&(h, _)| *h);
+    let mut sig_words = Vec::new();
+    let mut sig_blocks = Vec::new();
+    let mut sig_raw = Vec::new();
+    put_u64(&mut meta, sig.len() as u64);
+    for (&h, list) in sig {
+        put_u64(&mut meta, h);
+        write_posting(
+            &mut meta,
+            list,
+            &mut sig_words,
+            &mut sig_blocks,
+            &mut sig_raw,
+        );
+    }
+    arenas.push(sig_words);
+    arenas.push(sig_blocks);
+    arenas.push(sig_raw);
+
+    let buffer_lists = shard.buffer_posting_lists();
+    let mut buf_words = Vec::new();
+    let mut buf_blocks = Vec::new();
+    let mut buf_raw = Vec::new();
+    put_u64(&mut meta, buffer_lists.len() as u64);
+    for list in buffer_lists {
+        write_posting(
+            &mut meta,
+            list,
+            &mut buf_words,
+            &mut buf_blocks,
+            &mut buf_raw,
+        );
+    }
+    arenas.push(buf_words);
+    arenas.push(buf_blocks);
+    arenas.push(buf_raw);
+
+    let mut sections = Vec::with_capacity(SECTIONS_PER_SHARD);
+    sections.push(meta);
+    sections.extend(arenas);
+    sections
+}
+
+/// Section 1: the shard directory — lineage stamp, shard count, one dirty
+/// epoch per shard.
+fn directory_section(sharded: &ShardedIndex) -> Vec<u8> {
+    let epochs = sharded.epochs();
+    let mut out = Vec::with_capacity((2 + epochs.len()) * 8);
+    put_u64(&mut out, sharded.lineage());
+    put_u64(&mut out, epochs.len() as u64);
+    for &e in epochs {
+        put_u64(&mut out, e);
+    }
+    out
+}
+
+/// Outcome accounting for one delta serialisation (see
+/// [`GbKmvIndex::to_arena_bytes_delta`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct DeltaStats {
+    /// Shards whose 13 sections were copied verbatim — stored checksums
+    /// included — from the previous image.
+    pub reused_shards: usize,
+    /// Shards re-serialised because their dirty epoch changed (or all of
+    /// them, on fallback).
+    pub rewritten_shards: usize,
+    /// True when the previous image was unusable (missing, foreign
+    /// lineage, structural mismatch) and the delta degenerated to a full
+    /// rewrite.
+    pub fallback: bool,
+}
+
 impl GbKmvIndex {
     /// Serializes the index into a single in-memory arena image — the byte
     /// form [`GbKmvIndex::save`] writes to disk. Deterministic: the same
     /// index always produces the same bytes, and a loaded index re-saves
     /// byte-identically.
     pub fn to_arena_bytes(&self) -> Vec<u8> {
+        let shards = self.sharded.shards();
+        let mut sections = Vec::with_capacity(FIXED_SECTIONS + shards.len() * SECTIONS_PER_SHARD);
+        sections.push(SectionSrc::Fresh(self.head_section()));
+        sections.push(SectionSrc::Fresh(directory_section(&self.sharded)));
+        for shard in shards {
+            sections.extend(shard_sections(shard).into_iter().map(SectionSrc::Fresh));
+        }
+        assemble_from(sections)
+    }
+
+    /// Section 0: the global meta head — config, summary, sketcher
+    /// parameters and the shard count.
+    fn head_section(&self) -> Vec<u8> {
         let mut meta = Vec::new();
         write_config(&mut meta, &self.config);
         write_summary(&mut meta, &self.summary);
@@ -1056,78 +1330,75 @@ impl GbKmvIndex {
         for &e in elements {
             put_u32(&mut meta, e);
         }
-        let shards = self.sharded.shards();
-        put_u64(&mut meta, shards.len() as u64);
+        put_u64(&mut meta, self.sharded.shards().len() as u64);
+        meta
+    }
 
-        let mut arenas: Vec<Vec<u8>> = Vec::with_capacity(shards.len() * SECTIONS_PER_SHARD);
-        for shard in shards {
-            let store = shard.store();
-            put_u64(&mut meta, shard.base() as u64);
-            put_u64(&mut meta, store.words_per_record() as u64);
-            put_u8(&mut meta, format_tag(shard.posting_format()));
-            put_u64(&mut meta, store.len() as u64);
-
-            // HashMap iteration order is nondeterministic: sort so the
-            // bytes — and the load-side carve order — are canonical.
-            let mut df: Vec<(u64, u32)> =
-                store.hash_df_map().iter().map(|(&h, &d)| (h, d)).collect();
-            df.sort_unstable_by_key(|&(h, _)| h);
-            put_u64(&mut meta, df.len() as u64);
-            for (h, d) in df {
-                put_u64(&mut meta, h);
-                put_u32(&mut meta, d);
-            }
-
-            arenas.push(u64_section(store.hash_arena_slice()));
-            arenas.push(u64_section(store.hash_offsets_slice()));
-            arenas.push(u64_section(store.buffer_arena_slice()));
-            arenas.push(meta_section(store.meta_slice()));
-            arenas.push(u32_section(store.record_ids_slice()));
-            arenas.push(u32_section(store.slots_slice()));
-
-            let mut sig: Vec<(&u64, &PostingList)> = shard.signature_posting_map().iter().collect();
-            sig.sort_unstable_by_key(|&(h, _)| *h);
-            let mut sig_words = Vec::new();
-            let mut sig_blocks = Vec::new();
-            let mut sig_raw = Vec::new();
-            put_u64(&mut meta, sig.len() as u64);
-            for (&h, list) in sig {
-                put_u64(&mut meta, h);
-                write_posting(
-                    &mut meta,
-                    list,
-                    &mut sig_words,
-                    &mut sig_blocks,
-                    &mut sig_raw,
-                );
-            }
-            arenas.push(sig_words);
-            arenas.push(sig_blocks);
-            arenas.push(sig_raw);
-
-            let buffer_lists = shard.buffer_posting_lists();
-            let mut buf_words = Vec::new();
-            let mut buf_blocks = Vec::new();
-            let mut buf_raw = Vec::new();
-            put_u64(&mut meta, buffer_lists.len() as u64);
-            for list in buffer_lists {
-                write_posting(
-                    &mut meta,
-                    list,
-                    &mut buf_words,
-                    &mut buf_blocks,
-                    &mut buf_raw,
-                );
-            }
-            arenas.push(buf_words);
-            arenas.push(buf_blocks);
-            arenas.push(buf_raw);
+    /// Serializes against a previous arena image of the same index
+    /// lineage: shards whose dirty epoch matches the previous file's shard
+    /// directory are copied byte-for-byte (stored checksums carried over,
+    /// payloads neither re-serialised nor re-summed), so the cost is
+    /// O(dirty shards + table). The output is byte-identical to
+    /// [`GbKmvIndex::to_arena_bytes`]. Any structural mismatch in the
+    /// previous image — wrong magic/version, damaged table, foreign
+    /// lineage, different shard count — falls back to a full rewrite,
+    /// reported via [`DeltaStats::fallback`].
+    pub fn to_arena_bytes_delta(&self, prev: &[u8]) -> (Vec<u8>, DeltaStats) {
+        match self.try_delta(prev) {
+            Some(result) => result,
+            None => (
+                self.to_arena_bytes(),
+                DeltaStats {
+                    reused_shards: 0,
+                    rewritten_shards: self.sharded.shards().len(),
+                    fallback: true,
+                },
+            ),
         }
+    }
 
-        let mut sections = Vec::with_capacity(arenas.len() + 1);
-        sections.push(meta);
-        sections.extend(arenas);
-        assemble(sections)
+    fn try_delta(&self, prev: &[u8]) -> Option<(Vec<u8>, DeltaStats)> {
+        let table = parse_table(prev).ok()?;
+        let (lineage, prev_epochs) = {
+            let &(off, len, _) = table.get(1)?;
+            parse_directory(&prev[off..off + len]).ok()?
+        };
+        let shards = self.sharded.shards();
+        let epochs = self.sharded.epochs();
+        if lineage != self.sharded.lineage()
+            || prev_epochs.len() != shards.len()
+            || table.len() != FIXED_SECTIONS + prev_epochs.len() * SECTIONS_PER_SHARD
+        {
+            return None;
+        }
+        let mut sections = Vec::with_capacity(FIXED_SECTIONS + shards.len() * SECTIONS_PER_SHARD);
+        sections.push(SectionSrc::Fresh(self.head_section()));
+        sections.push(SectionSrc::Fresh(directory_section(&self.sharded)));
+        let mut reused_shards = 0;
+        let mut rewritten_shards = 0;
+        for (si, shard) in shards.iter().enumerate() {
+            if prev_epochs[si] == epochs[si] {
+                reused_shards += 1;
+                for j in 0..SECTIONS_PER_SHARD {
+                    let (off, len, checksum) = table[FIXED_SECTIONS + si * SECTIONS_PER_SHARD + j];
+                    sections.push(SectionSrc::Reused {
+                        bytes: &prev[off..off + len],
+                        checksum,
+                    });
+                }
+            } else {
+                rewritten_shards += 1;
+                sections.extend(shard_sections(shard).into_iter().map(SectionSrc::Fresh));
+            }
+        }
+        Some((
+            assemble_from(sections),
+            DeltaStats {
+                reused_shards,
+                rewritten_shards,
+                fallback: false,
+            },
+        ))
     }
 
     /// Loads an index from an arena image, borrowing the heavy sections
@@ -1163,12 +1434,96 @@ impl GbKmvIndex {
         std::fs::write(path, self.to_arena_bytes()).map_err(|e| io_error(&e))
     }
 
+    /// Writes the index to `path`, reusing clean shard sections from the
+    /// arena previously saved at `prev_path` (see
+    /// [`GbKmvIndex::to_arena_bytes_delta`]). The two paths may be the
+    /// same file — the previous image is read in full before the new one
+    /// is written — and checkpointing in place like that additionally
+    /// patches only the byte ranges that changed (the header, table and
+    /// directory up front plus the dirty shards' sections) instead of
+    /// rewriting the whole file, so repeated checkpoints of a growing
+    /// index cost O(dirty) in I/O as well as in serialization. A missing
+    /// or unusable previous file degrades to a full rewrite, never an
+    /// error.
+    pub fn save_delta(
+        &self,
+        path: impl AsRef<Path>,
+        prev_path: impl AsRef<Path>,
+    ) -> Result<DeltaStats> {
+        let path = path.as_ref();
+        let prev_path = prev_path.as_ref();
+        let (prev, bytes, stats) = match std::fs::read(prev_path) {
+            Ok(prev) => {
+                let (bytes, stats) = self.to_arena_bytes_delta(&prev);
+                (Some(prev), bytes, stats)
+            }
+            Err(_) => (
+                None,
+                self.to_arena_bytes(),
+                DeltaStats {
+                    reused_shards: 0,
+                    rewritten_shards: self.sharded.shards().len(),
+                    fallback: true,
+                },
+            ),
+        };
+        if let Some(prev) = prev.filter(|_| path == prev_path) {
+            if patch_in_place(path, &prev, &bytes).is_ok() {
+                return Ok(stats);
+            }
+        }
+        std::fs::write(path, bytes).map_err(|e| io_error(&e))?;
+        Ok(stats)
+    }
+
     /// Loads an index previously written by [`GbKmvIndex::save`],
     /// borrowing the file's sections zero-copy instead of rebuilding.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let bytes = std::fs::read(path).map_err(|e| io_error(&e))?;
         Self::from_arena_bytes(&bytes)
     }
+}
+
+/// Overwrites `path` — whose current on-disk content is `prev` — with
+/// `new`, writing only the 4 KiB block runs where the two images differ
+/// plus any tail growth, then truncating to the new length. The resulting
+/// file is byte-identical to what `fs::write(path, new)` would produce;
+/// only the I/O volume differs. For a delta image that reused most shard
+/// sections, the clean middle of the file is never written: an in-place
+/// checkpoint of a 4-shard index with one dirty shard touches the few-KiB
+/// header/table/directory prefix and roughly a quarter of the payload.
+fn patch_in_place(path: &Path, prev: &[u8], new: &[u8]) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    const BLOCK: usize = 4096;
+    let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+    let common = prev.len().min(new.len());
+    let mut off = 0usize;
+    while off < common {
+        let end = (off + BLOCK).min(common);
+        if prev[off..end] == new[off..end] {
+            off = end;
+            continue;
+        }
+        // Extend the run across every consecutive differing block so one
+        // seek+write covers it.
+        let mut run = end;
+        while run < common {
+            let next = (run + BLOCK).min(common);
+            if prev[run..next] == new[run..next] {
+                break;
+            }
+            run = next;
+        }
+        file.seek(SeekFrom::Start(off as u64))?;
+        file.write_all(&new[off..run])?;
+        off = run;
+    }
+    if new.len() > common {
+        file.seek(SeekFrom::Start(common as u64))?;
+        file.write_all(&new[common..])?;
+    }
+    file.set_len(new.len() as u64)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1322,6 +1677,150 @@ mod tests {
             Err(Error::PersistMisaligned { section: 0, .. }) => {}
             other => panic!("expected PersistMisaligned, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn delta_reuses_clean_shards_and_matches_full_bytes() {
+        let ds = dataset();
+        let mut index = build(GbKmvConfig::with_space_fraction(0.6).shards(3));
+        let prev = index.to_arena_bytes();
+        for r in &ds.records()[..5] {
+            index.insert(r);
+        }
+        let (delta, stats) = index.to_arena_bytes_delta(&prev);
+        assert_eq!(delta, index.to_arena_bytes(), "delta image diverged");
+        assert_eq!(stats.reused_shards, 2, "only the tail shard was touched");
+        assert_eq!(stats.rewritten_shards, 1);
+        assert!(!stats.fallback);
+        let loaded = GbKmvIndex::from_arena_bytes(&delta).expect("delta image loads");
+        assert_eq!(loaded.sharded, index.sharded);
+    }
+
+    #[test]
+    fn unchanged_index_delta_reuses_every_shard() {
+        let index = build(GbKmvConfig::with_space_fraction(0.6).shards(3));
+        let prev = index.to_arena_bytes();
+        let (delta, stats) = index.to_arena_bytes_delta(&prev);
+        assert_eq!(delta, prev);
+        assert_eq!(
+            stats,
+            DeltaStats {
+                reused_shards: 3,
+                rewritten_shards: 0,
+                fallback: false
+            }
+        );
+    }
+
+    #[test]
+    fn loaded_index_delta_against_its_own_file_reuses_every_shard() {
+        let built = build(GbKmvConfig::with_space_fraction(0.6).shards(2));
+        let bytes = built.to_arena_bytes();
+        let loaded = GbKmvIndex::from_arena_bytes(&bytes).expect("load");
+        let (delta, stats) = loaded.to_arena_bytes_delta(&bytes);
+        assert_eq!(stats.reused_shards, 2);
+        assert_eq!(delta, bytes);
+    }
+
+    #[test]
+    fn foreign_lineage_falls_back_to_a_full_rewrite() {
+        // Same data, same config: the images differ only in their stamps,
+        // which is exactly what must stop cross-index section reuse.
+        let a = build(GbKmvConfig::with_space_fraction(0.6).shards(3));
+        let b = build(GbKmvConfig::with_space_fraction(0.6).shards(3));
+        let (delta, stats) = b.to_arena_bytes_delta(&a.to_arena_bytes());
+        assert_eq!(
+            stats,
+            DeltaStats {
+                reused_shards: 0,
+                rewritten_shards: 3,
+                fallback: true
+            }
+        );
+        assert_eq!(delta, b.to_arena_bytes());
+    }
+
+    #[test]
+    fn garbage_previous_image_falls_back() {
+        let index = build(GbKmvConfig::with_space_fraction(0.5));
+        let (delta, stats) = index.to_arena_bytes_delta(b"not an arena");
+        assert!(stats.fallback);
+        assert_eq!(delta, index.to_arena_bytes());
+    }
+
+    #[test]
+    fn save_delta_updates_a_checkpoint_file_in_place() {
+        let dir = std::env::temp_dir().join("gbkmv_persist_delta_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inplace.arena");
+        let ds = dataset();
+        let mut index = build(GbKmvConfig::with_space_fraction(0.6).shards(2));
+        index.save(&path).expect("full save");
+        for r in &ds.records()[..3] {
+            index.insert(r);
+        }
+        let stats = index.save_delta(&path, &path).expect("delta save");
+        assert_eq!(stats.reused_shards, 1);
+        assert!(!stats.fallback);
+        // The in-place patch writes only changed block runs; the file must
+        // nonetheless be byte-identical to a from-scratch serialization —
+        // across repeated grow-then-checkpoint rounds.
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            index.to_arena_bytes(),
+            "patched checkpoint diverged from the full serialization"
+        );
+        for r in &ds.records()[3..6] {
+            index.insert(r);
+        }
+        let stats = index.save_delta(&path, &path).expect("second delta save");
+        assert!(!stats.fallback);
+        assert_eq!(std::fs::read(&path).unwrap(), index.to_arena_bytes());
+        let loaded = GbKmvIndex::open(&path).expect("open");
+        assert_eq!(loaded.sharded, index.sharded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn in_place_fallback_over_a_larger_foreign_file_truncates() {
+        // Overwriting a checkpoint of a *different* (bigger) index in
+        // place falls back to a full rewrite, and the patch path's
+        // truncation must shed the old file's surplus bytes.
+        let dir = std::env::temp_dir().join("gbkmv_persist_delta_shrink");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shrink.arena");
+        let big = build(GbKmvConfig::with_space_fraction(0.6).shards(3));
+        big.save(&path).expect("seed save");
+        let small = GbKmvIndex::build(
+            &Dataset::from_records((0..10u32).map(|i| vec![i, i + 40, i + 81])),
+            GbKmvConfig::with_space_fraction(0.6),
+        );
+        let stats = small.save_delta(&path, &path).expect("fallback save");
+        assert!(stats.fallback, "foreign lineage must not delta");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            small.to_arena_bytes(),
+            "fallback over a larger file left stale bytes behind"
+        );
+        let loaded = GbKmvIndex::open(&path).expect("open");
+        assert_eq!(loaded.sharded, small.sharded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_delta_without_a_previous_file_falls_back() {
+        let dir = std::env::temp_dir().join("gbkmv_persist_delta_missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fresh.arena");
+        std::fs::remove_file(&path).ok();
+        let index = build(GbKmvConfig::with_space_fraction(0.6));
+        let stats = index
+            .save_delta(&path, dir.join("never_written.arena"))
+            .expect("fallback save");
+        assert!(stats.fallback);
+        let loaded = GbKmvIndex::open(&path).expect("open");
+        assert_eq!(loaded.sharded, index.sharded);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -27,11 +27,17 @@
 //! `query_agreement` property suite and the `concurrent` bench section pin
 //! this).
 //!
-//! The trade-off is deliberate: publication is coarse (a generation clone is
-//! O(index)), which buys wait-free reads with zero coordination on the hot
-//! query path — the right trade for the read-dominated workloads the paper
-//! targets. Writers are serialised by a dedicated mutex, so concurrent
-//! flushes cannot lose queued records or publish out of order.
+//! Publication is copy-on-write at shard granularity: a generation "clone"
+//! is a handful of `Arc` pointer bumps (the shards themselves are shared),
+//! and the batch inserts copy only the tail shard they touch
+//! (`Arc::make_mut`), so a flush costs O(touched shard + batch) rather than
+//! O(index) while readers still get wait-free immutable snapshots with zero
+//! coordination on the hot query path. Untouched shards are pointer-equal
+//! across generations — the property suite asserts this, and
+//! [`ContainmentService::checkpoint_delta`] exploits it to rewrite only
+//! dirty shard sections on disk. Writers are serialised by a dedicated
+//! mutex, so concurrent flushes cannot lose queued records or publish out
+//! of order.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -39,6 +45,29 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use crate::dataset::{ElementId, Record};
 use crate::error::{Error, Result};
 use crate::index::{ContainmentIndex, GbKmvIndex, SearchHit};
+use crate::persist::DeltaStats;
+
+/// What a [`ContainmentService::checkpoint`] (or
+/// [`checkpoint_delta`](ContainmentService::checkpoint_delta)) wrote.
+///
+/// `pending` is the field that keeps a checkpoint honest: records sitting
+/// in the ingest queue are *not* part of the written image unless the
+/// caller asked for `flush_first`, and the report says exactly how many
+/// were left out instead of silently dropping them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Records in the generation the checkpoint wrote.
+    pub records: u64,
+    /// Queued records flushed into that generation first (always 0 when
+    /// `flush_first` was false).
+    pub flushed: usize,
+    /// Queued records **not** covered by the written image (0 when
+    /// `flush_first` was true, barring concurrent submissions).
+    pub pending: usize,
+    /// Delta accounting when the checkpoint was written against a previous
+    /// image; `None` for a plain full checkpoint.
+    pub delta: Option<DeltaStats>,
+}
 
 /// Recovers the guard from a poisoned mutex.
 ///
@@ -105,19 +134,56 @@ impl ContainmentService {
         Ok(ContainmentService::new(GbKmvIndex::open(path)?))
     }
 
-    /// Writes the **current published generation** to `path` as a single
-    /// arena file and returns how many records it contains.
+    /// Writes a generation to `path` as a single arena file.
     ///
-    /// The checkpoint serializes the already-published `Arc` snapshot
-    /// directly — no index clone, no extra generation — so readers and
-    /// writers are completely unaffected while the bytes are written.
-    /// Records still sitting in the ingest queue are *not* part of the
-    /// checkpoint; call [`ContainmentService::flush`] first to include
-    /// them.
-    pub fn checkpoint(&self, path: impl AsRef<std::path::Path>) -> Result<u64> {
+    /// With `flush_first` the ingest queue is drained into a new generation
+    /// before the write, so every record submitted so far is covered.
+    /// Without it the **current published generation** is serialized
+    /// directly — no clone, no extra generation, readers and writers
+    /// completely unaffected — and any queued-but-unflushed records are
+    /// reported in [`CheckpointReport::pending`] rather than silently left
+    /// out.
+    pub fn checkpoint(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        flush_first: bool,
+    ) -> Result<CheckpointReport> {
+        let flushed = if flush_first { self.flush() } else { 0 };
         let snapshot = self.snapshot();
+        let pending = self.pending();
         snapshot.save(path)?;
-        Ok(snapshot.num_records() as u64)
+        Ok(CheckpointReport {
+            records: snapshot.num_records() as u64,
+            flushed,
+            pending,
+            delta: None,
+        })
+    }
+
+    /// [`ContainmentService::checkpoint`], but written as a **delta**
+    /// against the arena previously saved at `prev_path`: shards untouched
+    /// since that image was written are copied byte-for-byte instead of
+    /// re-serialized (see [`GbKmvIndex::save_delta`]), so periodic
+    /// checkpoints under steady ingest cost O(dirty shards). The two paths
+    /// may be the same file for an in-place checkpoint; a missing or
+    /// unusable previous image degrades to a full rewrite
+    /// ([`DeltaStats::fallback`]), never an error.
+    pub fn checkpoint_delta(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        prev_path: impl AsRef<std::path::Path>,
+        flush_first: bool,
+    ) -> Result<CheckpointReport> {
+        let flushed = if flush_first { self.flush() } else { 0 };
+        let snapshot = self.snapshot();
+        let pending = self.pending();
+        let stats = snapshot.save_delta(path, prev_path)?;
+        Ok(CheckpointReport {
+            records: snapshot.num_records() as u64,
+            flushed,
+            pending,
+            delta: Some(stats),
+        })
     }
 
     /// The current generation: an immutable snapshot every query method of
@@ -210,8 +276,12 @@ impl ContainmentService {
         if pending.is_empty() {
             return 0;
         }
-        // Clone-and-grow outside the publication lock; the writer lock is
-        // held, so `current` cannot change underneath us.
+        // Clone-and-grow outside the publication lock. The clone is
+        // copy-on-write — O(shards) Arc bumps, no shard data copied — and
+        // the inserts below make a private copy of only the tail shard
+        // they touch, so this whole build is O(touched shard + batch).
+        // The writer lock is held, so `current` cannot change underneath
+        // us.
         let mut next = GbKmvIndex::clone(&self.snapshot());
         for record in &pending {
             next.insert(record);
@@ -361,13 +431,23 @@ mod tests {
         let path = dir.join("checkpoint.arena");
 
         let service = ContainmentService::build(&dataset(10), config());
-        // Pending (unflushed) records are not part of the checkpoint.
+        // Pending (unflushed) records are not part of the checkpoint —
+        // and the report says so instead of hiding it.
         let extra: Vec<Record> = dataset(12).records()[10..].to_vec();
         for r in &extra[..2.min(extra.len())] {
             service.submit(r.clone()).unwrap();
         }
-        let n = service.checkpoint(&path).unwrap();
-        assert_eq!(n, 10, "checkpoint covers the published generation only");
+        let report = service.checkpoint(&path, false).unwrap();
+        assert_eq!(
+            report,
+            CheckpointReport {
+                records: 10,
+                flushed: 0,
+                pending: 2,
+                delta: None,
+            },
+            "checkpoint covers the published generation only and reports the rest"
+        );
 
         let reopened = ContainmentService::open(&path).unwrap();
         assert_eq!(reopened.generation(), 0);
@@ -385,6 +465,107 @@ mod tests {
         reopened.flush();
         assert_eq!(reopened.snapshot().num_records(), 12);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_flush_first_covers_queued_records() {
+        let dir = std::env::temp_dir().join("gbkmv_service_flush_first");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checkpoint.arena");
+
+        let service = ContainmentService::build(&dataset(10), config());
+        let extra: Vec<Record> = dataset(12).records()[10..].to_vec();
+        for r in &extra {
+            service.submit(r.clone()).unwrap();
+        }
+        assert_eq!(service.pending(), 2);
+        let report = service.checkpoint(&path, true).unwrap();
+        assert_eq!(
+            report,
+            CheckpointReport {
+                records: 12,
+                flushed: 2,
+                pending: 0,
+                delta: None,
+            }
+        );
+        let reopened = ContainmentService::open(&path).unwrap();
+        assert_eq!(reopened.snapshot().num_records(), 12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delta_checkpoints_reuse_clean_shards_across_flushes() {
+        let dir = std::env::temp_dir().join("gbkmv_service_delta");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("delta.arena");
+        std::fs::remove_file(&path).ok();
+
+        let service = ContainmentService::build(&dataset(12), config().shards(3).ingest_batch(100));
+        // First delta has no previous image: full rewrite, reported as such.
+        let report = service.checkpoint_delta(&path, &path, false).unwrap();
+        let first = report.delta.expect("delta checkpoint reports stats");
+        assert!(first.fallback);
+        assert_eq!(first.rewritten_shards, 3);
+
+        // Grow only the tail shard, then checkpoint in place: the two
+        // clean shards must be reused, and the file must equal a full save.
+        let extra: Vec<Record> = dataset(15).records()[12..].to_vec();
+        for r in extra {
+            service.submit(r).unwrap();
+        }
+        let report = service.checkpoint_delta(&path, &path, true).unwrap();
+        assert_eq!(report.records, 15);
+        assert_eq!(report.flushed, 3);
+        let stats = report.delta.expect("delta stats");
+        assert_eq!(stats.reused_shards, 2);
+        assert_eq!(stats.rewritten_shards, 1);
+        assert!(!stats.fallback);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            service.snapshot().to_arena_bytes(),
+            "delta checkpoint file diverged from a full serialization"
+        );
+        let reopened = ContainmentService::open(&path).unwrap();
+        assert_eq!(reopened.snapshot().num_records(), 15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_accounting_never_double_counts_cow_generations() {
+        let service = ContainmentService::build(&dataset(12), config().shards(3).ingest_batch(100));
+        let before = service.snapshot();
+        let solo = before.mem_usage();
+        assert_eq!(solo.shared_bytes, 0, "a single index owns everything");
+
+        // Pre-flush: two handles to the same generation share every shard,
+        // so the pair's deduplicated total is exactly one index.
+        let same = GbKmvIndex::mem_usage_shared([&*before, &*service.snapshot()]);
+        assert_eq!(same.total_bytes(), solo.total_bytes());
+        assert_eq!(same.shared_bytes, solo.total_bytes());
+
+        // Post-flush: only the tail shard was copied; the two untouched
+        // shards are counted once and reported as shared on the second
+        // sighting. Invariant: total + shared == sum of solo totals.
+        let extra: Vec<Record> = dataset(15).records()[12..].to_vec();
+        for r in extra {
+            service.submit(r).unwrap();
+        }
+        service.flush();
+        let after = service.snapshot();
+        let pair = GbKmvIndex::mem_usage_shared([&*before, &*after]);
+        assert_eq!(
+            pair.total_bytes() + pair.shared_bytes,
+            solo.total_bytes() + after.mem_usage().total_bytes(),
+        );
+        assert!(pair.shared_bytes > 0, "untouched shards must be shared");
+        assert!(
+            pair.total_bytes() < solo.total_bytes() + after.mem_usage().total_bytes(),
+            "naive summation would double-count the shared shards"
+        );
+        // The tail shard was copied, so the pair holds strictly more than
+        // one generation's worth of content.
+        assert!(pair.total_bytes() > solo.total_bytes());
     }
 
     #[test]

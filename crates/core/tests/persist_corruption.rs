@@ -2,22 +2,43 @@
 //! wrong magic, wrong version, flipped bits, and structurally inconsistent
 //! (but checksum-valid) images must all surface as typed
 //! [`GbKmvError`](gbkmv_core::GbKmvError) variants — **never** a panic,
-//! never undefined behaviour. The sweep tests re-stamp the checksum after
-//! each mutation (via [`gbkmv_core::persist::rewrite_checksum`]) so the
-//! structural validators — not just the checksum — are what's exercised.
+//! never undefined behaviour. The sweep tests re-stamp the per-section and
+//! header checksums after each mutation (via
+//! [`gbkmv_core::persist::rewrite_checksum`]) so the structural validators
+//! — not just the checksums — are what's exercised.
 
 use gbkmv_core::dataset::Dataset;
 use gbkmv_core::index::{GbKmvConfig, GbKmvIndex, PostingFormat};
 use gbkmv_core::persist::{rewrite_checksum, ARENA_MAGIC, ARENA_VERSION};
 use gbkmv_core::Error;
 
+fn records(n: u32) -> Vec<Vec<u32>> {
+    (0..n)
+        .map(|i| (0..(4 + i % 19)).map(|j| (j * 17 + i * 13) % 900).collect())
+        .collect()
+}
+
 fn arena(config: GbKmvConfig) -> Vec<u8> {
-    let dataset = Dataset::from_records((0..80u32).map(|i| {
-        (0..(4 + i % 19))
-            .map(|j| (j * 17 + i * 13) % 900)
-            .collect::<Vec<_>>()
-    }));
+    let dataset = Dataset::from_records(records(80));
     GbKmvIndex::build(&dataset, config).to_arena_bytes()
+}
+
+/// An image produced by the *delta* writer (clean shards copied from a
+/// previous image, dirty ones re-serialized) rather than the full one.
+fn delta_arena(config: GbKmvConfig) -> Vec<u8> {
+    let all = records(80);
+    let mut index = GbKmvIndex::build(&Dataset::from_records(all[..70].to_vec()), config);
+    let prev = index.to_arena_bytes();
+    let tail = Dataset::from_records(all[70..].to_vec());
+    for r in tail.records() {
+        index.insert(r);
+    }
+    let (bytes, stats) = index.to_arena_bytes_delta(&prev);
+    assert!(
+        stats.reused_shards > 0 && !stats.fallback,
+        "the delta test arena must actually reuse sections"
+    );
+    bytes
 }
 
 #[test]
@@ -64,9 +85,10 @@ fn wrong_magic_and_version_are_typed_errors() {
 #[test]
 fn single_bit_flips_never_panic_and_never_load() {
     // Flip one bit at a sampled set of positions across the whole image.
-    // Body flips must be caught by the checksum; header flips by the header
-    // checks. Either way: a typed error, never a panic, never Ok with
-    // silently different bytes.
+    // Section flips must be caught by that section's checksum, table flips
+    // by the header checksum, header flips by the header checks. Either
+    // way: a typed error, never a panic, never Ok with silently different
+    // bytes.
     for config in [
         GbKmvConfig::with_space_fraction(0.4),
         GbKmvConfig::with_space_fraction(0.4)
@@ -126,7 +148,7 @@ fn misaligned_section_offsets_are_typed_errors() {
     // re-stamp the checksum: the alignment guard (which protects the
     // zero-copy casts) must fire, not a crash inside them.
     for section in 0..4usize {
-        let t = 48 + section * 16;
+        let t = 48 + section * 24;
         let mut corrupted = bytes.clone();
         let off = u64::from_le_bytes(corrupted[t..t + 8].try_into().unwrap());
         corrupted[t..t + 8].copy_from_slice(&(off + 2).to_le_bytes());
@@ -137,6 +159,42 @@ fn misaligned_section_offsets_are_typed_errors() {
                 assert_eq!(offset, off + 2);
             }
             other => panic!("section {section}: expected PersistMisaligned, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn delta_produced_images_reject_corruption_like_full_ones() {
+    // Reused sections carry checksums stamped by an *earlier* save; the
+    // corruption guarantees must hold on such images all the same.
+    let bytes = delta_arena(GbKmvConfig::with_space_fraction(0.4).shards(3));
+    for pos in (0..bytes.len()).step_by(131) {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 1 << 3;
+        assert!(
+            GbKmvIndex::from_arena_bytes(&corrupted).is_err(),
+            "bit 3 of byte {pos} flipped and the delta-produced arena still loaded"
+        );
+    }
+    for pos in (48..bytes.len()).step_by(89) {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] = corrupted[pos].wrapping_add(1);
+        rewrite_checksum(&mut corrupted);
+        match GbKmvIndex::from_arena_bytes(&corrupted) {
+            Err(_) => {}
+            Ok(loaded) => {
+                // Content-only mutation: must stay structurally usable.
+                let _ = loaded.to_arena_bytes();
+                let _ = loaded.search_elements(&[1, 2, 3, 50, 700], 0.3);
+            }
+        }
+    }
+
+    // Truncations of a delta-produced image are typed, like full ones.
+    for len in [0, 16, 47, 48, bytes.len() - 8] {
+        match GbKmvIndex::from_arena_bytes(&bytes[..len]) {
+            Err(_) => {}
+            Ok(_) => panic!("prefix of {len} bytes of a delta-produced arena loaded"),
         }
     }
 }

@@ -177,8 +177,9 @@ fn file_round_trip_through_service_checkpoint() {
 
     let data = dataset(100);
     let service = ContainmentService::build(&data, GbKmvConfig::with_space_fraction(0.4).shards(2));
-    let records = service.checkpoint(&path).expect("checkpoint");
-    assert_eq!(records, 100);
+    let report = service.checkpoint(&path, false).expect("checkpoint");
+    assert_eq!(report.records, 100);
+    assert_eq!(report.pending, 0);
 
     let reopened = ContainmentService::open(&path).expect("open");
     let before = service.snapshot();

@@ -457,6 +457,83 @@ proptest! {
         }
         prop_assert_eq!(service.pending(), 0);
     }
+
+    #[test]
+    fn cow_publication_keeps_every_held_snapshot_bit_identical(
+        dataset in dataset_strategy(),
+        extra in vec(vec(0u32..3_000, 1..80), 2..7),
+        budget_fraction in 0.05f64..1.1,
+        t_star in 0.0f64..1.0,
+        shards in 2usize..5,
+        seed in 0u64..1_000_000,
+        format_knob in 0usize..2,
+        kernel_knob in 0usize..2,
+    ) {
+        // The copy-on-write dimension of the agreement suite, crossed with
+        // posting format and finish kernel: generations share untouched
+        // shards behind `Arc`s, so this pins (a) that a *held* snapshot
+        // stays bit-identical to its sequentially grown reference prefix
+        // while later flushes mutate the index underneath it, and (b) that
+        // the sharing is real — non-tail shards of consecutive generations
+        // are pointer-equal, the lineage stamp is stable, and only the
+        // tail shard's dirty epoch moves.
+        let format = [PostingFormat::Packed, PostingFormat::Raw][format_knob];
+        let kernel = [FinishKernel::Vectorized, FinishKernel::Scalar][kernel_knob];
+        let config = GbKmvConfig::with_space_fraction(budget_fraction)
+            .hash_seed(seed | 1)
+            .shards(shards)
+            .posting_format(format)
+            .finish_kernel(kernel)
+            .ingest_batch(1_000_000); // flushes are explicit below
+        let service = ContainmentService::new(GbKmvIndex::build(&dataset, config));
+        let mut reference = GbKmvIndex::build(&dataset, config);
+        let inserted: Vec<Record> = extra.into_iter().map(Record::new).collect();
+        let query = dataset.record(0).clone();
+
+        // Held snapshots and the reference state they must keep matching
+        // (the reference clone is itself a COW clone — mutating `reference`
+        // afterwards must not disturb it).
+        let mut held = vec![(service.snapshot(), reference.clone())];
+        for record in &inserted {
+            let before = service.snapshot();
+            service.submit(record.clone()).unwrap();
+            reference.insert(record);
+            service.flush();
+            let after = service.snapshot();
+
+            // (b) structural sharing across the publication.
+            let (prev, next) = (before.sharded(), after.sharded());
+            prop_assert_eq!(prev.lineage(), next.lineage(), "lineage changed across a flush");
+            let n = prev.shards().len();
+            prop_assert_eq!(n, next.shards().len());
+            for i in 0..n - 1 {
+                prop_assert!(
+                    std::sync::Arc::ptr_eq(&prev.shards()[i], &next.shards()[i]),
+                    "untouched shard {} was copied by a tail-only flush ({} shards)", i, n);
+                prop_assert_eq!(prev.epochs()[i], next.epochs()[i],
+                    "untouched shard {}'s epoch moved", i);
+            }
+            prop_assert!(
+                !std::sync::Arc::ptr_eq(&prev.shards()[n - 1], &next.shards()[n - 1]),
+                "the tail shard must be copied, not mutated in place");
+            prop_assert!(prev.epochs()[n - 1] != next.epochs()[n - 1],
+                "the tail shard's epoch must move");
+
+            held.push((after, reference.clone()));
+        }
+
+        // (a) every held snapshot still equals its reference prefix.
+        for (generation, (snapshot, prefix)) in held.iter().enumerate() {
+            prop_assert_eq!(snapshot.sharded(), prefix.sharded(),
+                "held snapshot of generation {} diverged ({:?}/{:?})",
+                generation, format, kernel);
+            prop_assert_eq!(
+                &snapshot.search_filtered(&query, t_star),
+                &prefix.search_filtered(&query, t_star),
+                "held snapshot answers diverged at generation {} (t*={})",
+                generation, t_star);
+        }
+    }
 }
 
 /// Readers racing a publishing writer must only ever observe fully
@@ -545,4 +622,75 @@ fn concurrent_readers_observe_only_published_generations() {
         final_snapshot.search_filtered(&query, t_star),
         *expected.last().unwrap()
     );
+}
+
+/// Copy-on-write publication under a racing reader: tail-only flushes must
+/// share every non-tail shard pointer-identically across generations, for
+/// every pair of snapshots a reader happens to grab, and shared-aware
+/// memory accounting must never double-count what is behind one `Arc`.
+#[test]
+fn concurrent_publication_shares_untouched_shards_pointer_identically() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dataset = Dataset::from_records(
+        (0..32u32).map(|i| (i * 5..i * 5 + 24).map(|x| x % 700).collect::<Vec<_>>()),
+    );
+    let config = GbKmvConfig::with_space_fraction(0.5)
+        .hash_seed(23)
+        .shards(4)
+        .ingest_batch(1_000_000);
+    let service = ContainmentService::new(GbKmvIndex::build(&dataset, config));
+    let num_shards = service.snapshot().sharded().shards().len();
+    assert!(
+        num_shards >= 2,
+        "the sharing assertion needs non-tail shards"
+    );
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (service, done) = (&service, &done);
+            scope.spawn(move || {
+                let mut prev = service.snapshot();
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    let next = service.snapshot();
+                    // Inserts only ever touch the tail shard, so between
+                    // ANY two snapshots — however many generations apart —
+                    // the non-tail shards are the same allocations.
+                    assert_eq!(prev.sharded().lineage(), next.sharded().lineage());
+                    for i in 0..num_shards - 1 {
+                        assert!(
+                            Arc::ptr_eq(&prev.sharded().shards()[i], &next.sharded().shards()[i]),
+                            "shard {i} was copied by a tail-only publication"
+                        );
+                    }
+                    // Shared-aware accounting: the pair never costs more
+                    // than the sum, and the invariant
+                    // total + shared == sum of solo totals holds exactly.
+                    let solo = prev.mem_usage().total_bytes() + next.mem_usage().total_bytes();
+                    let pair = GbKmvIndex::mem_usage_shared([&*prev, &*next]);
+                    assert_eq!(pair.total_bytes() + pair.shared_bytes, solo);
+                    assert!(
+                        pair.shared_bytes > 0,
+                        "snapshots sharing non-tail shards must report shared bytes"
+                    );
+                    prev = next;
+                    if finished {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+        for b in 0..8u32 {
+            let record = Record::new((b * 11..b * 11 + 20).map(|x| x % 700).collect());
+            service.submit(record).expect("non-empty record");
+            service.flush();
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Release);
+    });
+    assert_eq!(service.generation(), 8);
 }
